@@ -1,0 +1,38 @@
+// Ablation for the multi-event confirmation rule: chains with two or more
+// early prefix items wait for a corroborating second symptom before
+// raising an alarm. Compares precision/recall with confirmation on
+// (min_prefix_matches = 2, the default) and off (= 1, alarm on any single
+// prefix item — pair-rule behaviour).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/ascii.hpp"
+
+int main(int argc, char** argv) {
+  using namespace elsa;
+  std::cout << "=== Ablation: multi-event sequence confirmation ===\n\n";
+  util::AsciiTable table(
+      {"confirmation", "precision", "recall", "predictions"});
+  for (const int matches : {2, 1}) {
+    core::PipelineConfig cfg;
+    cfg.engine.min_prefix_matches = matches;
+    const auto res = core::run_experiment(benchx::bgl_trace(),
+                                          benchx::kTrainDays,
+                                          core::Method::Hybrid, cfg);
+    table.add_row({matches >= 2 ? "on (2 prefix items)" : "off (any item)",
+                   util::format_pct(res.eval.precision()),
+                   util::format_pct(res.eval.recall()),
+                   std::to_string(res.predictions.size())});
+  }
+  table.print(std::cout);
+  std::cout << "\nWith confirmation off, every stray background precursor\n"
+               "(a benign bit-sparing action, a lone service message) raises\n"
+               "a full node-card alarm; multi-event chains exist precisely\n"
+               "to demand corroboration before crying wolf.\n\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

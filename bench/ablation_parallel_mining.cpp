@@ -1,0 +1,58 @@
+// Ablation for the paper's future-work direction: parallel gradual-itemset
+// mining (PGP-mc [3], §III.C). Benchmarks the cross-correlation sweep and
+// the GRITE levels with 1..N worker threads.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "elsa/grite.hpp"
+#include "signalkit/xcorr.hpp"
+
+namespace {
+
+using namespace elsa;
+
+void BM_xcorr_sweep(benchmark::State& state) {
+  const auto& res = benchx::bgl_experiment(core::Method::Hybrid);
+  core::PipelineConfig cfg;
+  sigkit::XcorrConfig xc = cfg.xcorr;
+  xc.total_samples = 4 * 8640;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto pairs =
+        sigkit::correlate_all(res.model.train_outliers, xc, threads);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+}
+BENCHMARK(BM_xcorr_sweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_grite_mining(benchmark::State& state) {
+  const auto& res = benchx::bgl_experiment(core::Method::Hybrid);
+  core::PipelineConfig cfg;
+  core::GriteConfig gc = cfg.grite;
+  gc.total_samples = 4 * 8640;
+  gc.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto chains = core::mine_gradual_itemsets(res.model.train_outliers,
+                                              res.model.seeds, gc);
+    benchmark::DoNotOptimize(chains.size());
+  }
+}
+BENCHMARK(BM_grite_mining)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_offline_phase(benchmark::State& state) {
+  const auto& trace = benchx::bgl_trace();
+  core::PipelineConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  const std::int64_t train_end =
+      trace.t_begin_ms + static_cast<std::int64_t>(benchx::kTrainDays * 86400000.0);
+  for (auto _ : state) {
+    auto model =
+        core::train_offline(trace, train_end, core::Method::Hybrid, cfg);
+    benchmark::DoNotOptimize(model.chains.size());
+  }
+}
+BENCHMARK(BM_offline_phase)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

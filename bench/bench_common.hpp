@@ -1,0 +1,56 @@
+// Shared fixtures for the reproduction benchmarks: the canonical Blue
+// Gene/L-like and Mercury-like campaigns (fixed seeds so every bench binary
+// reports against the same data) and cached experiment runs.
+#pragma once
+
+#include <map>
+
+#include "elsa/pipeline.hpp"
+#include "simlog/scenario.hpp"
+
+namespace elsa::benchx {
+
+inline constexpr double kTrainDays = 4.0;
+
+inline const simlog::Trace& bgl_trace() {
+  static const simlog::Trace trace = [] {
+    auto sc = simlog::make_bluegene_scenario(2012, 12.0, 110);
+    return sc.generator.generate(sc.config);
+  }();
+  return trace;
+}
+
+inline const simlog::Trace& mercury_trace() {
+  static const simlog::Trace trace = [] {
+    auto sc = simlog::make_mercury_scenario(2006, 12.0, 130);
+    return sc.generator.generate(sc.config);
+  }();
+  return trace;
+}
+
+/// Cached full experiment on the BG/L campaign.
+inline const core::ExperimentResult& bgl_experiment(core::Method m) {
+  static std::map<int, core::ExperimentResult> cache;
+  const int key = static_cast<int>(m);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::PipelineConfig cfg;
+    it = cache.emplace(key, core::run_experiment(bgl_trace(), kTrainDays, m,
+                                                 cfg)).first;
+  }
+  return it->second;
+}
+
+inline const core::ExperimentResult& mercury_experiment(core::Method m) {
+  static std::map<int, core::ExperimentResult> cache;
+  const int key = static_cast<int>(m);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::PipelineConfig cfg;
+    it = cache.emplace(key, core::run_experiment(mercury_trace(), kTrainDays,
+                                                 m, cfg)).first;
+  }
+  return it->second;
+}
+
+}  // namespace elsa::benchx

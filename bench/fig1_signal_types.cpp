@@ -1,0 +1,107 @@
+// Reproduces Fig 1: the three signal classes HPC event types fall into —
+// periodic (health polling), noise (correctable-error chatter), and silent
+// (rare messages) — by classifying every extracted signal of the Blue
+// Gene/L-like campaign and rendering one exemplar of each class.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "elsa/profile.hpp"
+#include "helo/helo.hpp"
+#include "signalkit/classify.hpp"
+#include "signalkit/signal.hpp"
+#include "util/ascii.hpp"
+
+namespace {
+
+using namespace elsa;
+
+struct Extraction {
+  sigkit::SignalSet signals{0, 1, 1, 0};
+  std::vector<sigkit::ClassifyResult> classes;
+};
+
+Extraction extract() {
+  const auto& trace = benchx::bgl_trace();
+  helo::TemplateMiner miner;
+  std::vector<std::uint32_t> tids;
+  tids.reserve(trace.records.size());
+  for (const auto& rec : trace.records) tids.push_back(miner.classify(rec.message));
+
+  Extraction ex;
+  ex.signals =
+      sigkit::SignalSet(trace.t_begin_ms, trace.t_end_ms, 10'000, miner.size());
+  for (std::size_t i = 0; i < trace.records.size(); ++i)
+    ex.signals.add_event(tids[i], trace.records[i].time_ms);
+  ex.classes.reserve(miner.size());
+  for (std::size_t t = 0; t < miner.size(); ++t)
+    ex.classes.push_back(sigkit::classify_signal(ex.signals.signal(t)));
+  return ex;
+}
+
+void print_fig1(const Extraction& ex) {
+  std::cout << "=== Fig 1: signal classes of " << ex.classes.size()
+            << " event types (BG/L-like campaign) ===\n"
+            << "(paper: silent signals are the majority of event types)\n\n";
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& c : ex.classes)
+    ++counts[static_cast<std::size_t>(c.cls)];
+
+  util::AsciiBarChart chart("signal class distribution");
+  chart.add("periodic", static_cast<double>(counts[0]),
+            std::to_string(counts[0]) + " types");
+  chart.add("noise", static_cast<double>(counts[1]),
+            std::to_string(counts[1]) + " types");
+  chart.add("silent", static_cast<double>(counts[2]),
+            std::to_string(counts[2]) + " types");
+  chart.print(std::cout);
+
+  // One exemplar per class, first day of samples (like the paper's plots).
+  for (const auto want :
+       {sigkit::SignalClass::Periodic, sigkit::SignalClass::Noise,
+        sigkit::SignalClass::Silent}) {
+    for (std::size_t t = 0; t < ex.classes.size(); ++t) {
+      if (ex.classes[t].cls != want) continue;
+      const auto day = ex.signals.signal(t).slice(0, 8640);
+      // Prefer exemplars with some visible activity.
+      double total = 0.0;
+      for (float v : day.v) total += v;
+      if (want != sigkit::SignalClass::Silent && total < 50.0) continue;
+      std::cout << "\n(" << sigkit::to_string(want) << ") signal " << t;
+      if (ex.classes[t].period > 0)
+        std::cout << ", period ~" << ex.classes[t].period * 10 << " s";
+      std::cout << "\n  "
+                << util::sparkline(std::vector<double>(day.v.begin(),
+                                                       day.v.end()),
+                                   100)
+                << "\n";
+      break;
+    }
+  }
+}
+
+void BM_classify_all_signals(benchmark::State& state) {
+  const auto ex = extract();
+  for (auto _ : state) {
+    std::size_t periodic = 0;
+    for (std::size_t t = 0; t < ex.signals.num_types(); ++t)
+      periodic +=
+          sigkit::classify_signal(ex.signals.signal(t)).cls ==
+          sigkit::SignalClass::Periodic;
+    benchmark::DoNotOptimize(periodic);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ex.signals.num_types()));
+}
+BENCHMARK(BM_classify_all_signals)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig1(extract());
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

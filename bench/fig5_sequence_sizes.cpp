@@ -1,0 +1,53 @@
+// Reproduces Fig 5: the distribution of sequence sizes (event types per
+// mined correlation chain) for both evaluation systems. Paper: average
+// chain length ~4; ~20 % of chains longer than 8 events.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "elsa/report.hpp"
+#include "util/ascii.hpp"
+
+namespace {
+
+using namespace elsa;
+
+void print_one(const char* system, const core::ExperimentResult& res) {
+  const auto rep = core::sequence_size_report(res.model.chains);
+  std::cout << "\n-- " << system << ": " << res.model.chains.size()
+            << " mined sequences --\n";
+  util::AsciiBarChart chart("sequence size distribution");
+  for (std::size_t i = 0; i < rep.sizes.size(); ++i)
+    chart.add(rep.sizes.name(i) + " events",
+              static_cast<double>(rep.sizes.count(i)),
+              util::format_pct(rep.sizes.fraction(i)));
+  chart.print(std::cout);
+  std::cout << "mean sequence length: "
+            << util::format_double(rep.mean_size, 2)
+            << "   (paper: ~4)\n";
+  std::cout << "sequences with >8 events: "
+            << util::format_pct(rep.fraction_above_8)
+            << "   (paper: ~20% with more than 8)\n";
+}
+
+void BM_sequence_size_report(benchmark::State& state) {
+  const auto& res = benchx::bgl_experiment(core::Method::Hybrid);
+  for (auto _ : state) {
+    auto rep = core::sequence_size_report(res.model.chains);
+    benchmark::DoNotOptimize(rep.mean_size);
+  }
+}
+BENCHMARK(BM_sequence_size_report);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Fig 5: sequence size distribution ===\n";
+  print_one("Blue Gene/L-like", benchx::bgl_experiment(core::Method::Hybrid));
+  print_one("Mercury-like", benchx::mercury_experiment(core::Method::Hybrid));
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

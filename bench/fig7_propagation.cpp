@@ -1,0 +1,62 @@
+// Reproduces Fig 7 and the §V propagation analysis: how many mined
+// sequences stay on one node versus spreading across a node card,
+// midplane, rack, or the whole system. Paper: ~75% show no propagation at
+// all; only ~2.16% extend beyond a midplane; 80–85% of propagating
+// sequences touch fewer than 10 nodes; the initiating node is almost
+// always part of the affected set.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "elsa/report.hpp"
+#include "util/ascii.hpp"
+
+namespace {
+
+using namespace elsa;
+
+void print_propagation(const char* system, const core::ExperimentResult& res) {
+  const auto rep = core::propagation_report(res.model.chains);
+  std::cout << "\n-- " << system << " (" << rep.chains
+            << " sequences with location profiles) --\n";
+  util::AsciiBarChart chart("typical spread of a sequence occurrence");
+  for (std::size_t i = 0; i < rep.scopes.size(); ++i)
+    chart.add(rep.scopes.name(i), static_cast<double>(rep.scopes.count(i)),
+              util::format_pct(rep.scopes.fraction(i)));
+  chart.print(std::cout);
+  std::cout << "propagating sequences: "
+            << util::format_pct(rep.fraction_propagating)
+            << "   (paper: ~25% BG/L, ~22% Mercury)\n";
+  std::cout << "extending beyond a midplane: "
+            << util::format_pct(rep.fraction_beyond_midplane)
+            << "   (paper: ~2.16%)\n";
+  if (rep.propagating > 0)
+    std::cout << "initiating node inside the affected set: "
+              << util::format_pct(rep.initiator_included)
+              << "   (paper: almost always -> recall suffers more than "
+                 "precision)\n";
+}
+
+void BM_propagation_report(benchmark::State& state) {
+  const auto& res = benchx::bgl_experiment(core::Method::Hybrid);
+  for (auto _ : state) {
+    auto rep = core::propagation_report(res.model.chains);
+    benchmark::DoNotOptimize(rep.fraction_propagating);
+  }
+}
+BENCHMARK(BM_propagation_report);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "=== Fig 7 / §V: sequence propagation ===\n";
+  print_propagation("Blue Gene/L-like",
+                    benchx::bgl_experiment(core::Method::Hybrid));
+  print_propagation("Mercury-like",
+                    benchx::mercury_experiment(core::Method::Hybrid));
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

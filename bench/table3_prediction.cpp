@@ -1,0 +1,107 @@
+// Reproduces Table III: precision, recall, sequences used, and predicted
+// failures for the three prediction approaches (hybrid / pure signal /
+// pure data mining) on the Blue Gene/L-like campaign, plus the paper's
+// §VI.A no-location precision probe. Also registers google-benchmark
+// timings for the offline mining and the online phase.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "elsa/pipeline.hpp"
+#include "simlog/scenario.hpp"
+#include "util/ascii.hpp"
+
+namespace {
+
+using namespace elsa;
+
+struct Row {
+  std::string name;
+  core::EvalResult eval;
+  std::size_t chains = 0;
+  std::size_t chains_used = 0;
+  std::size_t predictive = 0;
+};
+
+const simlog::Trace& shared_trace() {
+  static const simlog::Trace trace = [] {
+    auto scenario = simlog::make_bluegene_scenario(2012, 12.0, 110);
+    return scenario.generator.generate(scenario.config);
+  }();
+  return trace;
+}
+
+Row run_method(core::Method m, bool use_location = true) {
+  core::PipelineConfig cfg;
+  cfg.eval.require_location = use_location;
+  const auto res = core::run_experiment(shared_trace(), 4.0, m, cfg);
+  Row row;
+  row.name = core::to_string(m);
+  row.eval = res.eval;
+  row.chains = res.model.chains.size();
+  row.chains_used = res.engine_stats.chains_used;
+  for (const auto& c : res.model.chains)
+    if (c.predictive()) ++row.predictive;
+  return row;
+}
+
+void print_table3() {
+  std::cout << "\n=== Table III: prediction methods on Blue Gene/L-like campaign ===\n"
+            << "(paper: hybrid 91.2/45.8, 62 seqs (96.8%), 603 predicted;\n"
+            << "        signal 88.1/40.5, 117 seqs (92.8%); DM 91.9/15.7, 39 seqs)\n\n";
+  util::AsciiTable table({"Prediction Method", "Precision", "Recall",
+                          "Seq Used", "Pred Failures"});
+  for (const auto m : {core::Method::Hybrid, core::Method::SignalOnly,
+                       core::Method::DataMining}) {
+    const Row r = run_method(m);
+    char used[64];
+    std::snprintf(used, sizeof used, "%zu (%s)", r.chains_used,
+                  r.predictive
+                      ? util::format_pct(static_cast<double>(r.chains_used) /
+                                         static_cast<double>(r.predictive), 1)
+                            .c_str()
+                      : "-");
+    table.add_row({r.name, util::format_pct(r.eval.precision()),
+                   util::format_pct(r.eval.recall()), used,
+                   std::to_string(r.eval.predicted_faults)});
+  }
+  table.print(std::cout);
+
+  const Row noloc = run_method(core::Method::Hybrid, /*use_location=*/false);
+  std::cout << "\nHybrid scored WITHOUT the location check (paper: ~94%): "
+            << "precision " << util::format_pct(noloc.eval.precision())
+            << ", recall " << util::format_pct(noloc.eval.recall()) << "\n";
+}
+
+void BM_offline_hybrid(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  core::PipelineConfig cfg;
+  const std::int64_t train_end =
+      trace.t_begin_ms + static_cast<std::int64_t>(4.0 * 86400000.0);
+  for (auto _ : state) {
+    auto model =
+        core::train_offline(trace, train_end, core::Method::Hybrid, cfg);
+    benchmark::DoNotOptimize(model.chains.data());
+  }
+}
+BENCHMARK(BM_offline_hybrid)->Unit(benchmark::kMillisecond);
+
+void BM_full_experiment_hybrid(benchmark::State& state) {
+  const auto& trace = shared_trace();
+  core::PipelineConfig cfg;
+  for (auto _ : state) {
+    auto res = core::run_experiment(trace, 4.0, core::Method::Hybrid, cfg);
+    benchmark::DoNotOptimize(res.predictions.data());
+  }
+}
+BENCHMARK(BM_full_experiment_hybrid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Mercury NFS-storm scenario (paper §V, §VI.A): a network-file-system
+// outage hits a quarter of the 891-node cluster nearly simultaneously —
+// "rpc: bad tcp reclen" floods the log, file operations fail everywhere,
+// and the analysis pipeline has seconds to get a system-wide warning out.
+//
+// This example trains the hybrid predictor on the Mercury-like campaign,
+// then zooms into one storm: the message-rate spike, the outlier the
+// detector raises, the prediction issued, and whether it beat the outage.
+//
+//   ./build/examples/mercury_nfs_storm [duration_days] [seed]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "elsa/pipeline.hpp"
+#include "elsa/report.hpp"
+#include "simlog/scenario.hpp"
+#include "util/ascii.hpp"
+#include "util/ascii.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace elsa;
+
+  const double days = argc > 1 ? std::atof(argv[1]) : 12.0;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2006;
+
+  std::cout << "== Mercury NFS storm walkthrough ==\n";
+  auto scenario = simlog::make_mercury_scenario(seed, days, 130);
+  const auto trace = scenario.generator.generate(scenario.config);
+  std::cout << "cluster: " << trace.topology.total_nodes()
+            << " nodes, trace: " << trace.records.size() << " records, "
+            << trace.faults.size() << " failures\n";
+
+  core::PipelineConfig cfg;
+  const auto res = core::run_experiment(trace, scenario.train_days,
+                                        core::Method::Hybrid, cfg);
+
+  // Find the first NFS outage in the test period.
+  const std::int64_t test_begin =
+      trace.t_begin_ms +
+      static_cast<std::int64_t>(scenario.train_days * 86400000.0);
+  const simlog::GroundTruthFault* storm = nullptr;
+  for (const auto& f : trace.faults)
+    if (f.category == "io" && f.fail_time_ms >= test_begin &&
+        f.affected_nodes.size() > 50) {
+      storm = &f;
+      break;
+    }
+  if (!storm) {
+    std::cout << "no NFS storm landed in the test window; try another seed\n";
+    return 0;
+  }
+
+  std::cout << "\n-- the storm --\n";
+  std::cout << "outage at t=" << util::human_duration(
+                   static_cast<double>(storm->fail_time_ms) / 1000.0)
+            << " into the trace, " << storm->affected_nodes.size()
+            << " nodes affected ("
+            << util::format_pct(static_cast<double>(
+                                    storm->affected_nodes.size()) /
+                                trace.topology.total_nodes())
+            << " of the machine)\n";
+
+  // Message rate around the storm: one-second buckets, +/- 60 s.
+  const std::int64_t w0 = storm->start_time_ms - 60'000;
+  std::vector<double> rate(180, 0.0);
+  std::size_t storm_records = 0;
+  for (const auto& rec : trace.records) {
+    const std::int64_t off = rec.time_ms - w0;
+    if (off < 0 || off >= 180'000) continue;
+    ++rate[static_cast<std::size_t>(off / 1000)];
+    if (rec.fault_id == storm->id) ++storm_records;
+  }
+  std::cout << "log records from this storm alone: " << storm_records << "\n";
+  std::cout << "msg/s around the storm (3 minutes, storm starts at |):\n  "
+            << util::sparkline(rate, 120) << "\n";
+  std::cout << "peak rate: " << *std::max_element(rate.begin(), rate.end())
+            << " msg/s (quiet baseline: "
+            << util::format_double(trace.message_rate(), 1) << " msg/s)\n";
+
+  // Predictions covering this storm.
+  std::cout << "\n-- the prediction --\n";
+  bool any = false;
+  for (const auto& p : res.predictions) {
+    if (std::llabs(p.trigger_time_ms - storm->start_time_ms) > 300'000)
+      continue;
+    const auto& tmpls = res.fault_failure_tmpls;
+    (void)tmpls;
+    std::cout << "  alarm: event type '"
+              << res.model.helo.at(p.tmpl).text().substr(0, 60)
+              << "' expected in "
+              << util::human_duration(
+                     static_cast<double>(p.lead_ms) / 1000.0)
+              << ", scope " << topo::to_string(p.scope)
+              << ", analysis delay "
+              << util::format_double(
+                     static_cast<double>(p.issue_time_ms - p.trigger_time_ms),
+                     0)
+              << " ms -> "
+              << (p.issue_time_ms <= storm->fail_time_ms ? "IN TIME"
+                                                         : "TOO LATE")
+              << "\n";
+    any = true;
+  }
+  if (!any)
+    std::cout << "  (no prediction fired for this storm — rpc precursors "
+                 "were too close to the outage)\n";
+
+  std::cout << "\n-- campaign summary --\n";
+  std::cout << "precision " << util::format_pct(res.eval.precision())
+            << ", recall " << util::format_pct(res.eval.recall()) << "\n";
+  const auto at = core::analysis_time_report(res.engine_stats);
+  std::cout << "modelled analysis windows: mean "
+            << util::format_double(at.mean_ms, 0) << " ms, max "
+            << util::format_double(at.max_ms, 0)
+            << " ms (paper's Mercury worst case: 8.43 s)\n";
+  return 0;
+}

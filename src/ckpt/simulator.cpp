@@ -1,0 +1,84 @@
+#include "ckpt/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace elsa::ckpt {
+
+SimResult simulate_checkpointing(const SimConfig& cfg) {
+  const CkptParams& p = cfg.params;
+  util::Rng rng(cfg.seed);
+  SimResult r;
+
+  // Interval optimised for the failures that remain unpredicted (eq. 4).
+  double T = cfg.interval;
+  if (T <= 0.0) {
+    const double effective_mttf =
+        cfg.recall < 1.0 ? p.mttf / (1.0 - cfg.recall) : 1.0e12;
+    T = std::sqrt(2.0 * p.C * effective_mttf);
+  }
+
+  // False alarms arrive as a Poisson process with the rate eq. 7 implies.
+  const double fa_rate =
+      cfg.precision < 1.0 && cfg.recall > 0.0
+          ? cfg.recall * (1.0 - cfg.precision) / (cfg.precision * p.mttf)
+          : 0.0;
+
+  double saved_work = 0.0;       // work protected by the last checkpoint
+  double work_since_ckpt = 0.0;  // work accumulated since then
+  double next_failure = rng.exponential(p.mttf);
+  double next_false_alarm =
+      fa_rate > 0.0 ? rng.exponential(1.0 / fa_rate) : 1.0e18;
+  double until_ckpt = T;
+
+  while (saved_work + work_since_ckpt < cfg.target_work) {
+    // Next interruption of useful compute.
+    const double step =
+        std::min({until_ckpt, next_failure, next_false_alarm});
+    r.wall_time += step;
+    work_since_ckpt += step;
+    until_ckpt -= step;
+    next_failure -= step;
+    next_false_alarm -= step;
+
+    if (next_failure <= 0.0) {
+      ++r.failures;
+      if (rng.bernoulli(cfg.recall)) {
+        // Predicted: proactive checkpoint lands just before the failure.
+        ++r.predicted_failures;
+        ++r.checkpoints;
+        r.wall_time += p.C;
+        saved_work += work_since_ckpt;
+        work_since_ckpt = 0.0;
+      } else {
+        work_since_ckpt = 0.0;  // rolled back
+      }
+      r.wall_time += p.R + p.D;
+      next_failure = rng.exponential(p.mttf);
+      until_ckpt = T;
+      continue;
+    }
+    if (next_false_alarm <= 0.0) {
+      ++r.false_alarms;
+      ++r.checkpoints;
+      r.wall_time += p.C;
+      saved_work += work_since_ckpt;
+      work_since_ckpt = 0.0;
+      next_false_alarm = rng.exponential(1.0 / fa_rate);
+      until_ckpt = T;
+      continue;
+    }
+    // Periodic checkpoint.
+    ++r.checkpoints;
+    r.wall_time += p.C;
+    saved_work += work_since_ckpt;
+    work_since_ckpt = 0.0;
+    until_ckpt = T;
+  }
+  r.useful_work = saved_work + work_since_ckpt;
+  return r;
+}
+
+}  // namespace elsa::ckpt

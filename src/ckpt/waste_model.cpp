@@ -1,0 +1,59 @@
+#include "ckpt/waste_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace elsa::ckpt {
+
+namespace {
+void check(const CkptParams& p) {
+  if (p.C <= 0 || p.R < 0 || p.D < 0 || p.mttf <= 0)
+    throw std::invalid_argument("CkptParams: non-positive parameter");
+}
+}  // namespace
+
+double young_interval(const CkptParams& p) {
+  check(p);
+  return std::sqrt(2.0 * p.C * p.mttf);
+}
+
+double waste_periodic(const CkptParams& p, double T) {
+  check(p);
+  if (T <= 0) throw std::invalid_argument("waste_periodic: T <= 0");
+  return p.C / T + T / (2.0 * p.mttf) + (p.R + p.D) / p.mttf;
+}
+
+double waste_no_prediction(const CkptParams& p) {
+  return waste_periodic(p, young_interval(p));
+}
+
+double waste_with_recall(const CkptParams& p, double recall) {
+  check(p);
+  if (recall < 0.0 || recall > 1.0)
+    throw std::invalid_argument("waste_with_recall: recall outside [0,1]");
+  // eq. 5/6: sqrt(2C(1-N)/MTTF) for the surviving exponential failures,
+  // (R+D)/MTTF because every failure still restarts, CN/MTTF for the
+  // proactive checkpoints of predicted failures.
+  return std::sqrt(2.0 * p.C * (1.0 - recall) / p.mttf) +
+         (p.R + p.D) / p.mttf + p.C * recall / p.mttf;
+}
+
+double waste_with_prediction(const CkptParams& p, double recall,
+                             double precision) {
+  if (precision <= 0.0 || precision > 1.0)
+    throw std::invalid_argument(
+        "waste_with_prediction: precision outside (0,1]");
+  // eq. 7 adds the false-positive checkpoints: predicted events arrive every
+  // MTTF/N; they are a fraction P of all alarms, so false alarms arrive
+  // every P*MTTF/((1-P)*N) and each costs C.
+  return waste_with_recall(p, recall) +
+         p.C * recall * (1.0 - precision) / (precision * p.mttf);
+}
+
+double waste_gain(const CkptParams& p, double recall, double precision) {
+  const double w0 = waste_no_prediction(p);
+  const double w1 = waste_with_prediction(p, recall, precision);
+  return (w0 - w1) / w0;
+}
+
+}  // namespace elsa::ckpt

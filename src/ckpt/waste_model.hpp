@@ -1,0 +1,43 @@
+// Analytical checkpoint-waste model (paper §VI.B, equations 1–7): how much
+// compute a periodic checkpoint-restart scheme wastes, and how much a
+// predictor with recall N and precision P recovers. Reproduces Table IV.
+//
+// All times are in the same unit (minutes in the paper's examples); the
+// model is unit-agnostic.
+#pragma once
+
+namespace elsa::ckpt {
+
+struct CkptParams {
+  double C = 1.0;     ///< time to take one checkpoint
+  double R = 5.0;     ///< time to load a checkpoint back
+  double D = 1.0;     ///< downtime / restart provisioning
+  double mttf = 1440; ///< system mean time to failure
+};
+
+/// Young's optimal checkpoint interval  T_opt = sqrt(2 C MTTF)   (eq. 2).
+double young_interval(const CkptParams& p);
+
+/// Waste fraction of periodic checkpointing at interval T        (eq. 1):
+///   W = C/T + T/(2 MTTF) + (R+D)/MTTF.
+double waste_periodic(const CkptParams& p, double T);
+
+/// Minimum waste without prediction (eq. 1 at Young's interval).
+double waste_no_prediction(const CkptParams& p);
+
+/// Minimum waste with a predictor of recall N and perfect precision
+/// (eq. 6): unpredicted failures keep exponential behaviour with
+/// MTTF' = MTTF/(1-N); every predicted failure costs one proactive
+/// checkpoint.
+double waste_with_recall(const CkptParams& p, double recall);
+
+/// Full model with precision P (eq. 7): false positives add a proactive
+/// checkpoint every P*MTTF/((1-P)*N).
+double waste_with_prediction(const CkptParams& p, double recall,
+                             double precision);
+
+/// Relative improvement (Table IV "waste gain"):
+///   (W_noPred - W_pred) / W_noPred.
+double waste_gain(const CkptParams& p, double recall, double precision);
+
+}  // namespace elsa::ckpt

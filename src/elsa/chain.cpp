@@ -1,0 +1,23 @@
+#include "elsa/chain.hpp"
+
+#include <cstdio>
+
+namespace elsa::core {
+
+std::string to_string(const Chain& chain) {
+  std::string out;
+  char buf[48];
+  for (std::size_t i = 0; i < chain.items.size(); ++i) {
+    if (i == 0) {
+      std::snprintf(buf, sizeof buf, "%u", chain.items[i].signal);
+    } else {
+      std::snprintf(buf, sizeof buf, " ->(%d) %u",
+                    chain.items[i].delay - chain.items[i - 1].delay,
+                    chain.items[i].signal);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace elsa::core

@@ -1,0 +1,56 @@
+// Correlation chains: the common currency of the three mining approaches.
+// A chain is an ordered set of (signal, delay) items — the paper's gradual
+// itemset G = {(S1, th1), ..., (Sk, thk)} (§III.C) — plus the statistics and
+// location profile attached during the offline phase. The online predictor
+// consumes chains regardless of which miner produced them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace elsa::core {
+
+struct ChainItem {
+  std::uint32_t signal = 0;  ///< event-type (HELO template) id
+  std::int32_t delay = 0;    ///< samples after the chain's first item
+};
+
+/// Propagation behaviour learned for a chain (paper §III.D / §V).
+struct LocationProfile {
+  topo::Scope scope = topo::Scope::None;  ///< typical spread of occurrences
+  double propagating_fraction = 0.0;      ///< occurrences touching >1 node
+  double initiator_included = 1.0;  ///< fraction where the first-symptom node
+                                    ///< is in the final affected set
+  double mean_nodes = 1.0;          ///< mean distinct nodes per occurrence
+  int occurrences = 0;
+};
+
+struct Chain {
+  std::vector<ChainItem> items;  ///< sorted by delay; items[0].delay == 0
+  int support = 0;
+  double confidence = 0.0;
+  double significance = 0.0;
+  /// Index into `items` of the event being predicted: the latest item whose
+  /// template carries failure severity; -1 when the chain contains none
+  /// (a non-error sequence, excluded from prediction per §IV.A).
+  std::int32_t failure_item = -1;
+  LocationProfile location;
+
+  std::int32_t span() const {
+    return items.empty() ? 0 : items.back().delay;
+  }
+  bool predictive() const { return failure_item > 0; }
+  /// Lead time, in samples, from first symptom to predicted failure.
+  std::int32_t lead() const {
+    return failure_item > 0 ? items[static_cast<std::size_t>(failure_item)].delay
+                            : 0;
+  }
+};
+
+/// Human-readable one-line rendering, e.g. "12 ->(6) 47 ->(1) 13".
+std::string to_string(const Chain& chain);
+
+}  // namespace elsa::core

@@ -1,0 +1,119 @@
+#include "elsa/ckpt_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace elsa::core {
+
+namespace {
+
+struct Event {
+  double t_s;
+  enum class Kind { Failure, ProtectedFailure, FalseAlarm } kind;
+};
+
+}  // namespace
+
+ReplayResult replay_checkpointing(
+    const std::vector<simlog::GroundTruthFault>& faults,
+    const std::vector<Prediction>& predictions, const EvalResult& eval,
+    const ReplayConfig& cfg) {
+  if (cfg.t_end_ms <= cfg.t_begin_ms)
+    throw std::invalid_argument("replay_checkpointing: empty window");
+  if (eval.fault_predicted.size() != faults.size() ||
+      eval.prediction_correct.size() != predictions.size())
+    throw std::invalid_argument(
+        "replay_checkpointing: eval does not match faults/predictions");
+
+  ReplayResult r;
+  const double t0 = static_cast<double>(cfg.t_begin_ms) / 1000.0;
+  const double t1 = static_cast<double>(cfg.t_end_ms) / 1000.0;
+  r.wall_s = t1 - t0;
+
+  // Collect the event timeline.
+  std::vector<Event> events;
+  std::size_t unpredicted = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const double tf = static_cast<double>(faults[i].fail_time_ms) / 1000.0;
+    if (tf < t0 || tf >= t1) continue;
+    ++r.failures;
+    if (eval.fault_predicted[i]) {
+      ++r.predicted_in_time;
+      events.push_back({tf, Event::Kind::ProtectedFailure});
+    } else {
+      ++unpredicted;
+      events.push_back({tf, Event::Kind::Failure});
+    }
+  }
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (eval.prediction_correct[i]) continue;
+    const double tp =
+        static_cast<double>(predictions[i].issue_time_ms) / 1000.0;
+    if (tp < t0 || tp >= t1) continue;
+    ++r.false_alarms;
+    events.push_back({tp, Event::Kind::FalseAlarm});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.t_s < b.t_s; });
+
+  // Checkpoint interval against the surviving failure rate (eq. 4).
+  const ckpt::CkptParams& p = cfg.params;
+  double interval = cfg.interval_s;
+  if (interval <= 0.0) {
+    const double mttf_eff =
+        unpredicted > 0 ? r.wall_s / static_cast<double>(unpredicted) : 1e12;
+    interval = std::sqrt(2.0 * p.C * mttf_eff);
+  }
+  r.interval_s = interval;
+
+  // Walk the timeline. `overhead` accumulates non-work time; lost work is
+  // tracked separately. Work-in-progress since the last checkpoint is what
+  // a failure destroys.
+  double cursor = t0;
+  double since_ckpt = 0.0;  // work at risk
+  auto advance_to = [&](double t) {
+    // Periodic checkpoints between cursor and t.
+    double span = t - cursor;
+    while (since_ckpt + span >= interval) {
+      const double run = interval - since_ckpt;
+      span -= run;
+      since_ckpt = 0.0;
+      ++r.checkpoints;
+      r.checkpoint_cost_s += p.C;
+    }
+    since_ckpt += span;
+    cursor = t;
+  };
+
+  for (const Event& e : events) {
+    advance_to(e.t_s);
+    switch (e.kind) {
+      case Event::Kind::ProtectedFailure:
+        // Proactive checkpoint just before the hit, then restart.
+        ++r.checkpoints;
+        r.checkpoint_cost_s += p.C;
+        r.restart_cost_s += p.R + p.D;
+        since_ckpt = 0.0;
+        break;
+      case Event::Kind::Failure:
+        r.lost_work_s += since_ckpt;
+        r.restart_cost_s += p.R + p.D;
+        since_ckpt = 0.0;
+        break;
+      case Event::Kind::FalseAlarm:
+        ++r.checkpoints;
+        r.checkpoint_cost_s += p.C;
+        since_ckpt = 0.0;
+        break;
+    }
+  }
+  advance_to(t1);
+
+  const double overhead =
+      r.checkpoint_cost_s + r.restart_cost_s + r.lost_work_s;
+  r.useful_s = std::max(0.0, r.wall_s - overhead);
+  return r;
+}
+
+}  // namespace elsa::core

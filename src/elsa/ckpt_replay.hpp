@@ -1,0 +1,57 @@
+// Prediction-replay checkpoint simulation: the missing link between the
+// paper's two evaluation halves. Table IV models prediction as abstract
+// (precision, recall) rates; this module instead replays the ACTUAL alarm
+// stream a predictor produced against the ACTUAL injected failures — with
+// their real timing, lead times, and false alarms — and measures the waste
+// a coordinated checkpoint-restart application would have experienced.
+//
+// Semantics (matching §VI.B's assumptions): the application spans the whole
+// machine and checkpoints globally every T (Young's interval against the
+// MTTF of UNpredicted failures). A correct, in-time alarm triggers one
+// proactive checkpoint just before the failure, so only the restart cost
+// R + D is paid; a missed failure additionally loses the work since the
+// last checkpoint; every false alarm costs one extra checkpoint (which, as
+// in reality, also happens to reset the at-risk work).
+#pragma once
+
+#include <cstdint>
+
+#include "ckpt/waste_model.hpp"
+#include "elsa/evaluate.hpp"
+
+namespace elsa::core {
+
+struct ReplayConfig {
+  /// Checkpoint parameters in SECONDS (trace timestamps are ms).
+  ckpt::CkptParams params{60.0, 300.0, 60.0, 86'400.0};
+  std::int64_t t_begin_ms = 0;  ///< replay window (the test period)
+  std::int64_t t_end_ms = 0;
+  /// Override the checkpoint interval (seconds); 0 = recall-adjusted Young.
+  double interval_s = 0.0;
+};
+
+struct ReplayResult {
+  double wall_s = 0.0;
+  double useful_s = 0.0;
+  double lost_work_s = 0.0;       ///< rolled-back computation
+  double checkpoint_cost_s = 0.0;
+  double restart_cost_s = 0.0;
+  std::size_t failures = 0;
+  std::size_t predicted_in_time = 0;
+  std::size_t false_alarms = 0;
+  std::size_t checkpoints = 0;
+  double interval_s = 0.0;  ///< interval actually used
+
+  double waste() const {
+    return wall_s > 0.0 ? (wall_s - useful_s) / wall_s : 0.0;
+  }
+};
+
+/// Replay `eval`'s scored outcome (produced by evaluate_predictions on the
+/// same faults/predictions) through the checkpoint model.
+ReplayResult replay_checkpointing(
+    const std::vector<simlog::GroundTruthFault>& faults,
+    const std::vector<Prediction>& predictions, const EvalResult& eval,
+    const ReplayConfig& cfg);
+
+}  // namespace elsa::core

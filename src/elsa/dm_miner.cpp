@@ -1,0 +1,58 @@
+#include "elsa/dm_miner.hpp"
+
+#include <algorithm>
+
+namespace elsa::core {
+
+std::vector<Chain> mine_assoc_rules(
+    const std::vector<std::vector<std::int64_t>>& occurrences,
+    const std::vector<bool>& is_failure_template, std::int64_t dt_ms,
+    double train_days, const DmConfig& cfg, DmStats* stats) {
+  DmStats local;
+  DmStats& st = stats ? *stats : local;
+  st = {};
+
+  std::vector<Chain> rules;
+  const std::size_t n = occurrences.size();
+  for (std::size_t f = 0; f < n; ++f) {
+    if (!is_failure_template[f] || occurrences[f].empty()) continue;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (a == f || occurrences[a].empty()) continue;
+      const double per_day =
+          static_cast<double>(occurrences[a].size()) / train_days;
+      if (per_day > cfg.max_antecedent_per_day) continue;
+      ++st.pairs_scanned;
+
+      // For each antecedent occurrence, the first failure inside the window.
+      int support = 0;
+      double delay_sum_ms = 0.0;
+      const auto& fa = occurrences[f];
+      for (const std::int64_t t : occurrences[a]) {
+        const auto it = std::lower_bound(fa.begin(), fa.end(), t);
+        if (it != fa.end() && *it - t <= cfg.window_ms) {
+          ++support;
+          delay_sum_ms += static_cast<double>(*it - t);
+        }
+      }
+      if (support < cfg.min_support) continue;
+      const double conf = static_cast<double>(support) /
+                          static_cast<double>(occurrences[a].size());
+      if (conf < cfg.min_confidence) continue;
+
+      Chain c;
+      const std::int32_t delay_samples = static_cast<std::int32_t>(
+          delay_sum_ms / static_cast<double>(support) /
+          static_cast<double>(dt_ms));
+      c.items = {{static_cast<std::uint32_t>(a), 0},
+                 {static_cast<std::uint32_t>(f), std::max(delay_samples, 0)}};
+      c.support = support;
+      c.confidence = conf;
+      c.significance = conf;  // association rules carry no separate test
+      rules.push_back(std::move(c));
+      ++st.rules;
+    }
+  }
+  return rules;
+}
+
+}  // namespace elsa::core

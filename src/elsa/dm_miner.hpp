@@ -1,0 +1,45 @@
+// Pure data-mining baseline (paper Table III "Data mining"): fixed-window
+// association-rule extraction over raw event occurrences, in the style of
+// Zheng et al. [29] and the other window-based predictors the paper reviews
+// (§II). Deliberately shares none of the signal machinery:
+//   * it sees raw template occurrences, never outliers — so a burst of a
+//     noisy background type is indistinguishable from its base traffic,
+//     and silence (dropouts) is invisible;
+//   * all antecedent→failure co-occurrence must fall inside ONE fixed time
+//     window, so hour-scale cascades (node cards) are out of reach;
+//   * every event type is treated identically (the paper's core criticism).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elsa/chain.hpp"
+
+namespace elsa::core {
+
+struct DmConfig {
+  std::int64_t window_ms = 240'000;  ///< fixed correlation window (4 min)
+  int min_support = 4;
+  double min_confidence = 0.75;
+  /// Antecedents occurring more often than this per day are considered
+  /// uninformative background chatter and skipped (standard frequent-item
+  /// pruning; also keeps rule application tractable online).
+  double max_antecedent_per_day = 2000.0;
+};
+
+struct DmStats {
+  std::size_t pairs_scanned = 0;
+  std::size_t rules = 0;
+};
+
+/// Mine antecedent -> failure-template rules. `occurrences[t]` are sorted
+/// occurrence times (ms) of template t during training;
+/// `is_failure_template[t]` marks consequent candidates. Delays are stored
+/// in samples of `dt_ms` so the resulting chains plug into the same online
+/// predictor as the hybrid chains.
+std::vector<Chain> mine_assoc_rules(
+    const std::vector<std::vector<std::int64_t>>& occurrences,
+    const std::vector<bool>& is_failure_template, std::int64_t dt_ms,
+    double train_days, const DmConfig& cfg, DmStats* stats = nullptr);
+
+}  // namespace elsa::core

@@ -1,0 +1,128 @@
+#include "elsa/evaluate.hpp"
+
+#include <algorithm>
+
+namespace elsa::core {
+
+double EvalResult::lead_fraction_above(double seconds) const {
+  if (lead_times_s.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : lead_times_s)
+    if (v > seconds) ++n;
+  return static_cast<double>(n) / static_cast<double>(lead_times_s.size());
+}
+
+namespace {
+
+bool location_matches(const Prediction& p,
+                      const simlog::GroundTruthFault& f,
+                      const topo::Topology& topo) {
+  if (p.scope == topo::Scope::System || p.nodes.empty()) return true;
+  if (f.affected_nodes.empty()) return true;  // service-level failure
+  for (const std::int32_t b : p.nodes) {
+    for (const std::int32_t a : f.affected_nodes) {
+      if (static_cast<int>(topo.common_scope(b, a)) <=
+          static_cast<int>(p.scope))
+        return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+EvalResult evaluate_predictions(
+    const std::vector<Prediction>& predictions,
+    const std::vector<simlog::GroundTruthFault>& faults,
+    const std::vector<std::vector<std::uint32_t>>& fault_failure_tmpls,
+    const topo::Topology& topo, std::int64_t test_begin_ms,
+    const EvalConfig& cfg) {
+  EvalResult r;
+
+  // Scoreboard per fault: earliest correct prediction + late-only flag.
+  struct FaultScore {
+    bool in_range = false;
+    bool predicted = false;
+    bool late_only = false;
+    std::int64_t earliest_issue = 0;
+  };
+  std::vector<FaultScore> scores(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    scores[i].in_range = faults[i].fail_time_ms >= test_begin_ms;
+  r.prediction_correct.assign(predictions.size(), 0);
+
+  for (const Prediction& p : predictions) {
+    ++r.predictions;
+    const std::int64_t slack =
+        cfg.slack_ms +
+        static_cast<std::int64_t>(cfg.slack_lead_factor *
+                                  static_cast<double>(p.lead_ms));
+    bool correct = false;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (!scores[i].in_range) continue;
+      const auto& f = faults[i];
+      const auto& tmpls = fault_failure_tmpls[i];
+      if (std::find(tmpls.begin(), tmpls.end(), p.tmpl) == tmpls.end())
+        continue;
+      if (f.fail_time_ms > p.predicted_time_ms + slack) continue;
+      if (f.fail_time_ms < p.trigger_time_ms - cfg.trigger_grace_ms)
+        continue;
+      if (cfg.require_location && !location_matches(p, f, topo)) continue;
+      // Template, window, and location all line up: the prediction named a
+      // real failure, so it counts as correct (precision). For recall the
+      // prediction must also have been ISSUED before the failure — a
+      // correct-but-late prediction cannot trigger proactive action
+      // (paper §VI.A counts these as faults lost to analysis time).
+      correct = true;
+      if (p.issue_time_ms <= f.fail_time_ms) {
+        if (!scores[i].predicted ||
+            p.issue_time_ms < scores[i].earliest_issue) {
+          scores[i].predicted = true;
+          scores[i].earliest_issue = p.issue_time_ms;
+        }
+      } else {
+        scores[i].late_only = true;  // matched, but analysis was too slow
+      }
+    }
+    if (correct) {
+      ++r.correct_predictions;
+      r.prediction_correct[r.predictions - 1] = 1;
+    }
+  }
+
+  r.fault_predicted.assign(faults.size(), 0);
+  r.fault_alarm_time_ms.assign(faults.size(), -1);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (scores[i].predicted) {
+      r.fault_predicted[i] = 1;
+      r.fault_alarm_time_ms[i] = scores[i].earliest_issue;
+    }
+    if (!scores[i].in_range) continue;
+    ++r.faults;
+    const auto& f = faults[i];
+    auto cat = std::find_if(
+        r.per_category.begin(), r.per_category.end(),
+        [&](const CategoryRecall& c) { return c.category == f.category; });
+    if (cat == r.per_category.end()) {
+      r.per_category.push_back({f.category, 0, 0});
+      cat = r.per_category.end() - 1;
+    }
+    ++cat->total;
+    if (scores[i].predicted) {
+      ++r.predicted_faults;
+      ++cat->predicted;
+      r.lead_times_s.push_back(
+          static_cast<double>(f.fail_time_ms - scores[i].earliest_issue) /
+          1000.0);
+    } else if (scores[i].late_only) {
+      ++r.missed_late;
+    }
+  }
+  std::sort(r.per_category.begin(), r.per_category.end(),
+            [](const CategoryRecall& a, const CategoryRecall& b) {
+              return a.category < b.category;
+            });
+  return r;
+}
+
+}  // namespace elsa::core

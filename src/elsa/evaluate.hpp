@@ -1,0 +1,91 @@
+// Prediction scoring (paper §VI): precision = fraction of predictions that
+// turn out correct; recall = fraction of ground-truth failures predicted.
+// A prediction is correct when (a) it names the failure's event type,
+// (b) it was ISSUED before the failure happened — analysis latency counts
+// against it (Fig 8), (c) the failure falls inside the predicted window,
+// and (d) the predicted location covers an affected component.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elsa/online.hpp"
+#include "simlog/record.hpp"
+#include "topology/topology.hpp"
+
+namespace elsa::core {
+
+struct EvalConfig {
+  /// Base slack added to the predicted failure time.
+  std::int64_t slack_ms = 120'000;
+  /// Additional slack proportional to the chain's promised lead (long
+  /// cascades jitter more).
+  double slack_lead_factor = 1.0;
+  /// A zero-lead chain detects its failure in the very bucket the failure
+  /// lands in; the failure precedes the bucket-close trigger by up to one
+  /// sample period. Such predictions name a real failure (they count for
+  /// precision) but are issued too late to act on (they never count for
+  /// recall).
+  std::int64_t trigger_grace_ms = 15'000;
+  bool require_location = true;
+};
+
+struct CategoryRecall {
+  std::string category;
+  std::size_t total = 0;
+  std::size_t predicted = 0;
+  double recall() const {
+    return total ? static_cast<double>(predicted) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+struct EvalResult {
+  std::size_t predictions = 0;
+  std::size_t correct_predictions = 0;
+  std::size_t faults = 0;
+  std::size_t predicted_faults = 0;
+  /// Faults whose only matching predictions were issued after the failure —
+  /// lost to analysis latency (§VI.A discusses exactly this failure mode).
+  std::size_t missed_late = 0;
+  std::vector<CategoryRecall> per_category;
+  /// Lead time (s) of the earliest correct prediction per predicted fault.
+  std::vector<double> lead_times_s;
+  /// Per-input-fault outcome, aligned with the `faults` argument: 1 when a
+  /// correct prediction was issued in time (0 for missed and for faults
+  /// outside the test range).
+  std::vector<std::uint8_t> fault_predicted;
+  /// Earliest in-time alarm per fault (ms), -1 when none.
+  std::vector<std::int64_t> fault_alarm_time_ms;
+  /// Per-input-prediction correctness, aligned with `predictions`.
+  std::vector<std::uint8_t> prediction_correct;
+
+  double precision() const {
+    return predictions ? static_cast<double>(correct_predictions) /
+                             static_cast<double>(predictions)
+                       : 0.0;
+  }
+  double recall() const {
+    return faults ? static_cast<double>(predicted_faults) /
+                        static_cast<double>(faults)
+                  : 0.0;
+  }
+  /// Fraction of predicted faults with lead time above `seconds`.
+  double lead_fraction_above(double seconds) const;
+};
+
+/// Score predictions against ground truth. `fault_failure_tmpls[i]` holds
+/// the analysis-side (HELO) event types of every FAILURE/FATAL record
+/// faults[i] emitted — predicting any of a fault's failure events counts
+/// (a CIODB crash is correctly predicted whether the alarm names the ciodb
+/// or the mmcs abort). Only faults failing at/after `test_begin_ms` are
+/// scored.
+EvalResult evaluate_predictions(
+    const std::vector<Prediction>& predictions,
+    const std::vector<simlog::GroundTruthFault>& faults,
+    const std::vector<std::vector<std::uint32_t>>& fault_failure_tmpls,
+    const topo::Topology& topo, std::int64_t test_begin_ms,
+    const EvalConfig& cfg = {});
+
+}  // namespace elsa::core

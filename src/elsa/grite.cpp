@@ -1,0 +1,280 @@
+#include "elsa/grite.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/mann_whitney.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace elsa::core {
+
+namespace {
+
+std::int32_t eff_tol(std::int32_t tolerance, double frac, std::int32_t delay,
+                     std::int32_t cap = 24) {
+  return std::min(cap, tolerance + static_cast<std::int32_t>(
+                                       frac * static_cast<double>(delay)));
+}
+
+bool all_items_near(const std::vector<ChainItem>& items,
+                    const std::vector<sigkit::OutlierStream>& streams,
+                    std::int32_t t, std::int32_t tolerance, double frac) {
+  for (std::size_t j = 1; j < items.size(); ++j) {
+    if (!sigkit::has_near(streams[items[j].signal], t + items[j].delay,
+                          eff_tol(tolerance, frac, items[j].delay)))
+      return false;
+  }
+  return true;
+}
+
+/// Canonical string key of an itemset's signals+delays (for deduplication).
+std::string itemset_key(const std::vector<ChainItem>& items) {
+  std::string key;
+  key.reserve(items.size() * 10);
+  for (const auto& it : items) {
+    key += std::to_string(it.signal);
+    key += ':';
+    key += std::to_string(it.delay);
+    key += ';';
+  }
+  return key;
+}
+
+/// Prefix key: all items except the last.
+std::string prefix_key(const std::vector<ChainItem>& items) {
+  std::vector<ChainItem> pre(items.begin(), items.end() - 1);
+  return itemset_key(pre);
+}
+
+/// True if `small` is subsumed by `big`: every (signal, relative delay) of
+/// `small` appears in `big` within tolerance (after aligning on small's
+/// first signal).
+bool subsumes(const Chain& big, const Chain& small, std::int32_t tolerance,
+              double frac) {
+  if (big.items.size() <= small.items.size()) return false;
+  // Find the anchor: big's item with small's first signal.
+  std::int32_t anchor = -1;
+  for (const auto& bi : big.items)
+    if (bi.signal == small.items.front().signal) {
+      anchor = bi.delay;
+      break;
+    }
+  if (anchor < 0) return false;
+  for (const auto& si : small.items) {
+    bool found = false;
+    for (const auto& bi : big.items) {
+      if (bi.signal == si.signal &&
+          std::abs((bi.delay - anchor) - si.delay) <=
+              eff_tol(tolerance, frac, si.delay)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int itemset_support(const std::vector<ChainItem>& items,
+                    const std::vector<sigkit::OutlierStream>& streams,
+                    std::int32_t tolerance, double tolerance_frac) {
+  if (items.empty()) return 0;
+  int support = 0;
+  for (const std::int32_t t : streams[items.front().signal])
+    if (all_items_near(items, streams, t, tolerance, tolerance_frac))
+      ++support;
+  return support;
+}
+
+double itemset_significance(const std::vector<ChainItem>& items,
+                            const std::vector<sigkit::OutlierStream>& streams,
+                            std::int32_t tolerance, double tolerance_frac,
+                            std::size_t total_samples) {
+  const auto& first = streams[items.front().signal];
+  if (first.empty()) return 0.0;
+  std::vector<double> aligned, background;
+  aligned.reserve(first.size());
+  background.reserve(first.size());
+  std::uint64_t seed = 0x6472697465ULL;
+  for (const auto& it : items) seed = seed * 31 + it.signal * 7 + it.delay;
+  util::Rng rng(seed);
+  const std::int64_t n = total_samples > 0
+                             ? static_cast<std::int64_t>(total_samples)
+                             : static_cast<std::int64_t>(first.back()) + 1;
+  for (const std::int32_t t : first) {
+    aligned.push_back(
+        all_items_near(items, streams, t, tolerance, tolerance_frac) ? 1.0
+                                                                     : 0.0);
+    const std::int32_t u =
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+    background.push_back(
+        all_items_near(items, streams, u, tolerance, tolerance_frac) ? 1.0
+                                                                     : 0.0);
+  }
+  const auto mw = util::mann_whitney_u(aligned, background);
+  return 1.0 - mw.p_greater;
+}
+
+std::vector<Chain> mine_gradual_itemsets(
+    const std::vector<sigkit::OutlierStream>& streams,
+    const std::vector<sigkit::PairCorrelation>& seeds, const GriteConfig& cfg,
+    GriteStats* stats) {
+  GriteStats local_stats;
+  GriteStats& st = stats ? *stats : local_stats;
+  st = {};
+  st.seed_pairs = seeds.size();
+
+  // Delay index of the seed pairs, used for the join consistency check.
+  std::unordered_map<std::uint64_t, std::vector<std::int32_t>> pair_delays;
+  for (const auto& s : seeds)
+    pair_delays[(static_cast<std::uint64_t>(s.a) << 32) | s.b].push_back(
+        s.delay);
+  auto pair_consistent = [&](std::uint32_t a, std::uint32_t b,
+                             std::int32_t want) {
+    const auto it =
+        pair_delays.find((static_cast<std::uint64_t>(a) << 32) | b);
+    if (it == pair_delays.end()) return false;
+    for (const std::int32_t d : it->second)
+      if (std::abs(d - want) <=
+          cfg.tolerance + static_cast<std::int32_t>(
+                              cfg.tolerance_frac * static_cast<double>(want)))
+        return true;
+    return false;
+  };
+
+  // Level 1: the cross-correlation pairs, re-expressed as itemsets.
+  std::vector<Chain> level;
+  level.reserve(seeds.size());
+  for (const auto& s : seeds) {
+    Chain c;
+    c.items = {{static_cast<std::uint32_t>(s.a), 0},
+               {static_cast<std::uint32_t>(s.b), s.delay}};
+    c.support = s.support;
+    c.confidence = s.confidence;
+    c.significance = s.significance;
+    level.push_back(std::move(c));
+  }
+
+  std::vector<Chain> accepted = level;
+  st.accepted_per_level_total += level.size();
+  st.levels_built = 1;
+
+  std::unordered_set<std::string> seen;
+  for (const auto& c : level) seen.insert(itemset_key(c.items));
+
+  for (int lvl = 2; lvl < cfg.max_level && !level.empty(); ++lvl) {
+    // Group siblings by shared prefix.
+    std::unordered_map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < level.size(); ++i)
+      groups[prefix_key(level[i].items)].push_back(i);
+
+    // Build candidate joins.
+    std::vector<std::vector<ChainItem>> candidates;
+    for (const auto& [key, members] : groups) {
+      (void)key;
+      for (std::size_t x = 0; x < members.size(); ++x) {
+        for (std::size_t y = 0; y < members.size(); ++y) {
+          if (x == y) continue;
+          const auto& ix = level[members[x]].items;
+          const auto& iy = level[members[y]].items;
+          const ChainItem lx = ix.back();
+          const ChainItem ly = iy.back();
+          if (lx.signal == ly.signal) continue;
+          if (ly.delay < lx.delay) continue;  // keep delay-ordered joins
+          if (ly.delay == lx.delay && lx.signal > ly.signal) continue;
+          // GRITE delay-consistency test: the pair (lx, ly) must itself be
+          // correlated at the implied delay.
+          if (!pair_consistent(lx.signal, ly.signal, ly.delay - lx.delay))
+            continue;
+          std::vector<ChainItem> joined = ix;
+          joined.push_back(ly);
+          if (!seen.insert(itemset_key(joined)).second) continue;
+          candidates.push_back(std::move(joined));
+          if (candidates.size() >= cfg.max_candidates_per_level) break;
+        }
+        if (candidates.size() >= cfg.max_candidates_per_level) break;
+      }
+      if (candidates.size() >= cfg.max_candidates_per_level) break;
+    }
+    if (candidates.empty()) break;
+    st.candidates_evaluated += candidates.size();
+
+    // Evaluate candidates (optionally in parallel).
+    std::vector<Chain> next(candidates.size());
+    std::vector<char> keep(candidates.size(), 0);
+    auto evaluate = [&](std::size_t i) {
+      const auto& items = candidates[i];
+      const int support =
+          itemset_support(items, streams, cfg.tolerance, cfg.tolerance_frac);
+      if (support < cfg.min_support) return;
+      const double conf =
+          static_cast<double>(support) /
+          static_cast<double>(streams[items.front().signal].size());
+      if (conf < cfg.min_confidence) return;
+      const double sig =
+          itemset_significance(items, streams, cfg.tolerance,
+                               cfg.tolerance_frac, cfg.total_samples);
+      if (sig < cfg.min_significance) return;
+      Chain c;
+      c.items = items;
+      c.support = support;
+      c.confidence = conf;
+      c.significance = sig;
+      next[i] = std::move(c);
+      keep[i] = 1;
+    };
+    if (cfg.threads > 1) {
+      util::ThreadPool pool(cfg.threads);
+      util::parallel_for(
+          pool, 0, candidates.size(), [&](std::size_t i) { evaluate(i); },
+          /*grain=*/8);
+    } else {
+      for (std::size_t i = 0; i < candidates.size(); ++i) evaluate(i);
+    }
+
+    level.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      if (keep[i]) level.push_back(std::move(next[i]));
+    if (level.empty()) break;
+    accepted.insert(accepted.end(), level.begin(), level.end());
+    st.accepted_per_level_total += level.size();
+    ++st.levels_built;
+  }
+
+  // Maximal-itemset filtering: the paper keeps "only the most frequent
+  // subset", collapsing redundant sub-chains into their supersets so the
+  // online correlation set stays small.
+  if (cfg.subsume_support_ratio > 0.0) {
+    std::vector<Chain> kept;
+    kept.reserve(accepted.size());
+    for (const auto& small : accepted) {
+      bool drop = false;
+      for (const auto& big : accepted) {
+        if (&big == &small) continue;
+        if (subsumes(big, small, cfg.tolerance, cfg.tolerance_frac) &&
+            static_cast<double>(big.support) >=
+                cfg.subsume_support_ratio *
+                    static_cast<double>(small.support)) {
+          drop = true;
+          break;
+        }
+      }
+      if (drop)
+        ++st.subsumed_removed;
+      else
+        kept.push_back(small);
+    }
+    accepted = std::move(kept);
+  }
+  return accepted;
+}
+
+}  // namespace elsa::core

@@ -1,0 +1,74 @@
+// Delay-aware gradual itemset mining (paper §III.C): the data-mining half
+// of the hybrid method, adapted from the sequential GRITE algorithm [2].
+//
+// Deviations from textbook GRITE, exactly as the paper prescribes:
+//   * the first tree level is NOT all attributes — it is seeded with the
+//     2-pair correlations found by the signal cross-correlation function,
+//     which prunes the exponential search dramatically;
+//   * items carry a per-signal delay theta, and candidate joins must be
+//     delay-consistent (theta_13 ~= theta_12 + theta_23);
+//   * only the ">=" comparison operator is used (we only care about
+//     outlier-implies-outlier patterns);
+//   * itemset significance is decided with the Mann–Whitney test.
+//
+// The optional thread pool parallelises candidate evaluation per level —
+// the PGP-mc [3] direction the paper lists as future work.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "elsa/chain.hpp"
+#include "signalkit/xcorr.hpp"
+
+namespace elsa::core {
+
+struct GriteConfig {
+  int min_support = 4;
+  double min_confidence = 0.20;
+  double min_significance = 0.95;
+  std::int32_t tolerance = 3;   ///< delay slack, samples
+  /// Effective per-item slack = tolerance + tolerance_frac * item delay
+  /// (long cascades jitter proportionally to their span), capped at
+  /// max_tolerance.
+  double tolerance_frac = 0.08;
+  std::int32_t max_tolerance = 24;
+  int max_level = 9;            ///< maximum itemset cardinality
+  std::size_t max_candidates_per_level = 50000;
+  std::size_t threads = 1;
+  std::size_t total_samples = 0;
+  /// Maximal-itemset filtering: drop an itemset subsumed by a superset
+  /// whose support is at least this fraction of its own. 0 disables.
+  double subsume_support_ratio = 0.6;
+};
+
+struct GriteStats {
+  std::size_t seed_pairs = 0;
+  std::size_t candidates_evaluated = 0;
+  std::size_t accepted_per_level_total = 0;
+  std::size_t levels_built = 0;
+  std::size_t subsumed_removed = 0;
+};
+
+/// Support of an itemset: antecedent outliers (first item's stream) for
+/// which every later item has an outlier within tolerance of its delay.
+int itemset_support(const std::vector<ChainItem>& items,
+                    const std::vector<sigkit::OutlierStream>& streams,
+                    std::int32_t tolerance, double tolerance_frac = 0.0);
+
+/// Mann–Whitney significance of the alignment (aligned indicator sample vs
+/// a chance sample at seeded-random positions). Deterministic.
+double itemset_significance(const std::vector<ChainItem>& items,
+                            const std::vector<sigkit::OutlierStream>& streams,
+                            std::int32_t tolerance, double tolerance_frac,
+                            std::size_t total_samples);
+
+/// Run the level-wise mining. Returned chains have items/support/
+/// confidence/significance filled; failure/location annotation is the
+/// pipeline's job. Includes the (possibly subsumed-filtered) level-1 pairs.
+std::vector<Chain> mine_gradual_itemsets(
+    const std::vector<sigkit::OutlierStream>& streams,
+    const std::vector<sigkit::PairCorrelation>& seeds, const GriteConfig& cfg,
+    GriteStats* stats = nullptr);
+
+}  // namespace elsa::core

@@ -1,0 +1,108 @@
+#include "elsa/location.hpp"
+
+#include <algorithm>
+
+namespace elsa::core {
+
+namespace {
+
+/// Events of `signal` with sample in [t - tol, t + tol].
+template <typename Fn>
+void for_events_near(const std::vector<OutlierEvent>& evs, std::int32_t t,
+                     std::int32_t tol, Fn&& fn) {
+  auto it = std::lower_bound(
+      evs.begin(), evs.end(), t - tol,
+      [](const OutlierEvent& e, std::int32_t v) { return e.sample < v; });
+  for (; it != evs.end() && it->sample <= t + tol; ++it) fn(*it);
+}
+
+}  // namespace
+
+LocationProfile build_location_profile(const Chain& chain,
+                                       const EventsBySignal& events,
+                                       const topo::Topology& topo,
+                                       const LocationConfig& cfg) {
+  LocationProfile prof;
+  if (chain.items.empty()) return prof;
+
+  std::vector<topo::Scope> spreads;
+  std::size_t propagating = 0;
+  std::size_t initiator_in = 0;
+  double node_sum = 0.0;
+
+  const auto& first_events = events[chain.items.front().signal];
+  for (const auto& fe : first_events) {
+    // Check the full chain aligns at this occurrence, collecting nodes.
+    std::vector<std::int32_t> nodes(fe.nodes);
+    std::vector<std::int32_t> later_nodes;
+    bool complete = true;
+    for (std::size_t j = 1; j < chain.items.size(); ++j) {
+      const auto& item = chain.items[j];
+      const std::int32_t tol = std::min(
+          24, cfg.tolerance + static_cast<std::int32_t>(
+                                  cfg.tolerance_frac *
+                                  static_cast<double>(item.delay)));
+      bool found = false;
+      for_events_near(events[item.signal], fe.sample + item.delay, tol,
+                      [&](const OutlierEvent& e) {
+                        found = true;
+                        for (const std::int32_t n : e.nodes) {
+                          nodes.push_back(n);
+                          later_nodes.push_back(n);
+                        }
+                      });
+      if (!found) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) continue;
+
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    // Service-node records carry no node id (-1); drop for spread analysis.
+    while (!nodes.empty() && nodes.front() < 0) nodes.erase(nodes.begin());
+
+    ++prof.occurrences;
+    node_sum += static_cast<double>(nodes.size());
+    spreads.push_back(topo.classify_spread(nodes));
+    if (nodes.size() > 1) ++propagating;
+
+    // Is the first-symptom node part of the later affected set?
+    bool included = later_nodes.empty() || fe.nodes.empty();
+    for (const std::int32_t n : fe.nodes)
+      if (std::find(later_nodes.begin(), later_nodes.end(), n) !=
+          later_nodes.end()) {
+        included = true;
+        break;
+      }
+    if (included) ++initiator_in;
+  }
+
+  if (prof.occurrences == 0) return prof;
+  prof.propagating_fraction =
+      static_cast<double>(propagating) / prof.occurrences;
+  prof.initiator_included = static_cast<double>(initiator_in) / prof.occurrences;
+  prof.mean_nodes = node_sum / prof.occurrences;
+
+  // Scope at the requested quantile of the observed spreads.
+  std::sort(spreads.begin(), spreads.end(),
+            [](topo::Scope a, topo::Scope b) {
+              return static_cast<int>(a) < static_cast<int>(b);
+            });
+  const std::size_t idx = std::min(
+      spreads.size() - 1,
+      static_cast<std::size_t>(cfg.scope_quantile *
+                               static_cast<double>(spreads.size())));
+  prof.scope = spreads[idx];
+  return prof;
+}
+
+void annotate_locations(std::vector<Chain>& chains,
+                        const EventsBySignal& events,
+                        const topo::Topology& topo, const LocationConfig& cfg) {
+  for (auto& c : chains)
+    c.location = build_location_profile(c, events, topo, cfg);
+}
+
+}  // namespace elsa::core

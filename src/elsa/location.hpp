@@ -1,0 +1,40 @@
+// Location correlation (paper §III.D, §V): for every mined chain, replay
+// its occurrences over the training outliers, collect the node sets the
+// chain touched, and summarise the propagation behaviour — does this
+// syndrome stay on one node, spread within a node card / midplane / rack,
+// or go global (NFS storms)? The online predictor uses the learned scope to
+// expand a trigger's location into the set of components to protect.
+#pragma once
+
+#include <vector>
+
+#include "elsa/chain.hpp"
+#include "elsa/outlier.hpp"
+#include "signalkit/xcorr.hpp"
+#include "topology/topology.hpp"
+
+namespace elsa::core {
+
+struct LocationConfig {
+  std::int32_t tolerance = 3;  ///< delay slack, samples
+  double tolerance_frac = 0.08;  ///< extra slack per unit of item delay
+  /// Scope assignment: the chain's scope is the widest spread observed in at
+  /// least this fraction of its occurrences (robust to one-off flukes).
+  double scope_quantile = 0.80;
+};
+
+/// Events per signal, sorted by sample — the training outlier record.
+using EventsBySignal = std::vector<std::vector<OutlierEvent>>;
+
+/// Build the profile for one chain by replaying its occurrences.
+LocationProfile build_location_profile(const Chain& chain,
+                                       const EventsBySignal& events,
+                                       const topo::Topology& topo,
+                                       const LocationConfig& cfg = {});
+
+/// Annotate every chain in place.
+void annotate_locations(std::vector<Chain>& chains, const EventsBySignal& events,
+                        const topo::Topology& topo,
+                        const LocationConfig& cfg = {});
+
+}  // namespace elsa::core

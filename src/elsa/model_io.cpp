@@ -1,0 +1,160 @@
+#include "elsa/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace elsa::core {
+
+namespace {
+
+void expect(std::istream& is, const std::string& keyword) {
+  std::string word;
+  if (!(is >> word) || word != keyword)
+    throw std::runtime_error("load_model: expected '" + keyword + "', got '" +
+                             word + "'");
+}
+
+}  // namespace
+
+void save_model(std::ostream& os, const OfflineModel& model) {
+  os << "ELSA-MODEL " << kModelFormatVersion << "\n";
+  os << "method " << static_cast<int>(model.method) << "\n";
+  os << "train " << model.train_begin_ms << " " << model.train_end_ms << "\n";
+
+  os << "templates " << model.helo.size() << "\n";
+  for (const auto& t : model.helo.templates()) {
+    os << "T " << t.count << " " << t.tokens.size();
+    for (const auto& tok : t.tokens) os << " " << tok;
+    os << "\n";
+  }
+
+  os << "profiles " << model.profiles.size() << "\n";
+  for (const auto& p : model.profiles) {
+    os << "P " << static_cast<int>(p.cls) << " " << p.median << " " << p.mad
+       << " " << p.spike_delta << " " << p.dropout_window << " "
+       << p.dropout_min_count << " " << p.period << " " << p.mean << "\n";
+  }
+
+  os << "severities " << model.tmpl_severity.size() << "\n";
+  os << "S";
+  for (const auto s : model.tmpl_severity) os << " " << static_cast<int>(s);
+  os << "\n";
+
+  os << "chains " << model.chains.size() << "\n";
+  for (const auto& c : model.chains) {
+    os << "C " << c.items.size() << " " << c.support << " " << c.confidence
+       << " " << c.significance << " " << c.failure_item << " "
+       << static_cast<int>(c.location.scope) << " "
+       << c.location.propagating_fraction << " "
+       << c.location.initiator_included << " " << c.location.mean_nodes
+       << " " << c.location.occurrences;
+    for (const auto& item : c.items)
+      os << " " << item.signal << ":" << item.delay;
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+void save_model_file(const std::string& path, const OfflineModel& model) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_model_file: cannot open " + path);
+  save_model(os, model);
+  if (!os) throw std::runtime_error("save_model_file: write failed " + path);
+}
+
+OfflineModel load_model(std::istream& is) {
+  expect(is, "ELSA-MODEL");
+  int version = 0;
+  is >> version;
+  if (version != kModelFormatVersion)
+    throw std::runtime_error("load_model: unsupported format version " +
+                             std::to_string(version));
+  OfflineModel model;
+  int method = 0;
+  expect(is, "method");
+  is >> method;
+  if (method < 0 || method > 2)
+    throw std::runtime_error("load_model: bad method id");
+  model.method = static_cast<Method>(method);
+  expect(is, "train");
+  is >> model.train_begin_ms >> model.train_end_ms;
+
+  expect(is, "templates");
+  std::size_t n = 0;
+  is >> n;
+  std::vector<helo::Template> templates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    expect(is, "T");
+    std::size_t tokens = 0;
+    is >> templates[i].count >> tokens;
+    templates[i].tokens.resize(tokens);
+    for (auto& tok : templates[i].tokens) is >> tok;
+  }
+  if (!is) throw std::runtime_error("load_model: truncated template section");
+  model.helo = helo::TemplateMiner::from_templates(std::move(templates));
+
+  expect(is, "profiles");
+  is >> n;
+  model.profiles.resize(n);
+  for (auto& p : model.profiles) {
+    expect(is, "P");
+    int cls = 0;
+    is >> cls >> p.median >> p.mad >> p.spike_delta >> p.dropout_window >>
+        p.dropout_min_count >> p.period >> p.mean;
+    if (cls < 0 || cls > 2)
+      throw std::runtime_error("load_model: bad signal class");
+    p.cls = static_cast<sigkit::SignalClass>(cls);
+  }
+
+  expect(is, "severities");
+  is >> n;
+  expect(is, "S");
+  model.tmpl_severity.resize(n);
+  for (auto& s : model.tmpl_severity) {
+    int v = 0;
+    is >> v;
+    if (v < 0 || v > 4) throw std::runtime_error("load_model: bad severity");
+    s = static_cast<simlog::Severity>(v);
+  }
+
+  expect(is, "chains");
+  is >> n;
+  model.chains.resize(n);
+  for (auto& c : model.chains) {
+    expect(is, "C");
+    std::size_t items = 0;
+    int scope = 0;
+    is >> items >> c.support >> c.confidence >> c.significance >>
+        c.failure_item >> scope >> c.location.propagating_fraction >>
+        c.location.initiator_included >> c.location.mean_nodes >>
+        c.location.occurrences;
+    if (scope < 0 || scope > 5)
+      throw std::runtime_error("load_model: bad scope");
+    c.location.scope = static_cast<topo::Scope>(scope);
+    c.items.resize(items);
+    for (auto& item : c.items) {
+      std::string pair;
+      is >> pair;
+      const auto colon = pair.find(':');
+      if (colon == std::string::npos)
+        throw std::runtime_error("load_model: bad chain item '" + pair + "'");
+      item.signal =
+          static_cast<std::uint32_t>(std::stoul(pair.substr(0, colon)));
+      item.delay = std::stoi(pair.substr(colon + 1));
+      if (item.signal >= model.helo.size())
+        throw std::runtime_error("load_model: chain references unknown template");
+    }
+  }
+  expect(is, "end");
+  if (!is) throw std::runtime_error("load_model: truncated file");
+  return model;
+}
+
+OfflineModel load_model_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_model_file: cannot open " + path);
+  return load_model(is);
+}
+
+}  // namespace elsa::core

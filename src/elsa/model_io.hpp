@@ -1,0 +1,29 @@
+// Offline-model serialisation: persist what the offline phase learned —
+// HELO templates, per-signal profiles, severities, and correlation chains
+// with their location profiles — as a versioned text format, and load it
+// back. This separates the two halves of the paper's deployment: the
+// expensive offline phase runs where the historical logs live; the online
+// monitor loads the model file and follows the live stream.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "elsa/pipeline.hpp"
+
+namespace elsa::core {
+
+/// Current format version; bumped on any incompatible change.
+inline constexpr int kModelFormatVersion = 1;
+
+/// Serialise a trained model. Training artefacts that exist only for
+/// diagnostics (outlier streams, seeds, miner stats) are not persisted.
+void save_model(std::ostream& os, const OfflineModel& model);
+void save_model_file(const std::string& path, const OfflineModel& model);
+
+/// Load a model saved by save_model. Throws std::runtime_error on any
+/// malformed or version-mismatched input.
+OfflineModel load_model(std::istream& is);
+OfflineModel load_model_file(const std::string& path);
+
+}  // namespace elsa::core

@@ -1,0 +1,268 @@
+#include "elsa/online.hpp"
+
+#include <algorithm>
+
+namespace elsa::core {
+
+double EngineStats::mean_analysis_ms() const {
+  if (analysis_window_ms.empty()) return 0.0;
+  double s = 0.0;
+  for (float v : analysis_window_ms) s += v;
+  return s / static_cast<double>(analysis_window_ms.size());
+}
+
+double EngineStats::max_analysis_ms() const {
+  double m = 0.0;
+  for (float v : analysis_window_ms) m = std::max(m, static_cast<double>(v));
+  return m;
+}
+
+OnlineEngine::OnlineEngine(const topo::Topology& topo,
+                           std::vector<Chain> chains,
+                           std::vector<SignalProfile> profiles,
+                           EngineConfig cfg)
+    : topo_(topo),
+      chains_(std::move(chains)),
+      profiles_(std::move(profiles)),
+      cfg_(cfg) {
+  chain_fires_.assign(chains_.size(), 0);
+  early_prefix_counts_.assign(chains_.size(), 0);
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    const Chain& chain = chains_[c];
+    if (!chain.predictive()) continue;
+    const std::int32_t fail_delay =
+        chain.items[static_cast<std::size_t>(chain.failure_item)].delay;
+    for (std::size_t j = 0;
+         j < static_cast<std::size_t>(chain.failure_item); ++j) {
+      triggers_[chain.items[j].signal].push_back({c, j});
+      if (fail_delay - chain.items[j].delay >= 2) ++early_prefix_counts_[c];
+    }
+  }
+  detectors_.reserve(profiles_.size());
+  for (const auto& p : profiles_)
+    detectors_.emplace_back(p, cfg_.median_window, cfg_.detector);
+}
+
+void OnlineEngine::ensure_detector(std::uint32_t tmpl) {
+  while (detectors_.size() <= tmpl) {
+    // Event type first seen online (new software version, new component):
+    // treat as a silent signal until the next offline phase characterises it.
+    SignalProfile p;
+    p.cls = sigkit::SignalClass::Silent;
+    p.spike_delta = 0.5;
+    profiles_.push_back(p);
+    detectors_.emplace_back(p, cfg_.median_window, cfg_.detector);
+  }
+}
+
+void OnlineEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
+  ++stats_.records;
+
+  if (cfg_.raw_event_matching) {
+    // DM baseline: every record is a potential rule antecedent.
+    double service = cfg_.cost.per_event_ms;
+    const auto it = triggers_.find(tmpl);
+    std::size_t fanout = it == triggers_.end() ? 0 : it->second.size();
+    service += static_cast<double>(fanout) * cfg_.cost.per_chain_trigger_ms;
+    server_free_ms_ =
+        std::max(server_free_ms_, static_cast<double>(rec.time_ms)) + service;
+    if (fanout > 0) {
+      ++stats_.raw_triggers;
+      std::vector<std::int32_t> nodes;
+      if (rec.node_id >= 0) nodes.push_back(rec.node_id);
+      const std::int32_t sample =
+          static_cast<std::int32_t>(rec.time_ms / cfg_.dt_ms);
+      for (const Trigger& tr : it->second)
+        trigger_chain(tr, sample, rec.time_ms,
+                      static_cast<std::int64_t>(server_free_ms_), nodes);
+    }
+    return;
+  }
+
+  if (!started_) {
+    bucket_start_ms_ = rec.time_ms / cfg_.dt_ms * cfg_.dt_ms;
+    started_ = true;
+  }
+  close_buckets_through(rec.time_ms);
+
+  // Queue cost of ingesting the record itself.
+  server_free_ms_ =
+      std::max(server_free_ms_, static_cast<double>(rec.time_ms)) +
+      cfg_.cost.per_event_ms;
+
+  ensure_detector(tmpl);
+  auto& [count, nodes] = bucket_activity_[tmpl];
+  ++count;
+  if (rec.node_id >= 0 && nodes.size() < 8 &&
+      std::find(nodes.begin(), nodes.end(), rec.node_id) == nodes.end())
+    nodes.push_back(rec.node_id);
+}
+
+void OnlineEngine::close_buckets_through(std::int64_t t_ms) {
+  while (started_ && t_ms >= bucket_start_ms_ + cfg_.dt_ms) close_one_bucket();
+}
+
+void OnlineEngine::close_one_bucket() {
+  const std::int64_t bucket_end = bucket_start_ms_ + cfg_.dt_ms;
+  ++stats_.buckets;
+
+  double work_ms = 0.0;
+  struct Onset {
+    std::uint32_t tmpl;
+    std::vector<std::int32_t> nodes;
+  };
+  std::vector<Onset> onsets;
+
+  for (std::uint32_t tmpl = 0; tmpl < detectors_.size(); ++tmpl) {
+    const auto it = bucket_activity_.find(tmpl);
+    const double y =
+        it == bucket_activity_.end() ? 0.0 : static_cast<double>(it->second.first);
+    const auto r = detectors_[tmpl].feed(y);
+    if (r.kind != OutlierKind::None && r.onset) {
+      ++stats_.outlier_onsets;
+      Onset o;
+      o.tmpl = tmpl;
+      if (it != bucket_activity_.end()) o.nodes = it->second.second;
+      work_ms += cfg_.cost.per_outlier_ms;
+      const auto trig = triggers_.find(tmpl);
+      if (trig != triggers_.end())
+        work_ms += static_cast<double>(trig->second.size()) *
+                   cfg_.cost.per_chain_trigger_ms;
+      onsets.push_back(std::move(o));
+    }
+  }
+  bucket_activity_.clear();
+
+  if (!onsets.empty()) {
+    // The outlier batch enters the analysis queue when the bucket closes.
+    const double completion =
+        std::max(server_free_ms_, static_cast<double>(bucket_end)) + work_ms;
+    server_free_ms_ = completion;
+    const double window = completion - static_cast<double>(bucket_end);
+    stats_.analysis_window_ms.push_back(static_cast<float>(window));
+
+    for (const Onset& o : onsets) {
+      const auto trig = triggers_.find(o.tmpl);
+      if (trig == triggers_.end()) continue;
+      std::vector<std::int32_t> nodes;
+      for (const std::int32_t n : o.nodes)
+        if (n >= 0) nodes.push_back(n);
+      const std::int32_t sample =
+          static_cast<std::int32_t>((bucket_end - cfg_.dt_ms) / cfg_.dt_ms);
+      for (const Trigger& tr : trig->second)
+        trigger_chain(tr, sample, bucket_end,
+                      static_cast<std::int64_t>(completion), nodes);
+    }
+  }
+  bucket_start_ms_ = bucket_end;
+}
+
+void OnlineEngine::trigger_chain(const Trigger& tr, std::int32_t sample,
+                                 std::int64_t trigger_ms,
+                                 std::int64_t issue_ms,
+                                 const std::vector<std::int32_t>& nodes) {
+  const Chain& chain = chains_[tr.chain_id];
+  if (early_prefix_counts_[tr.chain_id] < cfg_.min_prefix_matches ||
+      cfg_.min_prefix_matches <= 1) {
+    emit(tr.chain_id, tr.item_index, trigger_ms, issue_ms, nodes);
+    return;
+  }
+
+  auto& pend = pending_[tr.chain_id];
+  // Drop stale partials (older than the chain span plus slack).
+  const std::int32_t horizon = chain.span() + 2 * cfg_.tolerance + 6;
+  std::erase_if(pend, [&](const Pending& p) {
+    return sample - p.sample > horizon;
+  });
+
+  // Does this observation confirm an earlier prefix item?
+  const std::int32_t my_delay = chain.items[tr.item_index].delay;
+  for (std::size_t i = 0; i < pend.size(); ++i) {
+    const Pending& p = pend[i];
+    if (p.item_index >= tr.item_index) continue;
+    const std::int32_t expected =
+        my_delay - chain.items[p.item_index].delay;
+    const std::int32_t tol =
+        cfg_.tolerance +
+        static_cast<std::int32_t>(0.08 * static_cast<double>(expected));
+    if (std::abs((sample - p.sample) - expected) > tol) continue;
+    // Confirmed: merge observed locations, alarm from the later item.
+    std::vector<std::int32_t> merged = p.nodes;
+    for (const std::int32_t n : nodes)
+      if (std::find(merged.begin(), merged.end(), n) == merged.end())
+        merged.push_back(n);
+    pend.erase(pend.begin() + static_cast<std::ptrdiff_t>(i));
+    emit(tr.chain_id, tr.item_index, trigger_ms, issue_ms, merged);
+    return;
+  }
+  // First sighting: remember it and wait for corroboration.
+  if (pend.size() < 64) pend.push_back({sample, tr.item_index, nodes});
+}
+
+void OnlineEngine::emit(std::size_t chain_id, std::size_t item_index,
+                        std::int64_t trigger_ms, std::int64_t issue_ms,
+                        const std::vector<std::int32_t>& nodes) {
+  const Chain& chain = chains_[chain_id];
+  ++chain_fires_[chain_id];
+
+  Prediction p;
+  p.trigger_time_ms = trigger_ms;
+  p.issue_time_ms = issue_ms;
+  const std::int32_t remaining =
+      chain.items[static_cast<std::size_t>(chain.failure_item)].delay -
+      chain.items[item_index].delay;
+  p.lead_ms = static_cast<std::int64_t>(remaining) * cfg_.dt_ms;
+  p.predicted_time_ms = trigger_ms + p.lead_ms;
+  p.tmpl = chain.items[static_cast<std::size_t>(chain.failure_item)].signal;
+  p.chain_id = chain_id;
+  p.confidence = chain.confidence;
+  if (cfg_.use_location) {
+    p.nodes = nodes;
+    p.scope = chain.location.scope == topo::Scope::None
+                  ? topo::Scope::Node
+                  : chain.location.scope;
+  } else {
+    p.scope = topo::Scope::System;
+  }
+
+  // Dedupe: same predicted template, overlapping time window, overlapping
+  // location -> one prediction.
+  const std::int64_t window_ms = cfg_.dedupe_window_samples * cfg_.dt_ms;
+  for (auto it = predictions_.rbegin(); it != predictions_.rend(); ++it) {
+    if (trigger_ms - it->trigger_time_ms > window_ms) break;
+    if (it->tmpl != p.tmpl) continue;
+    if (std::llabs(it->predicted_time_ms - p.predicted_time_ms) > window_ms)
+      continue;
+    // Location overlap.
+    bool overlap = it->nodes.empty() || p.nodes.empty();
+    if (!overlap) {
+      const auto wide = static_cast<int>(std::max(it->scope, p.scope));
+      for (const std::int32_t a : it->nodes) {
+        for (const std::int32_t b : p.nodes) {
+          if (static_cast<int>(topo_.common_scope(a, b)) <= wide) {
+            overlap = true;
+            break;
+          }
+        }
+        if (overlap) break;
+      }
+    }
+    if (overlap) {
+      ++stats_.duplicates_suppressed;
+      return;
+    }
+  }
+
+  predictions_.push_back(std::move(p));
+  ++stats_.predictions_emitted;
+}
+
+void OnlineEngine::finish(std::int64_t t_end_ms) {
+  if (!cfg_.raw_event_matching) close_buckets_through(t_end_ms);
+  std::size_t used = 0;
+  for (const std::size_t f : chain_fires_)
+    if (f > 0) ++used;
+  stats_.chains_used = used;
+}
+
+}  // namespace elsa::core

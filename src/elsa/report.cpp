@@ -1,0 +1,107 @@
+#include "elsa/report.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace elsa::core {
+
+SequenceSizeReport sequence_size_report(const std::vector<Chain>& chains) {
+  SequenceSizeReport r;
+  double total = 0.0;
+  std::size_t above8 = 0;
+  for (const auto& c : chains) {
+    const std::size_t n = c.items.size();
+    r.sizes.add(n >= 8 ? "8+" : std::to_string(n));
+    total += static_cast<double>(n);
+    if (n >= 8) ++above8;
+  }
+  if (!chains.empty()) {
+    r.mean_size = total / static_cast<double>(chains.size());
+    r.fraction_above_8 =
+        static_cast<double>(above8) / static_cast<double>(chains.size());
+  }
+  return r;
+}
+
+DelayReport delay_report(const std::vector<Chain>& chains,
+                         std::int64_t dt_ms) {
+  DelayReport r;
+  const double dt_s = static_cast<double>(dt_ms) / 1000.0;
+  for (const auto& c : chains) {
+    for (std::size_t j = 1; j < c.items.size(); ++j) {
+      const double gap_s =
+          static_cast<double>(c.items[j].delay - c.items[j - 1].delay) * dt_s;
+      r.pair_delays.add(gap_s);
+    }
+    const double span_s = static_cast<double>(c.span()) * dt_s;
+    r.span_delays.add(span_s);
+    r.max_span_s = std::max(r.max_span_s, span_s);
+  }
+  return r;
+}
+
+PropagationReport propagation_report(const std::vector<Chain>& chains) {
+  PropagationReport r;
+  std::size_t beyond_midplane = 0;
+  double initiator_sum = 0.0;
+  for (const auto& c : chains) {
+    if (c.location.occurrences == 0) continue;
+    ++r.chains;
+    r.scopes.add(topo::to_string(c.location.scope));
+    const bool propagates = c.location.propagating_fraction > 0.5;
+    if (propagates) {
+      ++r.propagating;
+      initiator_sum += c.location.initiator_included;
+    }
+    if (static_cast<int>(c.location.scope) >
+        static_cast<int>(topo::Scope::Midplane))
+      ++beyond_midplane;
+  }
+  if (r.chains > 0) {
+    r.fraction_propagating =
+        static_cast<double>(r.propagating) / static_cast<double>(r.chains);
+    r.fraction_beyond_midplane =
+        static_cast<double>(beyond_midplane) /
+        static_cast<double>(r.chains);
+  }
+  if (r.propagating > 0)
+    r.initiator_included = initiator_sum / static_cast<double>(r.propagating);
+  return r;
+}
+
+std::vector<CategoryBar> recall_breakdown(const EvalResult& eval) {
+  std::vector<CategoryBar> bars;
+  for (const auto& cat : eval.per_category) {
+    CategoryBar b;
+    b.category = cat.category;
+    b.total = cat.total;
+    b.predicted = cat.predicted;
+    if (eval.faults > 0) {
+      b.occurrence_fraction = static_cast<double>(cat.total) /
+                              static_cast<double>(eval.faults);
+      b.predicted_fraction = static_cast<double>(cat.predicted) /
+                             static_cast<double>(eval.faults);
+    }
+    bars.push_back(std::move(b));
+  }
+  std::sort(bars.begin(), bars.end(),
+            [](const CategoryBar& a, const CategoryBar& b) {
+              return a.occurrence_fraction > b.occurrence_fraction;
+            });
+  return bars;
+}
+
+AnalysisTimeReport analysis_time_report(const EngineStats& stats) {
+  AnalysisTimeReport r;
+  r.windows = stats.analysis_window_ms.size();
+  if (r.windows == 0) return r;
+  std::vector<double> w(stats.analysis_window_ms.begin(),
+                        stats.analysis_window_ms.end());
+  r.mean_ms = util::mean(w);
+  r.p95_ms = util::percentile(w, 95.0);
+  r.max_ms = *std::max_element(w.begin(), w.end());
+  return r;
+}
+
+}  // namespace elsa::core

@@ -1,0 +1,71 @@
+// Report builders: the distribution analyses behind the paper's figures,
+// computed from mined chains and experiment results. Each bench renders
+// one of these; they live in the library so examples and downstream users
+// get the same analyses programmatically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elsa/chain.hpp"
+#include "elsa/evaluate.hpp"
+#include "elsa/pipeline.hpp"
+#include "util/histogram.hpp"
+
+namespace elsa::core {
+
+/// Fig 5: distribution of the number of event types per mined sequence.
+struct SequenceSizeReport {
+  util::CategoryHistogram sizes;  ///< "2", "3", ... , "8+"
+  double mean_size = 0.0;
+  double fraction_above_8 = 0.0;
+};
+SequenceSizeReport sequence_size_report(const std::vector<Chain>& chains);
+
+/// §IV.B + Fig 6: delay distributions, in seconds. `pair_delays` covers the
+/// level-1 correlations; `span_delays` the first-to-last-symptom spans of
+/// full sequences. Bin edges follow the paper's buckets.
+struct DelayReport {
+  util::EdgeHistogram pair_delays{std::vector<double>{0, 10, 60, 600}};
+  util::EdgeHistogram span_delays{std::vector<double>{0, 10, 60, 600, 3600}};
+  double max_span_s = 0.0;
+};
+DelayReport delay_report(const std::vector<Chain>& chains,
+                         std::int64_t dt_ms);
+
+/// Fig 7 + §V: propagation behaviour of mined sequences.
+struct PropagationReport {
+  std::size_t chains = 0;
+  std::size_t propagating = 0;         ///< >1 node in a typical occurrence
+  util::CategoryHistogram scopes;      ///< none/node/nodecard/midplane/...
+  double fraction_propagating = 0.0;
+  double fraction_beyond_midplane = 0.0;
+  /// Of propagating chains: fraction whose first-symptom node is included
+  /// in the affected set (the paper's argument for recall > precision
+  /// damage, §V).
+  double initiator_included = 0.0;
+};
+PropagationReport propagation_report(const std::vector<Chain>& chains);
+
+/// Fig 9: per-category occurrence counts and correctly predicted counts,
+/// as fractions of all failures (the paper's bar heights).
+struct CategoryBar {
+  std::string category;
+  double occurrence_fraction = 0.0;  ///< share of all failures
+  double predicted_fraction = 0.0;   ///< dark part of the bar
+  std::size_t total = 0;
+  std::size_t predicted = 0;
+};
+std::vector<CategoryBar> recall_breakdown(const EvalResult& eval);
+
+/// §VI.A: analysis-window summary for the online phase.
+struct AnalysisTimeReport {
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t windows = 0;
+};
+AnalysisTimeReport analysis_time_report(const EngineStats& stats);
+
+}  // namespace elsa::core

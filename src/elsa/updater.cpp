@@ -1,0 +1,132 @@
+#include "elsa/updater.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elsa::core {
+
+bool same_chain(const Chain& a, const Chain& b, std::int32_t tolerance,
+                double tolerance_frac) {
+  if (a.items.size() != b.items.size()) return false;
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    if (a.items[i].signal != b.items[i].signal) return false;
+    const std::int32_t tol =
+        tolerance + static_cast<std::int32_t>(
+                        tolerance_frac *
+                        static_cast<double>(std::max(a.items[i].delay,
+                                                     b.items[i].delay)));
+    if (std::abs(a.items[i].delay - b.items[i].delay) > tol) return false;
+  }
+  return true;
+}
+
+std::vector<Chain> merge_chain_sets(const std::vector<Chain>& current,
+                                    const std::vector<Chain>& fresh,
+                                    const UpdateConfig& cfg,
+                                    UpdateStats* stats) {
+  UpdateStats local;
+  UpdateStats& st = stats ? *stats : local;
+  st = {};
+
+  std::vector<Chain> merged;
+  merged.reserve(current.size() + fresh.size());
+  std::vector<bool> fresh_used(fresh.size(), false);
+
+  for (const Chain& old : current) {
+    std::size_t match = fresh.size();
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      if (fresh_used[i]) continue;
+      if (same_chain(old, fresh[i], cfg.tolerance, cfg.tolerance_frac)) {
+        match = i;
+        break;
+      }
+    }
+    if (match < fresh.size()) {
+      // Refresh: the new window's statistics win; keep the richer location
+      // profile (more observed occurrences).
+      Chain c = fresh[match];
+      if (old.location.occurrences > c.location.occurrences)
+        c.location = old.location;
+      fresh_used[match] = true;
+      merged.push_back(std::move(c));
+      ++st.refreshed;
+    } else {
+      Chain c = old;
+      c.support = static_cast<int>(
+          std::floor(static_cast<double>(c.support) * cfg.unseen_decay));
+      if (static_cast<double>(c.support) < cfg.retire_support) {
+        ++st.retired;
+        continue;
+      }
+      merged.push_back(std::move(c));
+      ++st.decayed;
+    }
+  }
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (fresh_used[i]) continue;
+    merged.push_back(fresh[i]);
+    ++st.added;
+  }
+  return merged;
+}
+
+UpdateStats update_model(OfflineModel& model, const simlog::Trace& trace,
+                         std::int64_t window_begin_ms,
+                         std::int64_t window_end_ms,
+                         const PipelineConfig& cfg,
+                         const UpdateConfig& ucfg) {
+  // Retrain on the trailing window. train_offline reads from the trace
+  // start; emulate the window by training to window_end — records before
+  // window_begin still contribute signal history (harmless: median-based
+  // characterisation is dominated by the bulk), while mining support comes
+  // from the whole span. A stricter windowed variant would slice the trace.
+  simlog::Trace window;
+  window.topology = trace.topology;
+  window.t_begin_ms = window_begin_ms;
+  window.t_end_ms = window_end_ms;
+  for (const auto& rec : trace.records) {
+    if (rec.time_ms < window_begin_ms) continue;
+    if (rec.time_ms >= window_end_ms) break;
+    auto r = rec;
+    r.time_ms -= window_begin_ms;
+    window.records.push_back(std::move(r));
+  }
+  window.t_end_ms -= window_begin_ms;
+  window.t_begin_ms = 0;
+
+  OfflineModel fresh =
+      train_offline(window, window.t_end_ms, model.method, cfg);
+
+  // The fresh model's template ids come from its own HELO pass; reconcile
+  // by classifying each fresh template's text in the operating miner so
+  // chain signal ids line up.
+  std::vector<std::uint32_t> idmap(fresh.helo.size());
+  for (std::uint32_t t = 0; t < fresh.helo.size(); ++t)
+    idmap[t] = model.helo.classify(fresh.helo.at(t).text());
+  auto remap = [&](std::vector<Chain>& chains) {
+    for (auto& c : chains)
+      for (auto& item : c.items)
+        if (item.signal < idmap.size()) item.signal = idmap[item.signal];
+  };
+  remap(fresh.chains);
+
+  UpdateStats stats;
+  model.chains = merge_chain_sets(model.chains, fresh.chains, ucfg, &stats);
+
+  // Refresh per-signal profiles and severities for templates the fresh
+  // window observed; keep the old characterisation for quiet ones.
+  if (model.profiles.size() < model.helo.size())
+    model.profiles.resize(model.helo.size());
+  if (model.tmpl_severity.size() < model.helo.size())
+    model.tmpl_severity.resize(model.helo.size(), simlog::Severity::Info);
+  for (std::uint32_t t = 0; t < fresh.helo.size(); ++t) {
+    const std::uint32_t target = idmap[t];
+    if (target >= model.profiles.size()) continue;
+    model.profiles[target] = fresh.profiles[t];
+    model.tmpl_severity[target] = fresh.tmpl_severity[t];
+  }
+  annotate_failure_items(model.chains, model.tmpl_severity);
+  return stats;
+}
+
+}  // namespace elsa::core

@@ -1,0 +1,60 @@
+// Adaptive correlation updating — the module the paper describes but could
+// not evaluate ("the correlation updating modules were not tested, since
+// the changes in such a short time are not relevant", §IV; "we plan to
+// investigate the use of [parallel gradual itemset mining] on-line in
+// order to adapt correlations to changes in the system", §III.C).
+//
+// The mechanism: periodically re-mine chains over a trailing window (the
+// paper keeps the last two months of signals online), then MERGE the fresh
+// chain set into the operating one instead of replacing it — correlations
+// that temporarily produced no occurrences (their fault type was simply
+// quiet this window) decay gracefully rather than vanishing, and chains
+// from new system behaviour (software upgrades, §I) enter immediately.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "elsa/chain.hpp"
+#include "elsa/pipeline.hpp"
+
+namespace elsa::core {
+
+struct UpdateConfig {
+  /// Support multiplier applied to chains absent from the fresh window.
+  double unseen_decay = 0.5;
+  /// Chains whose decayed support falls below this are retired.
+  double retire_support = 1.5;
+  /// Delay slack when matching old and new chains, samples.
+  std::int32_t tolerance = 3;
+  double tolerance_frac = 0.08;
+};
+
+struct UpdateStats {
+  std::size_t refreshed = 0;  ///< present in both sets (stats replaced)
+  std::size_t added = 0;      ///< new-behaviour chains
+  std::size_t decayed = 0;    ///< old chains kept at reduced support
+  std::size_t retired = 0;    ///< old chains dropped
+};
+
+/// True when the two chains describe the same correlation: identical
+/// signal sequences with per-item delays within tolerance.
+bool same_chain(const Chain& a, const Chain& b, std::int32_t tolerance,
+                double tolerance_frac = 0.0);
+
+/// Merge a freshly mined chain set into the operating set.
+std::vector<Chain> merge_chain_sets(const std::vector<Chain>& current,
+                                    const std::vector<Chain>& fresh,
+                                    const UpdateConfig& cfg = {},
+                                    UpdateStats* stats = nullptr);
+
+/// One full update round: retrain offline on [window_begin, window_end)
+/// of the trace with the model's method, merge chains into `model`, and
+/// refresh profiles/severities to the new window's values.
+UpdateStats update_model(OfflineModel& model, const simlog::Trace& trace,
+                         std::int64_t window_begin_ms,
+                         std::int64_t window_end_ms,
+                         const PipelineConfig& cfg,
+                         const UpdateConfig& ucfg = {});
+
+}  // namespace elsa::core

@@ -1,0 +1,118 @@
+#include "helo/helo.hpp"
+
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace elsa::helo {
+
+std::string Template::text() const { return util::join(tokens, " "); }
+
+std::size_t Template::wildcards() const {
+  std::size_t n = 0;
+  for (const auto& t : tokens)
+    if (t == "*" || t == "d+") ++n;
+  return n;
+}
+
+TemplateMiner::TemplateMiner(MinerConfig cfg) : cfg_(cfg) {}
+
+TemplateMiner TemplateMiner::from_templates(std::vector<Template> templates,
+                                            MinerConfig cfg) {
+  TemplateMiner m(cfg);
+  m.templates_ = std::move(templates);
+  for (std::uint32_t id = 0; id < m.templates_.size(); ++id) {
+    auto& t = m.templates_[id];
+    t.id = id;
+    if (t.tokens.empty()) continue;
+    m.buckets_[bucket_key(t.tokens.size(), t.tokens.front())]
+        .template_ids.push_back(id);
+  }
+  return m;
+}
+
+std::vector<std::string> TemplateMiner::generalize(std::string_view message) {
+  auto tokens = util::split(message, " \t");
+  for (auto& t : tokens)
+    if (util::looks_numeric(t)) t = "d+";
+  return tokens;
+}
+
+std::uint64_t TemplateMiner::bucket_key(std::size_t len,
+                                        const std::string& first) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the first token
+  for (unsigned char c : first) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return (static_cast<std::uint64_t>(len) << 48) ^ (h & 0xffffffffffffULL);
+}
+
+std::uint32_t TemplateMiner::best_match(
+    const Bucket& bucket, const std::vector<std::string>& tokens,
+    std::vector<std::size_t>* mismatch_positions) const {
+  std::uint32_t best = kNoTemplate;
+  std::size_t best_mismatches = std::numeric_limits<std::size_t>::max();
+  const std::size_t allowed = static_cast<std::size_t>(
+      cfg_.max_word_mismatch * static_cast<double>(tokens.size()));
+
+  for (const std::uint32_t id : bucket.template_ids) {
+    const Template& t = templates_[id];
+    std::size_t mismatches = 0;
+    bool viable = true;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const std::string& tt = t.tokens[i];
+      if (tt == "*" || tt == tokens[i]) continue;
+      if (++mismatches > allowed || mismatches >= best_mismatches) {
+        viable = false;
+        break;
+      }
+    }
+    if (viable && mismatches < best_mismatches) {
+      best_mismatches = mismatches;
+      best = id;
+      if (mismatches == 0) break;
+    }
+  }
+  if (best != kNoTemplate && mismatch_positions) {
+    mismatch_positions->clear();
+    const Template& t = templates_[best];
+    for (std::size_t i = 0; i < tokens.size(); ++i)
+      if (t.tokens[i] != "*" && t.tokens[i] != tokens[i])
+        mismatch_positions->push_back(i);
+  }
+  return best;
+}
+
+std::uint32_t TemplateMiner::classify(std::string_view message) {
+  const auto tokens = generalize(message);
+  if (tokens.empty()) return kNoTemplate;
+  Bucket& bucket = buckets_[bucket_key(tokens.size(), tokens.front())];
+
+  std::vector<std::size_t> mismatches;
+  const std::uint32_t best = best_match(bucket, tokens, &mismatches);
+  if (best != kNoTemplate) {
+    Template& t = templates_[best];
+    for (const std::size_t pos : mismatches) t.tokens[pos] = "*";
+    ++t.count;
+    return best;
+  }
+
+  Template t;
+  t.id = static_cast<std::uint32_t>(templates_.size());
+  t.tokens = tokens;
+  t.count = 1;
+  templates_.push_back(std::move(t));
+  bucket.template_ids.push_back(templates_.back().id);
+  return templates_.back().id;
+}
+
+std::uint32_t TemplateMiner::classify_const(std::string_view message) const {
+  const auto tokens = generalize(message);
+  if (tokens.empty()) return kNoTemplate;
+  const auto it = buckets_.find(bucket_key(tokens.size(), tokens.front()));
+  if (it == buckets_.end()) return kNoTemplate;
+  return best_match(it->second, tokens, nullptr);
+}
+
+}  // namespace elsa::helo

@@ -1,0 +1,46 @@
+#include "signalkit/filters.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace elsa::sigkit {
+
+std::vector<double> moving_average(const std::vector<double>& x,
+                                   std::size_t half) {
+  const std::size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  // Prefix sums for O(n) evaluation.
+  std::vector<double> pre(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) pre[i + 1] = pre[i] + x[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(n - 1, i + half);
+    out[i] = (pre[hi + 1] - pre[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> causal_median(const std::vector<double>& x,
+                                  std::size_t window) {
+  const std::size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  util::SlidingMedian med(std::max<std::size_t>(1, window));
+  for (std::size_t i = 0; i < n; ++i) {
+    med.push(x[i]);
+    out[i] = med.median();
+  }
+  return out;
+}
+
+std::vector<double> downsample_sum(const std::vector<double>& x,
+                                   std::size_t factor) {
+  if (factor <= 1) return x;
+  std::vector<double> out((x.size() + factor - 1) / factor, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) out[i / factor] += x[i];
+  return out;
+}
+
+}  // namespace elsa::sigkit

@@ -1,0 +1,23 @@
+// Time-domain filters used by the characterisation and outlier modules.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace elsa::sigkit {
+
+/// Centered moving average with window `2*half+1` (edges use the available
+/// samples only).
+std::vector<double> moving_average(const std::vector<double>& x,
+                                   std::size_t half);
+
+/// Causal median filter: out[i] = median(x[max(0,i-window+1) .. i]).
+/// This is the offline counterpart of the online detector's moving-median.
+std::vector<double> causal_median(const std::vector<double>& x,
+                                  std::size_t window);
+
+/// Sum-pooling downsample by an integer factor (counting signals add).
+std::vector<double> downsample_sum(const std::vector<double>& x,
+                                   std::size_t factor);
+
+}  // namespace elsa::sigkit

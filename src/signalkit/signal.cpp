@@ -1,0 +1,50 @@
+#include "signalkit/signal.hpp"
+
+#include <algorithm>
+
+namespace elsa::sigkit {
+
+std::ptrdiff_t Signal::index_of(std::int64_t t_ms) const {
+  if (v.empty()) return -1;
+  const std::int64_t idx = (t_ms - t0_ms) / dt_ms;
+  return std::clamp<std::int64_t>(idx, 0,
+                                  static_cast<std::int64_t>(v.size()) - 1);
+}
+
+std::vector<double> Signal::as_doubles() const {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+Signal Signal::slice(std::size_t lo, std::size_t hi) const {
+  Signal out;
+  lo = std::min(lo, v.size());
+  hi = std::clamp(hi, lo, v.size());
+  out.t0_ms = t0_ms + static_cast<std::int64_t>(lo) * dt_ms;
+  out.dt_ms = dt_ms;
+  out.v.assign(v.begin() + static_cast<std::ptrdiff_t>(lo),
+               v.begin() + static_cast<std::ptrdiff_t>(hi));
+  return out;
+}
+
+SignalSet::SignalSet(std::int64_t t0_ms, std::int64_t t_end_ms,
+                     std::int64_t dt_ms, std::size_t num_types)
+    : t0_ms_(t0_ms), dt_ms_(dt_ms) {
+  samples_ = t_end_ms > t0_ms
+                 ? static_cast<std::size_t>((t_end_ms - t0_ms + dt_ms - 1) / dt_ms)
+                 : 0;
+  signals_.resize(num_types);
+  for (auto& s : signals_) {
+    s.t0_ms = t0_ms_;
+    s.dt_ms = dt_ms_;
+    s.v.assign(samples_, 0.0f);
+  }
+}
+
+void SignalSet::add_event(std::size_t type, std::int64_t t_ms) {
+  if (type >= signals_.size()) return;
+  const std::int64_t idx = (t_ms - t0_ms_) / dt_ms_;
+  if (idx < 0 || idx >= static_cast<std::int64_t>(samples_)) return;
+  signals_[type].v[static_cast<std::size_t>(idx)] += 1.0f;
+}
+
+}  // namespace elsa::sigkit

@@ -1,0 +1,58 @@
+// Signal extraction (paper §III.A): every event type becomes a time series
+// by sampling its occurrence count per fixed time unit (10 s in the paper
+// and here). The SignalSet is the bridge between the log world (records,
+// template ids) and the analysis world (vectors of samples).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace elsa::sigkit {
+
+/// Uniformly sampled counting signal.
+struct Signal {
+  std::int64_t t0_ms = 0;     ///< timestamp of sample 0
+  std::int64_t dt_ms = 10000; ///< sample period (10 s default, per paper)
+  std::vector<float> v;
+
+  std::size_t size() const { return v.size(); }
+
+  std::int64_t time_of(std::size_t i) const {
+    return t0_ms + static_cast<std::int64_t>(i) * dt_ms;
+  }
+  /// Sample index containing time t (clamped to [0, size)); -1 if empty.
+  std::ptrdiff_t index_of(std::int64_t t_ms) const;
+
+  /// Copy of samples as doubles (for the stats helpers).
+  std::vector<double> as_doubles() const;
+
+  /// Sub-signal covering sample indices [lo, hi).
+  Signal slice(std::size_t lo, std::size_t hi) const;
+};
+
+/// One signal per event type, all sharing a common clock.
+class SignalSet {
+ public:
+  SignalSet(std::int64_t t0_ms, std::int64_t t_end_ms, std::int64_t dt_ms,
+            std::size_t num_types);
+
+  /// Add one event occurrence of `type` at time t (ignored out of range).
+  void add_event(std::size_t type, std::int64_t t_ms);
+
+  std::size_t num_types() const { return signals_.size(); }
+  std::size_t samples() const { return samples_; }
+  std::int64_t dt_ms() const { return dt_ms_; }
+  std::int64_t t0_ms() const { return t0_ms_; }
+
+  const Signal& signal(std::size_t type) const { return signals_.at(type); }
+  Signal& signal(std::size_t type) { return signals_.at(type); }
+
+ private:
+  std::int64_t t0_ms_;
+  std::int64_t dt_ms_;
+  std::size_t samples_;
+  std::vector<Signal> signals_;
+};
+
+}  // namespace elsa::sigkit

@@ -1,0 +1,90 @@
+#include "signalkit/wavelet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace elsa::sigkit {
+
+namespace {
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+}
+
+std::size_t max_haar_levels(std::size_t n) {
+  std::size_t levels = 0;
+  while (n >= 2 && n % 2 == 0) {
+    n /= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+void haar_forward(std::vector<double>& x, std::size_t levels) {
+  std::size_t n = x.size();
+  for (std::size_t l = 0; l < levels; ++l) {
+    if (n < 2 || n % 2 != 0)
+      throw std::invalid_argument("haar_forward: size not divisible");
+    std::vector<double> tmp(n);
+    const std::size_t half = n / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[i] = (x[2 * i] + x[2 * i + 1]) * kInvSqrt2;
+      tmp[half + i] = (x[2 * i] - x[2 * i + 1]) * kInvSqrt2;
+    }
+    std::copy(tmp.begin(), tmp.end(), x.begin());
+    n = half;
+  }
+}
+
+void haar_inverse(std::vector<double>& x, std::size_t levels) {
+  if (levels == 0) return;
+  std::size_t n = x.size();
+  for (std::size_t l = 0; l < levels; ++l) n /= 2;
+  if (n == 0) throw std::invalid_argument("haar_inverse: too many levels");
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t half = n;
+    n *= 2;
+    std::vector<double> tmp(n);
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[2 * i] = (x[i] + x[half + i]) * kInvSqrt2;
+      tmp[2 * i + 1] = (x[i] - x[half + i]) * kInvSqrt2;
+    }
+    std::copy(tmp.begin(), tmp.end(), x.begin());
+  }
+}
+
+std::vector<double> wavelet_denoise(const std::vector<double>& x,
+                                    std::size_t levels) {
+  if (x.empty()) return {};
+  // Pad so the requested number of levels divides evenly.
+  const std::size_t unit = std::size_t{1} << levels;
+  const std::size_t padded = (x.size() + unit - 1) / unit * unit;
+  std::vector<double> w(x);
+  w.resize(padded, x.back());
+
+  const std::size_t usable = std::min(levels, max_haar_levels(padded));
+  haar_forward(w, usable);
+
+  // Sigma from the finest-detail band (second half of the array after one
+  // level; with `usable` levels the finest details live in [n/2, n)).
+  const std::size_t n = w.size();
+  std::vector<double> fine(w.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                           w.end());
+  const double sigma = util::mad(fine) / 0.6745;
+  const double thresh =
+      sigma * std::sqrt(2.0 * std::log(static_cast<double>(n)));
+
+  // Soft-threshold everything except the approximation band.
+  const std::size_t approx = n >> usable;
+  for (std::size_t i = approx; i < n; ++i) {
+    const double a = std::abs(w[i]);
+    w[i] = a <= thresh ? 0.0 : (w[i] > 0 ? a - thresh : thresh - a);
+  }
+
+  haar_inverse(w, usable);
+  w.resize(x.size());
+  return w;
+}
+
+}  // namespace elsa::sigkit

@@ -1,0 +1,31 @@
+// Haar discrete wavelet transform with soft-threshold denoising. The
+// offline phase uses it to characterise each signal's "normal behaviour"
+// (paper §III.A: "we use wavelets and filtering to characterize the normal
+// behavior for each of them"): the denoised reconstruction is the baseline
+// against which the outlier thresholds are calibrated.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace elsa::sigkit {
+
+/// Multi-level in-place Haar DWT. Output layout after `levels` passes:
+/// [approx | detail_levels...] in the standard pyramid ordering. The input
+/// size must be divisible by 2^levels; throws otherwise.
+void haar_forward(std::vector<double>& x, std::size_t levels);
+
+/// Inverse of haar_forward with the same `levels`.
+void haar_inverse(std::vector<double>& x, std::size_t levels);
+
+/// Largest level count usable for a given size (stops at odd lengths).
+std::size_t max_haar_levels(std::size_t n);
+
+/// Wavelet denoising: forward transform, soft-threshold the detail
+/// coefficients with the universal threshold sigma*sqrt(2 ln n) (sigma
+/// estimated from the finest-level details via MAD), inverse transform.
+/// Input of any size is handled by zero-padding to an even multiple.
+std::vector<double> wavelet_denoise(const std::vector<double>& x,
+                                    std::size_t levels = 4);
+
+}  // namespace elsa::sigkit

@@ -1,0 +1,170 @@
+#include "signalkit/xcorr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mann_whitney.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace elsa::sigkit {
+
+bool has_near(const OutlierStream& stream, std::int32_t t, std::int32_t tol) {
+  const auto it =
+      std::lower_bound(stream.begin(), stream.end(), t - tol);
+  return it != stream.end() && *it <= t + tol;
+}
+
+int count_near(const OutlierStream& stream, std::int32_t t, std::int32_t tol) {
+  const auto lo = std::lower_bound(stream.begin(), stream.end(), t - tol);
+  const auto hi = std::upper_bound(lo, stream.end(), t + tol);
+  return static_cast<int>(hi - lo);
+}
+
+std::optional<PairCorrelation> correlate_pair(const OutlierStream& a,
+                                              const OutlierStream& b,
+                                              std::size_t id_a,
+                                              std::size_t id_b,
+                                              const XcorrConfig& cfg) {
+  if (a.empty() || b.empty()) return std::nullopt;
+
+  // Delay histogram over [0, max_lag].
+  std::vector<int> hist(static_cast<std::size_t>(cfg.max_lag) + 1, 0);
+  for (const std::int32_t t : a) {
+    const auto lo = std::lower_bound(b.begin(), b.end(), t);
+    for (auto it = lo; it != b.end() && *it - t <= cfg.max_lag; ++it)
+      ++hist[static_cast<std::size_t>(*it - t)];
+  }
+
+  // Pick the delay whose alignment window (which widens with the delay, see
+  // XcorrConfig::effective_tolerance) collects the most mass, preferring
+  // tighter delays on ties. Prefix sums give O(1) window mass.
+  std::vector<long> pre(hist.size() + 1, 0);
+  for (std::size_t i = 0; i < hist.size(); ++i) pre[i + 1] = pre[i] + hist[i];
+  auto window_mass = [&](std::int32_t d) {
+    const std::int32_t tol = cfg.effective_tolerance(d);
+    const std::int32_t lo = std::max(0, d - tol);
+    const std::int32_t hi = std::min(cfg.max_lag, d + tol);
+    return pre[static_cast<std::size_t>(hi) + 1] -
+           pre[static_cast<std::size_t>(lo)];
+  };
+  std::int32_t best_delay = 0;
+  long best_mass = -1;
+  double best_density = -1.0;
+  for (std::int32_t d = 0; d <= cfg.max_lag; ++d) {
+    const long mass = window_mass(d);
+    const double density =
+        static_cast<double>(mass) /
+        static_cast<double>(2 * cfg.effective_tolerance(d) + 1);
+    if (mass > best_mass || (mass == best_mass && density > best_density)) {
+      best_mass = mass;
+      best_density = density;
+      best_delay = d;
+    }
+  }
+  if (best_mass <= 0) return std::nullopt;
+  // Refine to the weighted centroid of the winning window: the window scan
+  // alone is biased toward small delays (their tolerance, hence their
+  // denominator, is smaller).
+  {
+    const std::int32_t tol0 = cfg.effective_tolerance(best_delay);
+    const std::int32_t lo = std::max(0, best_delay - tol0);
+    const std::int32_t hi = std::min(cfg.max_lag, best_delay + tol0);
+    double wsum = 0.0, sum = 0.0;
+    for (std::int32_t k = lo; k <= hi; ++k) {
+      wsum += static_cast<double>(hist[static_cast<std::size_t>(k)]) * k;
+      sum += static_cast<double>(hist[static_cast<std::size_t>(k)]);
+    }
+    if (sum > 0.0)
+      best_delay = static_cast<std::int32_t>(std::lround(wsum / sum));
+  }
+
+  // Support counts each antecedent at most once (a burst of B hits near one
+  // A outlier is one co-occurrence, not many).
+  const std::int32_t tol = cfg.effective_tolerance(best_delay);
+  int support = 0;
+  for (const std::int32_t t : a)
+    if (has_near(b, t + best_delay, tol)) ++support;
+
+  PairCorrelation pc;
+  pc.a = id_a;
+  pc.b = id_b;
+  pc.delay = best_delay;
+  pc.support = support;
+  pc.confidence = static_cast<double>(support) / static_cast<double>(a.size());
+  if (support < cfg.min_support || pc.confidence < cfg.min_confidence)
+    return std::nullopt;
+
+  // Lift gate: alignment must beat chance. With |b| consequent outliers
+  // scattered over n samples, a window of width 2*tol+1 catches one with
+  // probability ~ |b| * (2*tol+1) / n.
+  const double n_samples =
+      cfg.total_samples > 0
+          ? static_cast<double>(cfg.total_samples)
+          : static_cast<double>(std::max(a.back(), b.back())) + 1.0;
+  const double p_chance = std::min(
+      1.0, static_cast<double>(b.size()) *
+               static_cast<double>(2 * tol + 1) / n_samples);
+  if (pc.confidence < cfg.min_lift * p_chance) return std::nullopt;
+  if (util::binomial_tail_pvalue(static_cast<int>(a.size()), support,
+                                 p_chance) > cfg.max_chance_pvalue)
+    return std::nullopt;
+
+  // Mann–Whitney: aligned indicators vs indicators at random offsets.
+  // Binary samples; the rank-sum test with tie correction reduces to a
+  // proportion comparison but keeps the statistical machinery the paper
+  // specifies.
+  std::vector<double> aligned, background;
+  aligned.reserve(a.size());
+  background.reserve(a.size());
+  util::Rng rng(0x9e37u ^ (id_a * 0x10001u) ^ (id_b << 17));
+  const std::int64_t n_total =
+      cfg.total_samples > 0
+          ? static_cast<std::int64_t>(cfg.total_samples)
+          : static_cast<std::int64_t>(std::max(a.back(), b.back())) + 1;
+  for (const std::int32_t t : a) {
+    aligned.push_back(has_near(b, t + best_delay, tol) ? 1.0 : 0.0);
+    const std::int32_t u =
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n_total)));
+    background.push_back(has_near(b, u, tol) ? 1.0 : 0.0);
+  }
+  const auto mw = util::mann_whitney_u(aligned, background);
+  pc.significance = 1.0 - mw.p_greater;
+  if (pc.significance < cfg.min_significance) return std::nullopt;
+  return pc;
+}
+
+std::vector<PairCorrelation> correlate_all(
+    const std::vector<OutlierStream>& streams, const XcorrConfig& cfg,
+    std::size_t parallel_threads) {
+  const std::size_t n = streams.size();
+  std::vector<std::vector<PairCorrelation>> per_a(n);
+
+  auto do_one = [&](std::size_t i) {
+    if (streams[i].empty()) return;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j || streams[j].empty()) continue;
+      const auto pc = correlate_pair(streams[i], streams[j], i, j, cfg);
+      if (!pc) continue;
+      // Keep zero-delay pairs once (lower id as antecedent).
+      if (pc->delay == 0 && i > j) continue;
+      per_a[i].push_back(*pc);
+    }
+  };
+
+  if (parallel_threads > 1) {
+    util::ThreadPool pool(parallel_threads);
+    util::parallel_for(
+        pool, 0, n, [&](std::size_t i) { do_one(i); }, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) do_one(i);
+  }
+
+  std::vector<PairCorrelation> out;
+  for (auto& v : per_a)
+    out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+}  // namespace elsa::sigkit

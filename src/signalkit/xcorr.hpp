@@ -1,0 +1,81 @@
+// Sparse cross-correlation between outlier streams (paper §III.C): the
+// signal-analysis half of the hybrid method. Outlier streams are sorted
+// sample indices where a signal deviated from its characterised behaviour;
+// the cross-correlation function finds, for a pair of streams, the delay at
+// which co-occurrence is maximal, and the Mann–Whitney test decides whether
+// the alignment beats chance. These pairs both (a) ARE the pure-signal
+// baseline's rule set and (b) seed the first level of the gradual-itemset
+// miner.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace elsa::sigkit {
+
+/// Sorted, unique sample indices at which a signal was anomalous.
+using OutlierStream = std::vector<std::int32_t>;
+
+struct PairCorrelation {
+  std::size_t a = 0;       ///< antecedent signal id
+  std::size_t b = 0;       ///< consequent signal id
+  std::int32_t delay = 0;  ///< samples; b fires `delay` after a (>= 0)
+  int support = 0;         ///< aligned co-occurrences
+  double confidence = 0.0; ///< support / |a|
+  double significance = 0.0;  ///< 1 - p (Mann–Whitney, aligned vs chance)
+};
+
+struct XcorrConfig {
+  std::int32_t max_lag = 540;   ///< 1.5 h at 10 s sampling
+  std::int32_t tolerance = 3;   ///< jitter window around the delay, samples
+  /// Long cascades jitter proportionally to their span (the paper observes
+  /// confidence decays with delay, §IV.B); the effective alignment window
+  /// is tolerance + tolerance_frac * delay, capped at max_tolerance.
+  double tolerance_frac = 0.08;
+  std::int32_t max_tolerance = 24;  ///< 4 min at 10 s sampling
+  int min_support = 4;
+  double min_confidence = 0.20;
+  double min_significance = 0.95;
+  /// Confidence must beat the chance alignment probability by this factor
+  /// (association-rule "lift"); kills spurious pairs between chatty
+  /// streams whose windows overlap by accident.
+  double min_lift = 3.0;
+  /// Exact binomial tail gate: the probability of seeing this support by
+  /// chance must fall below this. Calibrated for the multiple-testing
+  /// burden of scanning all template pairs at all lags.
+  double max_chance_pvalue = 1e-7;
+  std::size_t total_samples = 0;  ///< length of the underlying signals
+
+  std::int32_t effective_tolerance(std::int32_t delay) const {
+    return std::min(max_tolerance,
+                    tolerance + static_cast<std::int32_t>(
+                                    tolerance_frac *
+                                    static_cast<double>(delay)));
+  }
+};
+
+/// True if `stream` has an element within [t - tol, t + tol].
+bool has_near(const OutlierStream& stream, std::int32_t t, std::int32_t tol);
+
+/// Count of elements of `stream` within [t - tol, t + tol].
+int count_near(const OutlierStream& stream, std::int32_t t, std::int32_t tol);
+
+/// Directional correlation a -> b. Returns nullopt when below the support /
+/// confidence / significance gates. Deterministic (the Mann–Whitney
+/// background sample is seeded from the ids).
+std::optional<PairCorrelation> correlate_pair(const OutlierStream& a,
+                                              const OutlierStream& b,
+                                              std::size_t id_a,
+                                              std::size_t id_b,
+                                              const XcorrConfig& cfg);
+
+/// All significant directed pairs among `streams` (skips self-pairs; for
+/// delay-0 duplicates keeps the direction with the lower id first).
+/// `parallel_threads` > 1 evaluates pairs on a thread pool.
+std::vector<PairCorrelation> correlate_all(
+    const std::vector<OutlierStream>& streams, const XcorrConfig& cfg,
+    std::size_t parallel_threads = 1);
+
+}  // namespace elsa::sigkit

@@ -1,0 +1,51 @@
+#include "simlog/catalog.hpp"
+
+#include <stdexcept>
+
+namespace elsa::simlog {
+
+const char* to_string(SignalShape s) {
+  switch (s) {
+    case SignalShape::Periodic: return "periodic";
+    case SignalShape::Noise: return "noise";
+    case SignalShape::Silent: return "silent";
+  }
+  return "?";
+}
+
+const char* to_string(EmitterScope s) {
+  switch (s) {
+    case EmitterScope::PerNode: return "per-node";
+    case EmitterScope::PerNodeCard: return "per-nodecard";
+    case EmitterScope::PerMidplane: return "per-midplane";
+    case EmitterScope::PerRack: return "per-rack";
+    case EmitterScope::Service: return "service";
+  }
+  return "?";
+}
+
+std::uint16_t Catalog::add(EventTemplate t) {
+  if (templates_.size() >= 0xffff)
+    throw std::length_error("Catalog: too many templates");
+  if (find(t.name))
+    throw std::invalid_argument("Catalog: duplicate template name '" + t.name +
+                                "'");
+  t.id = static_cast<std::uint16_t>(templates_.size());
+  templates_.push_back(std::move(t));
+  return templates_.back().id;
+}
+
+std::optional<std::uint16_t> Catalog::find(const std::string& name) const {
+  for (const auto& t : templates_)
+    if (t.name == name) return t.id;
+  return std::nullopt;
+}
+
+std::uint16_t Catalog::require(const std::string& name) const {
+  const auto id = find(name);
+  if (!id)
+    throw std::invalid_argument("Catalog: unknown template '" + name + "'");
+  return *id;
+}
+
+}  // namespace elsa::simlog

@@ -1,0 +1,86 @@
+// Background event catalog: the set of event types a healthy system logs.
+//
+// The paper's central observation (§III, Fig 1) is that event types fall in
+// three signal classes — periodic, noise, and silent — and that faults
+// perturb each class differently. The catalog encodes, per event type, its
+// class, its emission parameters, and which hierarchy level emits it, so
+// the trace generator can synthesise a log whose per-type signals have the
+// right shapes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "simlog/record.hpp"
+
+namespace elsa::simlog {
+
+/// The three signal classes from paper Fig 1.
+enum class SignalShape : std::uint8_t { Periodic, Noise, Silent };
+
+const char* to_string(SignalShape s);
+
+/// Which component instances emit a given background event type. Coarser
+/// scopes mean fewer concurrent emitters, which is what makes dropouts of a
+/// single emitter visible in the aggregated per-type signal.
+enum class EmitterScope : std::uint8_t {
+  PerNode,
+  PerNodeCard,
+  PerMidplane,
+  PerRack,
+  Service,  ///< a single system-wide daemon (CIODB, mmcs, ...)
+};
+
+const char* to_string(EmitterScope s);
+
+/// One background event type. `text` is the message pattern; placeholder
+/// tokens <num>, <hex>, <loc>, <ip>, <path>, <word> are filled with random
+/// values per instance so the template miner has realistic variability.
+struct EventTemplate {
+  std::uint16_t id = 0;
+  std::string name;       ///< short stable identifier, e.g. "ddr_corrected"
+  std::string text;
+  Severity severity = Severity::Info;
+  std::string component;  ///< "KERNEL", "MMCS", "LINKCARD", ... (log facility)
+  SignalShape shape = SignalShape::Silent;
+  EmitterScope emitter = EmitterScope::PerMidplane;
+
+  // -- Periodic emitters --------------------------------------------------
+  double period_s = 0.0;   ///< mean inter-emission period per emitter
+  double jitter_s = 0.0;   ///< uniform +/- jitter on the period
+
+  // -- Noise emitters ------------------------------------------------------
+  double rate_per_hour = 0.0;     ///< Poisson base rate per emitter
+  double burst_prob_per_day = 0.0;///< bursts per emitter-day
+  double burst_rate_per_s = 0.0;  ///< rate inside a burst
+  double burst_len_s = 0.0;
+
+  // -- Silent emitters -----------------------------------------------------
+  double occurrences_per_month = 0.0;  ///< whole-system rare occurrences
+};
+
+/// Ordered collection of event templates with name lookup. Fault syndromes
+/// reference catalog templates by id; ids are dense and equal the index.
+class Catalog {
+ public:
+  /// Registers a template and assigns its id. Name must be unique.
+  std::uint16_t add(EventTemplate t);
+
+  std::size_t size() const { return templates_.size(); }
+  const EventTemplate& at(std::uint16_t id) const { return templates_.at(id); }
+  const std::vector<EventTemplate>& all() const { return templates_; }
+
+  /// Id lookup by stable name; nullopt if absent.
+  std::optional<std::uint16_t> find(const std::string& name) const;
+
+  /// Id lookup that throws on absence — for scenario-building code where a
+  /// missing name is a programming error.
+  std::uint16_t require(const std::string& name) const;
+
+ private:
+  std::vector<EventTemplate> templates_;
+};
+
+}  // namespace elsa::simlog

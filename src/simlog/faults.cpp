@@ -1,0 +1,68 @@
+#include "simlog/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace elsa::simlog {
+
+double FaultType::mean_lead_s() const {
+  if (steps.empty()) return 0.0;
+  double first = steps.front().offset_s;
+  for (const auto& s : steps) first = std::min(first, s.offset_s);
+  return steps.at(terminal_step).offset_s - first;
+}
+
+std::size_t FaultCatalog::add(FaultType f) {
+  faults_.push_back(std::move(f));
+  return faults_.size() - 1;
+}
+
+const FaultType* FaultCatalog::find(const std::string& name) const {
+  for (const auto& f : faults_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+void FaultCatalog::validate(const Catalog& catalog) const {
+  for (const auto& f : faults_) {
+    if (f.steps.empty())
+      throw std::invalid_argument("fault '" + f.name + "' has no steps");
+    if (f.terminal_step >= f.steps.size())
+      throw std::invalid_argument("fault '" + f.name +
+                                  "': terminal_step out of range");
+    for (const auto& s : f.steps) {
+      if (s.tmpl >= catalog.size())
+        throw std::invalid_argument("fault '" + f.name +
+                                    "': step references unknown template");
+      if (s.repeat_min < 1 || s.repeat_max < s.repeat_min)
+        throw std::invalid_argument("fault '" + f.name +
+                                    "': bad repeat range");
+      if (s.emit_prob < 0.0 || s.emit_prob > 1.0)
+        throw std::invalid_argument("fault '" + f.name + "': bad emit_prob");
+    }
+    const auto& term = f.steps[f.terminal_step];
+    if (!f.benign) {
+      if (!is_failure_severity(catalog.at(term.tmpl).severity))
+        throw std::invalid_argument(
+            "fault '" + f.name +
+            "': terminal step template lacks FAILURE/FATAL severity");
+      if (term.emit_prob != 1.0)
+        throw std::invalid_argument("fault '" + f.name +
+                                    "': terminal step must always emit");
+    }
+    for (const auto& sup : f.suppressions) {
+      if (sup.background_tmpl >= catalog.size())
+        throw std::invalid_argument("fault '" + f.name +
+                                    "': suppression references unknown template");
+      if (sup.end_offset_s <= sup.start_offset_s)
+        throw std::invalid_argument("fault '" + f.name +
+                                    "': empty suppression interval");
+    }
+    if (f.affected_min < 1 || f.affected_max < f.affected_min)
+      throw std::invalid_argument("fault '" + f.name + "': bad affected range");
+    if (f.rate_per_day < 0.0)
+      throw std::invalid_argument("fault '" + f.name + "': negative rate");
+  }
+}
+
+}  // namespace elsa::simlog

@@ -1,0 +1,101 @@
+// Fault catalog: every injectable fault type with its logged *syndrome*.
+//
+// The paper's key premise is that different faults leave very different
+// footprints: a memory fault floods the log with correctable-error messages
+// before the uncorrectable one; a node crash announces itself by silence (a
+// periodic emitter stops); a node-card failure produces a slow cascade with
+// hour-scale gaps; an NFS outage hits hundreds of nodes within seconds.
+// Each FaultType below encodes one footprint as (a) a sequence of visible
+// syndrome steps with per-step delays and emitting locations and (b) a set
+// of suppression effects that silence background emitters — the "lack of
+// messages" symptom that pure event-co-occurrence mining cannot observe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simlog/catalog.hpp"
+#include "topology/topology.hpp"
+
+namespace elsa::simlog {
+
+/// Where a syndrome step's records are emitted.
+enum class StepWhere : std::uint8_t {
+  Initiator,       ///< the node where the fault starts
+  AllAffected,     ///< every node in the fault's affected set
+  RandomAffected,  ///< one uniformly drawn affected node (may differ from
+                   ///< the initiator — the source of location-prediction
+                   ///< error the paper discusses in §V)
+  Service,         ///< the service node (node_id = -1)
+};
+
+/// One visible step of a fault syndrome.
+struct SyndromeStep {
+  std::uint16_t tmpl = 0;       ///< catalog template emitted by this step
+  double offset_s = 0.0;        ///< mean delay from fault start
+  double jitter_s = 0.0;        ///< uniform +/- jitter on the delay
+  int repeat_min = 1;           ///< messages per occurrence (burst size) ...
+  int repeat_max = 1;           ///< ... drawn uniformly in [min, max]
+  double repeat_spacing_s = 1.0;
+  StepWhere where = StepWhere::Initiator;
+  /// Probability the step is visible at all for a given fault instance;
+  /// models flaky sensors / lost messages.
+  double emit_prob = 1.0;
+};
+
+/// Silence a background emitter on the affected component(s) during
+/// [start_offset_s, end_offset_s) relative to the fault start. This is the
+/// silent precursor: the heartbeat stops before the crash is logged.
+struct SuppressionEffect {
+  std::uint16_t background_tmpl = 0;
+  double start_offset_s = 0.0;
+  double end_offset_s = 0.0;
+  StepWhere where = StepWhere::Initiator;
+};
+
+struct FaultType {
+  std::string name;
+  std::string category;  ///< evaluation bucket ("memory", "nodecard", ...)
+  /// Poisson arrival rate across the whole machine, per day.
+  double rate_per_day = 0.0;
+  /// Hierarchy scope the affected node set is drawn from, around the
+  /// initiating node. Scope::Node = no propagation.
+  topo::Scope propagation = topo::Scope::Node;
+  int affected_min = 1;
+  int affected_max = 1;
+  /// For Scope::System faults: fraction of all nodes hit (NFS storms).
+  double global_fraction = 0.0;
+  std::vector<SyndromeStep> steps;
+  std::vector<SuppressionEffect> suppressions;
+  /// Index into `steps` of the terminal FAILURE/FATAL record used as the
+  /// ground-truth failure instant. Must exist and carry failure severity
+  /// unless the chain is benign.
+  std::size_t terminal_step = 0;
+  /// Benign chains (component restarts, multiline messages) produce
+  /// correlated log traffic but are NOT ground-truth failures — the paper
+  /// finds ~23 % of mined sequences are such non-error sequences (§IV.A).
+  bool benign = false;
+
+  /// Mean lead time (s) between the first visible step and the terminal
+  /// step — derived convenience for tests and docs.
+  double mean_lead_s() const;
+};
+
+class FaultCatalog {
+ public:
+  std::size_t add(FaultType f);
+  std::size_t size() const { return faults_.size(); }
+  const FaultType& at(std::size_t i) const { return faults_.at(i); }
+  const std::vector<FaultType>& all() const { return faults_; }
+  const FaultType* find(const std::string& name) const;
+
+  /// Validates every fault against a catalog (template ids exist, terminal
+  /// step has failure severity, offsets ordered). Throws on violation.
+  void validate(const Catalog& catalog) const;
+
+ private:
+  std::vector<FaultType> faults_;
+};
+
+}  // namespace elsa::simlog

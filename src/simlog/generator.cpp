@@ -1,0 +1,346 @@
+#include "simlog/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "simlog/textgen.hpp"
+#include "util/rng.hpp"
+
+namespace elsa::simlog {
+
+namespace {
+
+constexpr double kMsPerS = 1000.0;
+
+topo::Scope scope_of(EmitterScope e) {
+  switch (e) {
+    case EmitterScope::PerNode: return topo::Scope::Node;
+    case EmitterScope::PerNodeCard: return topo::Scope::NodeCard;
+    case EmitterScope::PerMidplane: return topo::Scope::Midplane;
+    case EmitterScope::PerRack: return topo::Scope::Rack;
+    case EmitterScope::Service: return topo::Scope::System;
+  }
+  return topo::Scope::System;
+}
+
+/// Key for the suppression index: (template id, emitter representative).
+std::uint64_t supp_key(std::uint16_t tmpl, std::int32_t rep) {
+  return (static_cast<std::uint64_t>(tmpl) << 32) ^
+         static_cast<std::uint32_t>(rep + 1);
+}
+
+using IntervalMap =
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<std::int64_t, std::int64_t>>>;
+
+bool suppressed(const IntervalMap& m, std::uint16_t tmpl, std::int32_t rep,
+                std::int64_t t_ms) {
+  const auto it = m.find(supp_key(tmpl, rep));
+  if (it == m.end()) return false;
+  const auto& ivs = it->second;
+  // Intervals are sorted and merged; find the first interval ending after t.
+  auto pos = std::upper_bound(
+      ivs.begin(), ivs.end(), t_ms,
+      [](std::int64_t t, const auto& iv) { return t < iv.second; });
+  return pos != ivs.end() && pos->first <= t_ms;
+}
+
+void merge_intervals(IntervalMap& m) {
+  for (auto& [key, ivs] : m) {
+    std::sort(ivs.begin(), ivs.end());
+    std::vector<std::pair<std::int64_t, std::int64_t>> merged;
+    for (const auto& iv : ivs) {
+      if (!merged.empty() && iv.first <= merged.back().second)
+        merged.back().second = std::max(merged.back().second, iv.second);
+      else
+        merged.push_back(iv);
+    }
+    ivs = std::move(merged);
+  }
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(topo::Topology topology, Catalog catalog,
+                               FaultCatalog faults)
+    : topology_(std::move(topology)),
+      catalog_(std::move(catalog)),
+      faults_(std::move(faults)) {
+  faults_.validate(catalog_);
+}
+
+std::vector<std::int32_t> TraceGenerator::emitters_of(
+    const EventTemplate& t) const {
+  std::vector<std::int32_t> reps;
+  if (t.emitter == EmitterScope::Service) {
+    reps.push_back(-1);
+    return reps;
+  }
+  const topo::Scope s = scope_of(t.emitter);
+  const std::int32_t stride = topology_.scope_size(s);
+  for (std::int32_t n = 0; n < topology_.total_nodes(); n += stride)
+    reps.push_back(n);
+  return reps;
+}
+
+Trace TraceGenerator::generate(const GeneratorConfig& cfg) const {
+  util::Rng root(cfg.seed);
+  Trace trace;
+  trace.topology = topology_;
+  trace.t_begin_ms = 0;
+  trace.t_end_ms =
+      static_cast<std::int64_t>(cfg.duration_days * 86400.0 * kMsPerS);
+
+  auto code_of = [&](std::int32_t node) {
+    return node < 0 ? std::string("SYSTEM") : topology_.code(node);
+  };
+  auto emit = [&](std::int64_t t_ms, std::int32_t node, std::uint16_t tmpl,
+                  std::uint32_t fault_id, util::Rng& rng) {
+    if (t_ms < trace.t_begin_ms || t_ms >= trace.t_end_ms) return;
+    LogRecord rec;
+    rec.time_ms = t_ms;
+    rec.node_id = node;
+    rec.true_template = tmpl;
+    rec.fault_id = fault_id;
+    rec.severity = catalog_.at(tmpl).severity;
+    if (cfg.render_text)
+      rec.message = render_message(catalog_.at(tmpl).text, rng, code_of(node));
+    trace.records.push_back(std::move(rec));
+  };
+
+  // ---- Phase 1: inject faults, collecting records + suppressions --------
+  IntervalMap suppressions;
+  std::uint32_t next_fault_id = 1;
+  util::Rng fault_rng = root.fork();
+
+  for (const auto& f : faults_.all()) {
+    const double rate = f.rate_per_day * cfg.fault_rate_scale;
+    if (rate <= 0.0) continue;
+    const double mean_gap_ms = 86400.0 * kMsPerS / rate;
+    // Longest step offset, to drop instances that would straddle the end.
+    double max_off_s = 0.0;
+    for (const auto& s : f.steps)
+      max_off_s = std::max(max_off_s, s.offset_s + s.jitter_s +
+                                          static_cast<double>(s.repeat_max) *
+                                              s.repeat_spacing_s * 2.0);
+
+    double t = fault_rng.exponential(mean_gap_ms);
+    while (t < static_cast<double>(trace.t_end_ms)) {
+      const std::int64_t start_ms = static_cast<std::int64_t>(t);
+      t += fault_rng.exponential(mean_gap_ms);
+      if (start_ms + static_cast<std::int64_t>(max_off_s * kMsPerS) >=
+          trace.t_end_ms)
+        continue;  // would be truncated; skip to keep ground truth clean
+
+      util::Rng rng = fault_rng.fork();
+      const std::int32_t init =
+          static_cast<std::int32_t>(rng.below(
+              static_cast<std::uint64_t>(topology_.total_nodes())));
+
+      // Affected node set.
+      std::vector<std::int32_t> affected;
+      if (f.propagation == topo::Scope::Node) {
+        affected.push_back(init);
+      } else if (f.propagation == topo::Scope::System &&
+                 f.global_fraction > 0.0) {
+        for (std::int32_t n = 0; n < topology_.total_nodes(); ++n)
+          if (n == init || rng.bernoulli(f.global_fraction))
+            affected.push_back(n);
+      } else {
+        auto candidates = topology_.nodes_in_scope(init, f.propagation);
+        std::int64_t want = rng.range(f.affected_min, f.affected_max);
+        want = std::min<std::int64_t>(want,
+                                      static_cast<std::int64_t>(candidates.size()));
+        // Partial Fisher-Yates for a uniform sample; force the initiator in.
+        for (std::size_t i = 0; i < candidates.size(); ++i)
+          if (candidates[i] == init) {
+            std::swap(candidates[0], candidates[i]);
+            break;
+          }
+        for (std::int64_t i = 1; i < want; ++i) {
+          const std::size_t j = static_cast<std::size_t>(
+              rng.range(i, static_cast<std::int64_t>(candidates.size()) - 1));
+          std::swap(candidates[static_cast<std::size_t>(i)], candidates[j]);
+        }
+        affected.assign(candidates.begin(), candidates.begin() + want);
+      }
+
+      const std::uint32_t fid = next_fault_id++;
+      GroundTruthFault gt;
+      gt.id = fid;
+      gt.category = f.category;
+      gt.start_time_ms = start_ms;
+      gt.initiating_node = init;
+      gt.affected_nodes = affected;
+      gt.terminal_template = f.steps.at(f.terminal_step).tmpl;
+      std::int64_t first_visible = trace.t_end_ms;
+      std::int64_t terminal_time = -1;
+
+      for (std::size_t si = 0; si < f.steps.size(); ++si) {
+        const auto& step = f.steps[si];
+        if (step.emit_prob < 1.0 && !rng.bernoulli(step.emit_prob) &&
+            si != f.terminal_step)
+          continue;
+        std::vector<std::int32_t> where_nodes;
+        switch (step.where) {
+          case StepWhere::Initiator: where_nodes = {init}; break;
+          case StepWhere::AllAffected: where_nodes = affected; break;
+          case StepWhere::RandomAffected:
+            where_nodes = {affected[rng.below(affected.size())]};
+            break;
+          case StepWhere::Service: where_nodes = {-1}; break;
+        }
+        const double base_off =
+            step.offset_s + rng.uniform(-step.jitter_s, step.jitter_s);
+        for (const std::int32_t node : where_nodes) {
+          // Per-node skew so propagated steps do not collide exactly.
+          const double skew = step.where == StepWhere::AllAffected
+                                  ? rng.uniform(0.0, step.repeat_spacing_s)
+                                  : 0.0;
+          const int repeats =
+              static_cast<int>(rng.range(step.repeat_min, step.repeat_max));
+          for (int r = 0; r < repeats; ++r) {
+            const double off =
+                base_off + skew +
+                static_cast<double>(r) * step.repeat_spacing_s *
+                    rng.uniform(0.6, 1.4);
+            const std::int64_t tm =
+                start_ms + static_cast<std::int64_t>(off * kMsPerS);
+            emit(tm, node, step.tmpl, fid, rng);
+            if (tm < trace.t_end_ms) {
+              first_visible = std::min(first_visible, tm);
+              if (si == f.terminal_step && r == 0 &&
+                  (terminal_time < 0 || tm < terminal_time))
+                terminal_time = tm;
+            }
+          }
+        }
+      }
+
+      // Register suppression intervals against background emitters.
+      for (const auto& sup : f.suppressions) {
+        const auto& bg = catalog_.at(sup.background_tmpl);
+        std::vector<std::int32_t> targets;
+        switch (sup.where) {
+          case StepWhere::Initiator: targets = {init}; break;
+          case StepWhere::AllAffected: targets = affected; break;
+          case StepWhere::RandomAffected:
+            targets = {affected[rng.below(affected.size())]};
+            break;
+          case StepWhere::Service: targets = {-1}; break;
+        }
+        const std::int64_t s0 =
+            start_ms + static_cast<std::int64_t>(sup.start_offset_s * kMsPerS);
+        const std::int64_t s1 =
+            start_ms + static_cast<std::int64_t>(sup.end_offset_s * kMsPerS);
+        std::unordered_set<std::int32_t> reps_done;
+        for (const std::int32_t node : targets) {
+          std::int32_t rep = -1;
+          if (bg.emitter != EmitterScope::Service && node >= 0) {
+            const std::int32_t stride =
+                topology_.scope_size(scope_of(bg.emitter));
+            rep = node / stride * stride;
+          }
+          if (!reps_done.insert(rep).second) continue;
+          suppressions[supp_key(sup.background_tmpl, rep)].emplace_back(s0, s1);
+        }
+      }
+
+      if (!f.benign && terminal_time >= 0) {
+        gt.fail_time_ms = terminal_time;
+        gt.start_time_ms = std::min(first_visible, gt.fail_time_ms);
+        trace.faults.push_back(std::move(gt));
+      }
+    }
+  }
+
+  merge_intervals(suppressions);
+
+  // ---- Phase 2: background traffic, honouring suppressions --------------
+  util::Rng bg_rng = root.fork();
+  for (const auto& t : catalog_.all()) {
+    const auto reps = emitters_of(t);
+    for (const std::int32_t rep : reps) {
+      util::Rng rng = bg_rng.fork();
+      auto emit_bg = [&](double tm_ms) {
+        const std::int64_t tm = static_cast<std::int64_t>(tm_ms);
+        if (!suppressed(suppressions, t.id, rep, tm)) emit(tm, rep, t.id, 0, rng);
+      };
+      switch (t.shape) {
+        case SignalShape::Periodic: {
+          if (t.period_s <= 0.0) break;
+          const double period_ms = t.period_s * kMsPerS / cfg.background_scale;
+          double tm = rng.uniform(0.0, period_ms);
+          while (tm < static_cast<double>(trace.t_end_ms)) {
+            emit_bg(tm);
+            tm += period_ms +
+                  rng.uniform(-t.jitter_s, t.jitter_s) * kMsPerS;
+          }
+          break;
+        }
+        case SignalShape::Noise: {
+          const double rate_per_ms =
+              t.rate_per_hour * cfg.background_scale / (3600.0 * kMsPerS);
+          if (rate_per_ms > 0.0) {
+            double tm = rng.exponential(1.0 / rate_per_ms);
+            while (tm < static_cast<double>(trace.t_end_ms)) {
+              emit_bg(tm);
+              tm += rng.exponential(1.0 / rate_per_ms);
+            }
+          }
+          // Bursts (correlated error showers on one emitter).
+          const double bursts =
+              t.burst_prob_per_day * cfg.duration_days * cfg.background_scale;
+          const std::uint64_t nbursts = rng.poisson(bursts);
+          for (std::uint64_t b = 0; b < nbursts; ++b) {
+            double tm = rng.uniform(0.0, static_cast<double>(trace.t_end_ms));
+            const double burst_end = tm + t.burst_len_s * kMsPerS;
+            while (tm < burst_end && t.burst_rate_per_s > 0.0) {
+              emit_bg(tm);
+              tm += rng.exponential(kMsPerS / t.burst_rate_per_s);
+            }
+          }
+          break;
+        }
+        case SignalShape::Silent:
+          // Handled once per template below (whole-system occurrences).
+          break;
+      }
+    }
+    if (t.shape == SignalShape::Silent && t.occurrences_per_month > 0.0) {
+      util::Rng rng = bg_rng.fork();
+      const double expected = t.occurrences_per_month *
+                              (cfg.duration_days / 30.0) *
+                              cfg.background_scale;
+      const std::uint64_t n = rng.poisson(expected);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const double tm =
+            rng.uniform(0.0, static_cast<double>(trace.t_end_ms));
+        const std::int32_t rep =
+            reps.empty() ? -1
+                         : reps[rng.below(reps.size())];
+        if (!suppressed(suppressions, t.id, rep,
+                        static_cast<std::int64_t>(tm)))
+          emit(static_cast<std::int64_t>(tm), rep, t.id, 0, rng);
+      }
+    }
+  }
+
+  // ---- Phase 3: order everything -----------------------------------------
+  std::sort(trace.records.begin(), trace.records.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+              if (a.true_template != b.true_template)
+                return a.true_template < b.true_template;
+              return a.node_id < b.node_id;
+            });
+  std::sort(trace.faults.begin(), trace.faults.end(),
+            [](const GroundTruthFault& a, const GroundTruthFault& b) {
+              return a.fail_time_ms < b.fail_time_ms;
+            });
+  return trace;
+}
+
+}  // namespace elsa::simlog

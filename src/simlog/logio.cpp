@@ -1,0 +1,108 @@
+#include "simlog/logio.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace elsa::simlog {
+
+void write_ras_log(std::ostream& os, const std::vector<LogRecord>& records,
+                   const topo::Topology& topology) {
+  for (const auto& r : records) {
+    os << r.time_ms << '\t' << to_string(r.severity) << '\t'
+       << "RAS" << '\t'
+       << (r.node_id >= 0 ? topology.code(r.node_id) : std::string("SYSTEM"))
+       << '\t' << r.message << '\n';
+  }
+}
+
+void write_ras_log_file(const std::string& path,
+                        const std::vector<LogRecord>& records,
+                        const topo::Topology& topology) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_ras_log_file: cannot open " + path);
+  write_ras_log(os, records, topology);
+  if (!os) throw std::runtime_error("write_ras_log_file: write failed " + path);
+}
+
+std::optional<Severity> parse_severity(const std::string& s) {
+  if (s == "INFO") return Severity::Info;
+  if (s == "WARNING") return Severity::Warning;
+  if (s == "SEVERE") return Severity::Severe;
+  if (s == "FAILURE") return Severity::Failure;
+  if (s == "FATAL") return Severity::Fatal;
+  return std::nullopt;
+}
+
+std::optional<std::int32_t> parse_location(const std::string& code,
+                                           const topo::Topology& topology) {
+  if (topology.naming() == topo::NamingStyle::BlueGene) {
+    // R%02d-M%d-N%02d-C:J%02d
+    int rack = 0, mid = 0, card = 0, node = 0;
+    if (std::sscanf(code.c_str(), "R%d-M%d-N%d-C:J%d", &rack, &mid, &card,
+                    &node) == 4) {
+      topo::Location loc;
+      loc.rack = rack;
+      loc.midplane = mid;
+      loc.nodecard = card;
+      loc.node = node;
+      try {
+        return topology.node_id(loc);
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+  // Cluster style: <prefix><%04d flat index>. Find the trailing digit run.
+  std::size_t i = code.size();
+  while (i > 0 && std::isdigit(static_cast<unsigned char>(code[i - 1]))) --i;
+  if (i == code.size()) return std::nullopt;
+  const std::int32_t flat =
+      static_cast<std::int32_t>(std::strtol(code.c_str() + i, nullptr, 10));
+  if (flat < 0 || flat >= topology.total_nodes()) return std::nullopt;
+  return flat;
+}
+
+ParsedLog read_ras_log(std::istream& is, const topo::Topology& topology) {
+  ParsedLog out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cols = util::split_keep_empty(line, '\t');
+    if (cols.size() < 5) {
+      ++out.malformed_lines;
+      continue;
+    }
+    LogRecord rec;
+    char* end = nullptr;
+    rec.time_ms = std::strtoll(cols[0].c_str(), &end, 10);
+    const auto sev = parse_severity(cols[1]);
+    if (end == cols[0].c_str() || !sev) {
+      ++out.malformed_lines;
+      continue;
+    }
+    rec.severity = *sev;
+    rec.node_id = parse_location(cols[3], topology).value_or(-1);
+    rec.message = cols[4];
+    // Extra tabs inside the message column: rejoin.
+    for (std::size_t c = 5; c < cols.size(); ++c) {
+      rec.message += ' ';
+      rec.message += cols[c];
+    }
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+ParsedLog read_ras_log_file(const std::string& path,
+                            const topo::Topology& topology) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_ras_log_file: cannot open " + path);
+  return read_ras_log(is, topology);
+}
+
+}  // namespace elsa::simlog

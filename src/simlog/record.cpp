@@ -1,0 +1,16 @@
+#include "simlog/record.hpp"
+
+namespace elsa::simlog {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Info: return "INFO";
+    case Severity::Warning: return "WARNING";
+    case Severity::Severe: return "SEVERE";
+    case Severity::Failure: return "FAILURE";
+    case Severity::Fatal: return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace elsa::simlog

@@ -1,0 +1,72 @@
+// Log-record model: the unit of data exchanged between the simulated system
+// and every analysis module. Mirrors what the paper's pipeline reads from
+// Blue Gene/L RAS logs: timestamp, location, severity, free-text message.
+//
+// Two extra fields carry *hidden ground truth* used only by the evaluation
+// harness (never by the predictors): the generator's template id and the id
+// of the injected fault the record belongs to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace elsa::simlog {
+
+/// RAS severity levels, matching Blue Gene/L's field that the paper uses to
+/// separate failures from informational traffic (§IV.A).
+enum class Severity : std::uint8_t { Info, Warning, Severe, Failure, Fatal };
+
+const char* to_string(Severity s);
+
+/// True if the severity marks an application-affecting failure. The paper's
+/// ground truth for prediction is the set of FAILURE/FATAL records.
+inline bool is_failure_severity(Severity s) {
+  return s == Severity::Failure || s == Severity::Fatal;
+}
+
+struct LogRecord {
+  std::int64_t time_ms = 0;
+  /// Emitting node id, or -1 for system-level/service-node records.
+  std::int32_t node_id = -1;
+  Severity severity = Severity::Info;
+  /// Hidden ground truth: generator template id. Analysis code must not
+  /// read this; it re-derives event types through HELO.
+  std::uint16_t true_template = 0;
+  /// Hidden ground truth: 0 for background traffic, otherwise the id of the
+  /// injected fault whose syndrome produced this record.
+  std::uint32_t fault_id = 0;
+  std::string message;
+};
+
+/// One injected fault: the evaluation target. `fail_time_ms` is when the
+/// terminal FAILURE/FATAL record is logged; predictions must precede it.
+struct GroundTruthFault {
+  std::uint32_t id = 0;
+  std::string category;  ///< "memory", "nodecard", "network", "cache", "io", "software"
+  std::int64_t start_time_ms = 0;       ///< first symptom (possibly silent)
+  std::int64_t fail_time_ms = 0;
+  std::int32_t initiating_node = -1;
+  std::vector<std::int32_t> affected_nodes;
+  std::uint16_t terminal_template = 0;
+};
+
+/// A complete generated campaign: machine + time-ordered records + truth.
+struct Trace {
+  topo::Topology topology = topo::Topology::cluster(1);
+  std::vector<LogRecord> records;        ///< sorted by time_ms
+  std::vector<GroundTruthFault> faults;  ///< sorted by fail_time_ms
+  std::int64_t t_begin_ms = 0;
+  std::int64_t t_end_ms = 0;
+
+  /// Average message rate over the whole trace, msgs/second.
+  double message_rate() const {
+    const double span_s =
+        static_cast<double>(t_end_ms - t_begin_ms) / 1000.0;
+    return span_s > 0 ? static_cast<double>(records.size()) / span_s : 0.0;
+  }
+};
+
+}  // namespace elsa::simlog

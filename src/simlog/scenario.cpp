@@ -1,0 +1,647 @@
+#include "simlog/scenario.hpp"
+
+#include <array>
+
+#include "util/rng.hpp"
+
+namespace elsa::simlog {
+
+namespace {
+
+EventTemplate periodic(std::string name, std::string text, EmitterScope scope,
+                       double period_s, double jitter_s,
+                       std::string component = "MONITOR",
+                       Severity sev = Severity::Info) {
+  EventTemplate t;
+  t.name = std::move(name);
+  t.text = std::move(text);
+  t.severity = sev;
+  t.component = std::move(component);
+  t.shape = SignalShape::Periodic;
+  t.emitter = scope;
+  t.period_s = period_s;
+  t.jitter_s = jitter_s;
+  return t;
+}
+
+EventTemplate noise(std::string name, std::string text, EmitterScope scope,
+                    double rate_per_hour, std::string component = "KERNEL",
+                    Severity sev = Severity::Info,
+                    double burst_prob_per_day = 0.0,
+                    double burst_rate_per_s = 0.0, double burst_len_s = 0.0) {
+  EventTemplate t;
+  t.name = std::move(name);
+  t.text = std::move(text);
+  t.severity = sev;
+  t.component = std::move(component);
+  t.shape = SignalShape::Noise;
+  t.emitter = scope;
+  t.rate_per_hour = rate_per_hour;
+  t.burst_prob_per_day = burst_prob_per_day;
+  t.burst_rate_per_s = burst_rate_per_s;
+  t.burst_len_s = burst_len_s;
+  return t;
+}
+
+EventTemplate silent(std::string name, std::string text, EmitterScope scope,
+                     Severity sev, std::string component = "MMCS",
+                     double occurrences_per_month = 0.0) {
+  EventTemplate t;
+  t.name = std::move(name);
+  t.text = std::move(text);
+  t.severity = sev;
+  t.component = std::move(component);
+  t.shape = SignalShape::Silent;
+  t.emitter = scope;
+  t.occurrences_per_month = occurrences_per_month;
+  return t;
+}
+
+SyndromeStep step(std::uint16_t tmpl, double offset_s, double jitter_s,
+                  StepWhere where = StepWhere::Initiator, int rep_min = 1,
+                  int rep_max = 1, double spacing_s = 1.0,
+                  double emit_prob = 1.0) {
+  SyndromeStep s;
+  s.tmpl = tmpl;
+  s.offset_s = offset_s;
+  s.jitter_s = jitter_s;
+  s.where = where;
+  s.repeat_min = rep_min;
+  s.repeat_max = rep_max;
+  s.repeat_spacing_s = spacing_s;
+  s.emit_prob = emit_prob;
+  return s;
+}
+
+}  // namespace
+
+void add_filler_templates(Catalog& catalog, int count, std::uint64_t seed) {
+  static const std::array<const char*, 20> kSubsystems = {
+      "bic",    "palomino", "tsx",   "mcp",    "lustre", "gpfs",  "ras",
+      "census", "bgldiag",  "cmcs",  "perfmon", "sramc",  "clock", "barrier",
+      "collective", "dma",  "sysio", "power",  "bulkio", "vpd"};
+  static const std::array<const char*, 16> kVerbs = {
+      "initialized", "completed",  "registered", "synchronized",
+      "flushed",     "validated",  "rescanned",  "calibrated",
+      "throttled",   "negotiated", "refreshed",  "reported",
+      "acknowledged", "suspended", "resumed",    "probed"};
+  static const std::array<const char*, 8> kNouns = {
+      "buffer", "channel", "partition", "descriptor",
+      "session", "table",  "segment",   "queue"};
+
+  util::Rng rng(seed ^ 0xf111e5ULL);
+  for (int i = 0; i < count; ++i) {
+    const char* sub = kSubsystems[rng.below(kSubsystems.size())];
+    const char* verb = kVerbs[rng.below(kVerbs.size())];
+    const char* noun = kNouns[rng.below(kNouns.size())];
+    char name[64], text[160];
+    std::snprintf(name, sizeof name, "flr_%s_%s_%03d", sub, verb, i);
+    std::snprintf(text, sizeof text, "%s %s %s id%03d <num> state <hex>", sub,
+                  noun, verb, i);
+
+    const double u = rng.uniform();
+    EventTemplate t;
+    // Paper: silent signals are the majority of event types.
+    if (u < 0.60) {
+      t = silent(name, text, EmitterScope::PerMidplane, Severity::Info,
+                 "MONITOR", rng.uniform(6.0, 70.0));
+    } else if (u < 0.85) {
+      t = noise(name, text, EmitterScope::PerMidplane,
+                rng.uniform(0.004, 0.08), "KERNEL", Severity::Info,
+                /*burst_prob_per_day=*/rng.uniform(0.0, 0.01),
+                /*burst_rate_per_s=*/0.5, /*burst_len_s=*/20.0);
+    } else {
+      t = periodic(name, text,
+                   rng.bernoulli(0.5) ? EmitterScope::PerRack
+                                      : EmitterScope::Service,
+                   rng.uniform(300.0, 7200.0), rng.uniform(1.0, 20.0));
+    }
+    // A sprinkle of WARNING severity so non-error filtering is non-trivial.
+    if (rng.bernoulli(0.1)) t.severity = Severity::Warning;
+    catalog.add(std::move(t));
+  }
+}
+
+Scenario make_bluegene_scenario(std::uint64_t seed, double duration_days,
+                                int filler_templates) {
+  Catalog cat;
+
+  // --- Periodic health traffic (dropout-visible heartbeats) --------------
+  cat.add(periodic("mmcs_heartbeat",
+                   "mmcs db server polling status ok interval <num>",
+                   EmitterScope::Service, 30.0, 2.0, "MMCS"));
+  cat.add(periodic("ciodb_poll",
+                   "ciodb job table scan completed <num> jobs active",
+                   EmitterScope::Service, 20.0, 2.0, "CIODB"));
+  cat.add(periodic("node_health",
+                   "node card status check ok <loc> temperature <num> C",
+                   EmitterScope::PerNodeCard, 240.0, 10.0, "MONITOR"));
+  cat.add(periodic("fan_status", "fan module <num> rpm <num> nominal",
+                   EmitterScope::PerMidplane, 300.0, 15.0, "MONITOR"));
+  cat.add(periodic("env_monitor",
+                   "environment monitor readings voltage <num> mV current <num> mA",
+                   EmitterScope::PerRack, 600.0, 30.0, "MONITOR"));
+  cat.add(periodic("link_heartbeat", "linkcard status poll ok port <num>",
+                   EmitterScope::PerMidplane, 120.0, 8.0, "LINKCARD"));
+
+  // --- Noise traffic -------------------------------------------------------
+  // Correctable-memory noise; also reused as a memory-fault syndrome step.
+  // Constant correctable-memory chatter: frequent enough that neither a
+  // window-rule (DM) nor a weak pair gate can mistake generic DDR noise
+  // for a reliable uncorrectable-error precursor.
+  cat.add(noise("ddr_corrected",
+                "<num> ddr errors(s) detected and corrected on rank 0, symbol <num> bit <num>",
+                EmitterScope::PerNodeCard, 0.035, "KERNEL", Severity::Info,
+                0.003, 2.0, 25.0));
+  // High-base-rate cache noise: makes cache faults genuinely hard (Fig 9).
+  cat.add(noise("l3_edram_corrected",
+                "number of correctable errors detected in L3 EDRAMs <num>",
+                EmitterScope::PerNodeCard, 0.10, "KERNEL", Severity::Info,
+                0.010, 1.5, 40.0));
+  cat.add(noise("icache_parity", "instruction cache parity error corrected <hex>",
+                EmitterScope::PerNode, 0.0005, "KERNEL"));
+  // Torus retries: also a (weak) network-fault precursor.
+  // Torus retries burst both before real link failures AND on their own
+  // (transient congestion): a weak precursor that only high-confidence
+  // mining can safely reject.
+  cat.add(noise("torus_retry",
+                "torus sender retransmission count <num> exceeded threshold",
+                EmitterScope::PerMidplane, 0.004, "KERNEL", Severity::Info,
+                0.20, 1.0, 15.0));
+  cat.add(noise("eth_crc", "ethernet CRC error count <num> on port <num>",
+                EmitterScope::PerRack, 0.05, "LINKCARD"));
+
+  // --- Fault-syndrome and benign-chain templates (silent class) ----------
+  // Precursor templates also occur occasionally WITHOUT a following
+  // failure (correctable errors that never escalate) — the honest source
+  // of false positives that keeps precision below 100 %.
+  const auto dir_corr =
+      cat.add(silent("dir_corr", "correctable error detected in directory <hex>",
+                     EmitterScope::PerNode, Severity::Warning, "KERNEL", 18.0));
+  const auto dir_uncorr = cat.add(
+      silent("dir_uncorr", "uncorrectable error detected in directory <hex>",
+             EmitterScope::PerNode, Severity::Failure, "KERNEL"));
+  const auto capture_dir = cat.add(silent(
+      "capture_dir", "capture first directory correctable error address <hex> 0",
+      EmitterScope::PerNode, Severity::Info, "KERNEL"));
+  const auto ddr_failing =
+      cat.add(silent("ddr_failing", "DDR failing data registers: <hex> <hex>",
+                     EmitterScope::PerNode, Severity::Severe, "KERNEL"));
+  const auto parity_plb =
+      cat.add(silent("parity_plb", "parity error in read queue PLB <hex>",
+                     EmitterScope::PerNode, Severity::Severe, "KERNEL"));
+
+  const auto bit_sparing = cat.add(silent(
+      "bit_sparing",
+      "midplaneswitchcontroller performing bit sparing on <loc> bit <num>",
+      EmitterScope::PerMidplane, Severity::Warning, "LINKCARD", 8.0));
+  const auto linkcard_power = cat.add(
+      silent("linkcard_power", "linkcard power module <loc> is not accessible",
+             EmitterScope::PerMidplane, Severity::Severe, "LINKCARD", 4.0));
+  const auto ido_comm = cat.add(silent(
+      "ido_comm",
+      "problem communicating with service card, ido chip: <hex> java.io.ioexception: could not find ethernetswitch on port:address 1:136",
+      EmitterScope::PerMidplane, Severity::Severe, "HARDWARE"));
+  const auto prepare_service = cat.add(silent(
+      "prepare_service",
+      "prepareforservice is being done on this part <loc> mcardsernum( <num> ) mtype( <num> ) by <word>",
+      EmitterScope::PerMidplane, Severity::Warning, "SERVICE"));
+  const auto endservice_restart = cat.add(silent(
+      "endservice_restart",
+      "endserviceaction is restarting the nodecards in midplane <loc> as part of service action <num>",
+      EmitterScope::PerMidplane, Severity::Warning, "SERVICE"));
+  const auto vpd_mismatch = cat.add(silent(
+      "vpd_mismatch",
+      "node card vpd check: <loc> node in processor card slot <num> do not match. vpd ecid <num> found <num>",
+      EmitterScope::PerNodeCard, Severity::Severe, "SERVICE"));
+  const auto no_power_module = cat.add(
+      silent("no_power_module", "no power module <loc> found found on link card",
+             EmitterScope::PerMidplane, Severity::Failure, "LINKCARD"));
+  const auto temp_over =
+      cat.add(silent("temp_over", "temperature Over Limit on link card",
+                     EmitterScope::PerMidplane, Severity::Failure, "LINKCARD"));
+
+  const auto mailbox_unavail = cat.add(silent(
+      "mailbox_unavail", "mailbox controller unavailable for <loc> retrying",
+      EmitterScope::PerNode, Severity::Warning, "KERNEL", 12.0));
+  const auto node_no_response = cat.add(
+      silent("node_no_response", "no response from node card <loc> rts tree timeout",
+             EmitterScope::Service, Severity::Fatal, "MMCS"));
+  const auto gpr_header =
+      cat.add(silent("gpr_header", "general purpose registers:",
+                     EmitterScope::PerNode, Severity::Info, "KERNEL"));
+  const auto gpr_regs =
+      cat.add(silent("gpr_regs", "lr: <hex> cr: <hex> xer: <hex> ctr: <hex>",
+                     EmitterScope::PerNode, Severity::Info, "KERNEL"));
+
+  const auto tree_receiver = cat.add(
+      silent("tree_receiver", "tree receiver <num> in re-synch state event",
+             EmitterScope::PerMidplane, Severity::Warning, "KERNEL", 8.0));
+  const auto torus_failure = cat.add(
+      silent("torus_failure", "torus link failure detected on dimension <word>",
+             EmitterScope::PerMidplane, Severity::Failure, "KERNEL"));
+  const auto torus_retry = cat.require("torus_retry");
+
+  const auto l3_major = cat.add(silent("l3_major", "L3 major internal error",
+                                       EmitterScope::PerNode, Severity::Failure,
+                                       "KERNEL"));
+  const auto l3_summary = cat.add(silent(
+      "l3_ecc_summary", "L3 EDRAM error summary threshold reached bank <num>",
+      EmitterScope::PerNode, Severity::Warning, "KERNEL"));
+  const auto l3_edram = cat.require("l3_edram_corrected");
+
+  const auto ciodb_abort = cat.add(
+      silent("ciodb_abort", "ciodb exited abnormally due to signal: aborted",
+             EmitterScope::Service, Severity::Failure, "CIODB"));
+  const auto mmcs_abort = cat.add(silent(
+      "mmcs_abort", "mmcs server exited abnormally due to signal: <word> n+",
+      EmitterScope::Service, Severity::Failure, "MMCS"));
+  const auto job_timeout =
+      cat.add(silent("job_timeout", "job <num> timed out. n+",
+                     EmitterScope::Service, Severity::Severe, "CIODB"));
+
+  const auto idoproxy_start = cat.add(silent(
+      "idoproxy_start",
+      "idoproxydb has been started: $name: <num> $ input parameters: -enableflush -loguserinfo db.properties bluegene1",
+      EmitterScope::Service, Severity::Info, "MMCS"));
+  const auto ciodb_restart =
+      cat.add(silent("ciodb_restart", "ciodb has been restarted.",
+                     EmitterScope::Service, Severity::Info, "CIODB"));
+  const auto bglmaster_start = cat.add(silent(
+      "bglmaster_start",
+      "bglmaster has been started: ./bglmaster --consoleip 127.0.0.1 --consoleport 32035 --configfile bglmaster.init --autorestart y",
+      EmitterScope::Service, Severity::Info, "MMCS"));
+  const auto mmcs_start = cat.add(silent(
+      "mmcs_start",
+      "mmcs db server has been started: ./mmcs db server --usedatabase bgl --dbproperties <path> --iolog /bgl/bluelight/logs/bgl --reconnect-blocks all n+",
+      EmitterScope::Service, Severity::Info, "MMCS"));
+
+  add_filler_templates(cat, filler_templates, seed);
+
+  // ---- Fault catalog -------------------------------------------------------
+  FaultCatalog fc;
+
+  {  // DDR memory cascade (Table I "Memory error"): ~1 minute of lead.
+    FaultType f;
+    f.name = "memory_ddr";
+    f.category = "memory";
+    f.rate_per_day = 2.5;
+    f.propagation = topo::Scope::Midplane;
+    f.affected_min = 2;
+    f.affected_max = 5;
+    f.steps = {
+        step(dir_corr, 0.0, 2.0, StepWhere::Initiator, 3, 8, 8.0, 0.78),
+        step(cat.require("ddr_corrected"), 10.0, 4.0, StepWhere::AllAffected,
+             5, 12, 4.0),
+        step(dir_uncorr, 65.0, 12.0, StepWhere::RandomAffected),
+        step(capture_dir, 68.0, 12.0),
+        step(ddr_failing, 72.0, 12.0),
+        step(parity_plb, 75.0, 12.0, StepWhere::Initiator, 1, 1, 1.0, 0.7),
+    };
+    f.terminal_step = 2;
+    fc.add(std::move(f));
+  }
+
+  {  // Node-card service cascade (Tables I/II): hour-scale lead, no spread.
+    FaultType f;
+    f.name = "nodecard_fail";
+    f.category = "nodecard";
+    f.rate_per_day = 1.4;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(bit_sparing, 0.0, 10.0),
+        step(linkcard_power, 440.0, 30.0),
+        step(ido_comm, 490.0, 30.0, StepWhere::Initiator, 1, 1, 1.0, 0.9),
+        step(prepare_service, 560.0, 40.0, StepWhere::Initiator, 1, 1, 1.0, 0.85),
+        step(endservice_restart, 1200.0, 120.0, StepWhere::Initiator, 1, 1, 1.0, 0.8),
+        step(vpd_mismatch, 1900.0, 180.0, StepWhere::Initiator, 1, 1, 1.0, 0.9),
+        step(no_power_module, 3200.0, 200.0),
+        step(temp_over, 3230.0, 10.0),
+    };
+    f.terminal_step = 6;
+    fc.add(std::move(f));
+  }
+
+  {  // Silent-precursor node crash: heartbeat stops, then a FATAL report.
+    FaultType f;
+    f.name = "node_crash";
+    f.category = "software";
+    f.rate_per_day = 2.8;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(mailbox_unavail, 0.0, 5.0, StepWhere::Initiator, 1, 3, 20.0, 0.70),
+        step(node_no_response, 480.0, 15.0, StepWhere::Service),
+        step(gpr_header, 510.0, 10.0),
+        step(gpr_regs, 511.0, 10.0, StepWhere::Initiator, 2, 4, 1.0),
+    };
+    f.terminal_step = 1;
+    f.suppressions = {
+        {cat.require("node_health"), 0.0, 900.0, StepWhere::Initiator}};
+    fc.add(std::move(f));
+  }
+
+  {  // Torus/network failure: short lead, unreliable precursors (Fig 9 low).
+    FaultType f;
+    f.name = "network_torus";
+    f.category = "network";
+    f.rate_per_day = 1.5;
+    f.propagation = topo::Scope::Midplane;
+    f.affected_min = 2;
+    f.affected_max = 4;
+    f.steps = {
+        step(torus_retry, 0.0, 3.0, StepWhere::AllAffected, 2, 5, 5.0, 0.55),
+        step(tree_receiver, 12.0, 4.0, StepWhere::Initiator, 1, 1, 1.0, 0.55),
+        step(torus_failure, 32.0, 8.0, StepWhere::RandomAffected),
+    };
+    f.terminal_step = 2;
+    fc.add(std::move(f));
+  }
+
+  {  // L3 cache failure: precursor burst is camouflaged by background bursts.
+    FaultType f;
+    f.name = "cache_l3";
+    f.category = "cache";
+    f.rate_per_day = 1.8;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(l3_edram, 0.0, 2.0, StepWhere::Initiator, 8, 20, 2.0),
+        step(l3_summary, 6.0, 3.0, StepWhere::Initiator, 1, 1, 1.0, 0.40),
+        step(l3_major, 35.0, 15.0),
+    };
+    f.terminal_step = 2;
+    fc.add(std::move(f));
+  }
+
+  {  // CIODB crash (Table II): everything at once, zero prediction window.
+    FaultType f;
+    f.name = "ciodb_crash";
+    f.category = "io";
+    f.rate_per_day = 1.2;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(ciodb_abort, 0.0, 0.5, StepWhere::Service),
+        step(mmcs_abort, 1.0, 0.5, StepWhere::Service),
+        step(job_timeout, 2.0, 1.0, StepWhere::Service, 2, 6, 1.0),
+    };
+    f.terminal_step = 0;
+    fc.add(std::move(f));
+  }
+
+  {  // Uncorrectable memory error with no correctable prelude: nothing to
+     // predict from. A large share of real failures look like this, which
+     // is why even good predictors top out well below 100 % recall.
+    FaultType f;
+    f.name = "memory_fast";
+    f.category = "memory";
+    f.rate_per_day = 1.3;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(dir_uncorr, 0.0, 1.0),
+        step(ddr_failing, 4.0, 2.0),
+    };
+    f.terminal_step = 0;
+    fc.add(std::move(f));
+  }
+
+  {  // Node card that dies without service-action prelude.
+    FaultType f;
+    f.name = "nodecard_fast";
+    f.category = "nodecard";
+    f.rate_per_day = 0.3;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(no_power_module, 0.0, 1.0),
+        step(temp_over, 25.0, 5.0),
+    };
+    f.terminal_step = 0;
+    fc.add(std::move(f));
+  }
+
+  {  // L3 failure with no correctable prelude at all.
+    FaultType f;
+    f.name = "cache_fast";
+    f.category = "cache";
+    f.rate_per_day = 0.9;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(l3_major, 0.0, 1.0),
+    };
+    f.terminal_step = 0;
+    fc.add(std::move(f));
+  }
+
+  {  // Instant kernel crash, no silent prelude.
+    FaultType f;
+    f.name = "software_fast";
+    f.category = "software";
+    f.rate_per_day = 1.3;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(node_no_response, 0.0, 1.0, StepWhere::Service),
+        step(gpr_header, 25.0, 5.0),
+        step(gpr_regs, 26.0, 5.0, StepWhere::Initiator, 2, 4, 1.0),
+    };
+    f.terminal_step = 0;
+    fc.add(std::move(f));
+  }
+
+  {  // Benign component-restart chain (Table I): INFO only, not a failure.
+    FaultType f;
+    f.name = "restart_sequence";
+    f.category = "benign";
+    f.rate_per_day = 2.6;
+    f.propagation = topo::Scope::Node;
+    f.benign = true;
+    f.steps = {
+        step(idoproxy_start, 0.0, 2.0, StepWhere::Service),
+        step(ciodb_restart, 25.0, 5.0, StepWhere::Service),
+        step(bglmaster_start, 40.0, 5.0, StepWhere::Service),
+        step(mmcs_start, 55.0, 5.0, StepWhere::Service),
+    };
+    f.terminal_step = 0;
+    fc.add(std::move(f));
+  }
+
+  {  // Benign multiline register dump (Table I "Multiline messages").
+    FaultType f;
+    f.name = "multiline_dump";
+    f.category = "benign";
+    f.rate_per_day = 1.0;
+    f.propagation = topo::Scope::Node;
+    f.benign = true;
+    f.steps = {
+        step(gpr_header, 0.0, 0.2),
+        step(gpr_regs, 1.0, 0.2, StepWhere::Initiator, 2, 4, 1.0),
+    };
+    f.terminal_step = 0;
+    fc.add(std::move(f));
+  }
+
+  Scenario sc{
+      .name = "bluegene",
+      .generator = TraceGenerator(topo::Topology::bluegene(4, 2, 8, 16),
+                                  std::move(cat), std::move(fc)),
+      .config = {},
+      .train_days = 4.0,
+  };
+  sc.config.duration_days = duration_days;
+  sc.config.seed = seed;
+  return sc;
+}
+
+Scenario make_mercury_scenario(std::uint64_t seed, double duration_days,
+                               int filler_templates) {
+  Catalog cat;
+
+  cat.add(periodic("pbs_server_poll", "pbs server cycle complete <num> jobs queued",
+                   EmitterScope::Service, 30.0, 3.0, "PBS"));
+  cat.add(periodic("nfs_mount_check", "nfs mount table verified <num> exports",
+                   EmitterScope::Service, 120.0, 10.0, "NFS"));
+  // On a flat cluster "per node card" means per node: 891 emitters. A
+  // 15-minute sweep keeps the aggregate rate production-plausible.
+  cat.add(periodic("node_sensors", "sensor sweep ok <loc> load <num> temp <num>",
+                   EmitterScope::PerNodeCard, 900.0, 40.0, "MONITOR"));
+  cat.add(periodic("ib_port_poll", "infiniband port counters sampled lid <num>",
+                   EmitterScope::PerRack, 240.0, 15.0, "IB"));
+
+  cat.add(noise("ib_symbol_err", "ib symbol error count <num> on lid <num>",
+                EmitterScope::PerRack, 0.02, "IB", Severity::Info, 0.004, 1.0,
+                20.0));
+  // Per-node on this machine: keep the per-emitter rate tiny so the
+  // aggregate stays a sparse (silent-class) signal whose fault bursts
+  // stand out.
+  cat.add(noise("ecc_corrected", "ECC single bit error corrected dimm <num> addr <hex>",
+                EmitterScope::PerNodeCard, 0.001, "KERNEL", Severity::Info,
+                0.0002, 1.5, 20.0));
+  cat.add(noise("scsi_retry", "scsi retry cmd <hex> target <num>",
+                EmitterScope::PerRack, 0.008, "DISK"));
+
+  const auto rpc_bad_reclen = cat.add(silent(
+      "rpc_bad_reclen", "rpc: bad tcp reclen <num> (non-terminal)",
+      EmitterScope::PerNode, Severity::Warning, "NFS", 7.0));
+  const auto nfs_server_timeout = cat.add(
+      silent("nfs_server_timeout", "nfs: server <word> not responding, timed out",
+             EmitterScope::Service, Severity::Severe, "NFS"));
+  const auto nfs_unavailable = cat.add(silent(
+      "nfs_unavailable", "nfs: RPC call returned error 5 filesystem unavailable",
+      EmitterScope::PerNode, Severity::Failure, "NFS"));
+
+  const auto ifup_failed = cat.add(silent(
+      "ifup_failed", "ifup: could not get a valid interface name: -> skipped",
+      EmitterScope::PerNode, Severity::Warning, "NET", 9.0));
+  const auto unexpected_restart = cat.add(silent(
+      "unexpected_restart", "node unexpected restart detected uptime reset <loc>",
+      EmitterScope::PerNode, Severity::Failure, "KERNEL"));
+
+  const auto ecc_uncorrected = cat.add(silent(
+      "ecc_uncorrected", "ECC uncorrectable multi bit error dimm <num> addr <hex>",
+      EmitterScope::PerNode, Severity::Failure, "KERNEL"));
+
+  const auto smart_warning = cat.add(silent(
+      "smart_warning", "smartd device <path> 1 currently unreadable pending sectors",
+      EmitterScope::PerNode, Severity::Warning, "DISK", 12.0));
+  const auto disk_failed = cat.add(
+      silent("disk_failed", "end_request i/o error dev <word> sector <num>",
+             EmitterScope::PerNode, Severity::Failure, "DISK"));
+
+  const auto pbs_down =
+      cat.add(silent("pbs_down", "pbs server daemon died unexpectedly restarting",
+                     EmitterScope::Service, Severity::Failure, "PBS"));
+  const auto pbs_recover =
+      cat.add(silent("pbs_recover", "pbs server recovered state from <path>",
+                     EmitterScope::Service, Severity::Info, "PBS"));
+
+  add_filler_templates(cat, filler_templates, seed ^ 0x6d657263ULL);
+
+  FaultCatalog fc;
+
+  {  // NFS outage: near-simultaneous storm on ~25 % of the machine (§V).
+    FaultType f;
+    f.name = "nfs_outage";
+    f.category = "io";
+    f.rate_per_day = 0.9;
+    f.propagation = topo::Scope::System;
+    f.global_fraction = 0.25;
+    f.affected_min = 100;
+    f.affected_max = 400;
+    f.steps = {
+        step(rpc_bad_reclen, 0.0, 2.0, StepWhere::AllAffected, 8, 25, 0.4),
+        step(nfs_server_timeout, 15.0, 5.0, StepWhere::Service),
+        step(nfs_unavailable, 32.0, 10.0, StepWhere::RandomAffected),
+    };
+    f.terminal_step = 2;
+    fc.add(std::move(f));
+  }
+
+  {  // Unexpected hardware restart propagating across a few nodes (§V).
+    FaultType f;
+    f.name = "node_restart_hw";
+    f.category = "software";
+    f.rate_per_day = 2.0;
+    f.propagation = topo::Scope::Rack;
+    f.affected_min = 1;
+    f.affected_max = 3;
+    f.steps = {
+        step(ifup_failed, 0.0, 5.0, StepWhere::AllAffected),
+        step(unexpected_restart, 95.0, 30.0, StepWhere::RandomAffected),
+    };
+    f.terminal_step = 1;
+    fc.add(std::move(f));
+  }
+
+  {  // ECC memory failure, one-minute lead (like BG/L memory).
+    FaultType f;
+    f.name = "mem_ecc";
+    f.category = "memory";
+    f.rate_per_day = 2.0;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(cat.require("ecc_corrected"), 0.0, 2.0, StepWhere::Initiator, 4,
+             10, 5.0),
+        step(ecc_uncorrected, 58.0, 12.0),
+    };
+    f.terminal_step = 1;
+    fc.add(std::move(f));
+  }
+
+  {  // Disk failure: SMART warnings hours ahead.
+    FaultType f;
+    f.name = "disk_smart";
+    f.category = "disk";
+    f.rate_per_day = 1.3;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(smart_warning, 0.0, 60.0, StepWhere::Initiator, 2, 4, 600.0),
+        step(disk_failed, 5400.0, 1800.0),
+    };
+    f.terminal_step = 1;
+    fc.add(std::move(f));
+  }
+
+  {  // PBS daemon crash: zero lead (Mercury's CIODB analogue).
+    FaultType f;
+    f.name = "pbs_crash";
+    f.category = "software";
+    f.rate_per_day = 0.9;
+    f.propagation = topo::Scope::Node;
+    f.steps = {
+        step(pbs_down, 0.0, 0.5, StepWhere::Service),
+        step(pbs_recover, 20.0, 5.0, StepWhere::Service),
+    };
+    f.terminal_step = 0;
+    fc.add(std::move(f));
+  }
+
+  Scenario sc{
+      .name = "mercury",
+      .generator = TraceGenerator(topo::Topology::cluster(891, 32),
+                                  std::move(cat), std::move(fc)),
+      .config = {},
+      .train_days = 4.0,
+  };
+  sc.config.duration_days = duration_days;
+  sc.config.seed = seed;
+  return sc;
+}
+
+}  // namespace elsa::simlog

@@ -1,0 +1,81 @@
+#include "simlog/textgen.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace elsa::simlog {
+
+namespace {
+
+const std::array<const char*, 16> kWords = {
+    "alpha", "bravo", "delta", "gamma", "sigma", "omega", "kernel", "torus",
+    "tree",  "ido",   "chip",  "port",  "fan",   "psu",   "dimm",   "asic"};
+
+std::string random_path(util::Rng& rng) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/bgl/%s/%s%llu",
+                kWords[rng.below(kWords.size())],
+                kWords[rng.below(kWords.size())],
+                static_cast<unsigned long long>(rng.below(1000)));
+  return buf;
+}
+
+std::string random_ip(util::Rng& rng) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu.%llu.%llu.%llu",
+                static_cast<unsigned long long>(rng.range(10, 192)),
+                static_cast<unsigned long long>(rng.below(256)),
+                static_cast<unsigned long long>(rng.below(256)),
+                static_cast<unsigned long long>(rng.range(1, 254)));
+  return buf;
+}
+
+}  // namespace
+
+std::string render_message(const std::string& pattern, util::Rng& rng,
+                           const std::string& location_code) {
+  const auto tokens = util::split(pattern, " ");
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    if (tok == "<num>") {
+      out.push_back(std::to_string(rng.below(65536)));
+    } else if (tok == "<hex>") {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "0x%08llx",
+                    static_cast<unsigned long long>(rng.next_u64() & 0xffffffffULL));
+      out.push_back(buf);
+    } else if (tok == "<loc>") {
+      out.push_back(location_code);
+    } else if (tok == "<ip>") {
+      out.push_back(random_ip(rng));
+    } else if (tok == "<path>") {
+      out.push_back(random_path(rng));
+    } else if (tok == "<word>") {
+      out.push_back(kWords[rng.below(kWords.size())]);
+    } else {
+      out.push_back(tok);
+    }
+  }
+  return util::join(out, " ");
+}
+
+std::string pattern_as_template(const std::string& pattern) {
+  const auto tokens = util::split(pattern, " ");
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    if (tok == "<num>")
+      out.emplace_back("d+");
+    else if (tok == "<hex>" || tok == "<loc>" || tok == "<ip>" ||
+             tok == "<path>" || tok == "<word>")
+      out.emplace_back("*");
+    else
+      out.push_back(tok);
+  }
+  return util::join(out, " ");
+}
+
+}  // namespace elsa::simlog

@@ -1,0 +1,26 @@
+// Message-text rendering: turns catalog patterns into concrete log lines by
+// substituting placeholder tokens with random values. The variability is
+// what exercises the HELO template miner — constant tokens must survive
+// clustering, placeholder positions must become wildcards.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace elsa::simlog {
+
+/// Substitute each whitespace-delimited placeholder token in `pattern`:
+///   <num>   -> decimal integer            <hex>  -> 0x........ value
+///   <loc>   -> the provided location code <ip>   -> dotted quad
+///   <path>  -> unix-ish path              <word> -> random lowercase word
+/// Unknown tokens pass through unchanged.
+std::string render_message(const std::string& pattern, util::Rng& rng,
+                           const std::string& location_code);
+
+/// The catalog pattern with placeholders rewritten in the paper's template
+/// notation: <num> -> "d+", every other placeholder -> "*". This is the
+/// "true template" string HELO is expected to recover.
+std::string pattern_as_template(const std::string& pattern);
+
+}  // namespace elsa::simlog

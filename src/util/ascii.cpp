@@ -1,0 +1,101 @@
+#include "util/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace elsa::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < std::min(row.size(), widths.size()); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t w : widths) rule += w + 2;
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+AsciiBarChart::AsciiBarChart(std::string title, std::size_t width)
+    : title_(std::move(title)), width_(std::max<std::size_t>(8, width)) {}
+
+void AsciiBarChart::add(std::string label, double value,
+                        std::string annotation) {
+  rows_.push_back({std::move(label), value, std::move(annotation)});
+}
+
+void AsciiBarChart::print(std::ostream& os) const {
+  os << title_ << '\n';
+  double maxv = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& r : rows_) {
+    maxv = std::max(maxv, r.value);
+    label_w = std::max(label_w, r.label.size());
+  }
+  for (const auto& r : rows_) {
+    const std::size_t len =
+        maxv > 0.0 ? static_cast<std::size_t>(
+                         std::lround(r.value / maxv * static_cast<double>(width_)))
+                   : 0;
+    os << "  " << r.label << std::string(label_w - r.label.size() + 1, ' ')
+       << '|' << std::string(len, '#') << std::string(width_ - len, ' ')
+       << "  " << r.annotation << '\n';
+  }
+}
+
+std::string sparkline(const std::vector<double>& values, std::size_t max_width) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (values.empty()) return {};
+  // Downsample by max-pooling so short bursts stay visible.
+  const std::size_t n = values.size();
+  const std::size_t w = std::min(max_width, n);
+  std::vector<double> pooled(w, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t b = i * w / n;
+    pooled[b] = std::max(pooled[b], values[i]);
+  }
+  const double maxv = *std::max_element(pooled.begin(), pooled.end());
+  std::string out;
+  for (double v : pooled) {
+    const std::size_t lvl =
+        maxv > 0.0 ? std::min<std::size_t>(
+                         7, static_cast<std::size_t>(v / maxv * 7.999))
+                   : 0;
+    out += levels[lvl];
+  }
+  return out;
+}
+
+std::string format_pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace elsa::util

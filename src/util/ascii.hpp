@@ -1,0 +1,56 @@
+// Terminal renderers for the reproduction reports: aligned tables for the
+// paper's Tables I–IV and horizontal bar charts for its figures. Every
+// bench binary prints its table/figure through these so outputs share one
+// visual language.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace elsa::util {
+
+/// Column-aligned ASCII table with a header row and a rule line.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Render with two-space column gaps; rows shorter than the header are
+  /// padded with empty cells.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal bar chart: one labelled row per value, bar scaled to the
+/// maximum. Used to render the paper's distribution figures in text form.
+class AsciiBarChart {
+ public:
+  explicit AsciiBarChart(std::string title, std::size_t width = 50);
+
+  void add(std::string label, double value, std::string annotation = "");
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::size_t width_;
+  struct Row {
+    std::string label;
+    double value;
+    std::string annotation;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Sparkline-style rendering of a numeric series (one char per sample,
+/// eight vertical levels); used to show signals à la paper Fig 1/3.
+std::string sparkline(const std::vector<double>& values,
+                      std::size_t max_width = 100);
+
+std::string format_pct(double fraction, int decimals = 1);
+std::string format_double(double v, int decimals = 2);
+
+}  // namespace elsa::util

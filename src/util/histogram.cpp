@@ -1,0 +1,68 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace elsa::util {
+
+EdgeHistogram::EdgeHistogram(std::vector<double> edges)
+    : edges_(std::move(edges)) {
+  if (edges_.empty()) throw std::invalid_argument("EdgeHistogram: no edges");
+  if (!std::is_sorted(edges_.begin(), edges_.end()))
+    throw std::invalid_argument("EdgeHistogram: edges must be sorted");
+  counts_.assign(edges_.size(), 0);
+}
+
+void EdgeHistogram::add(double x, std::uint64_t weight) {
+  if (x < edges_.front()) return;  // below-range mass is dropped by design
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  const std::size_t bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+double EdgeHistogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string EdgeHistogram::label(std::size_t bin, const std::string& unit) const {
+  char buf[96];
+  if (bin + 1 < edges_.size()) {
+    std::snprintf(buf, sizeof buf, "[%g%s, %g%s)", edges_[bin], unit.c_str(),
+                  edges_[bin + 1], unit.c_str());
+  } else {
+    std::snprintf(buf, sizeof buf, ">=%g%s", edges_[bin], unit.c_str());
+  }
+  return buf;
+}
+
+void CategoryHistogram::add(const std::string& category, std::uint64_t weight) {
+  const auto it = std::find(names_.begin(), names_.end(), category);
+  if (it == names_.end()) {
+    names_.push_back(category);
+    counts_.push_back(weight);
+  } else {
+    counts_[static_cast<std::size_t>(it - names_.begin())] += weight;
+  }
+  total_ += weight;
+}
+
+std::uint64_t CategoryHistogram::count(const std::string& category) const {
+  const auto it = std::find(names_.begin(), names_.end(), category);
+  if (it == names_.end()) return 0;
+  return counts_[static_cast<std::size_t>(it - names_.begin())];
+}
+
+double CategoryHistogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double CategoryHistogram::fraction(const std::string& category) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(category)) / static_cast<double>(total_);
+}
+
+}  // namespace elsa::util

@@ -1,0 +1,55 @@
+// Bucketed counting used throughout the experiment harness: sequence-size
+// distributions (Fig 5), delay distributions (Fig 6), propagation scopes
+// (Fig 7) and per-category recall (Fig 9) all reduce to labelled histograms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elsa::util {
+
+/// Histogram over explicit, contiguous numeric bin edges:
+/// bins are [e0,e1), [e1,e2), ..., [e_{k-1}, +inf).
+class EdgeHistogram {
+ public:
+  explicit EdgeHistogram(std::vector<double> edges);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  /// Fraction of mass in the bin; 0 if the histogram is empty.
+  double fraction(std::size_t bin) const;
+  /// Human-readable bin label such as "[10s, 1m)".
+  std::string label(std::size_t bin,
+                    const std::string& unit = "") const;
+  double lower_edge(std::size_t bin) const { return edges_.at(bin); }
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram over string categories, insertion-ordered.
+class CategoryHistogram {
+ public:
+  void add(const std::string& category, std::uint64_t weight = 1);
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::size_t i) const { return names_.at(i); }
+  std::uint64_t count(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t count(const std::string& category) const;
+  std::uint64_t total() const { return total_; }
+  double fraction(std::size_t i) const;
+  double fraction(const std::string& category) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace elsa::util

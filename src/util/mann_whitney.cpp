@@ -1,0 +1,71 @@
+#include "util/mann_whitney.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace elsa::util {
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  MannWhitneyResult r;
+  const std::size_t n1 = a.size(), n2 = b.size();
+  if (n1 == 0 || n2 == 0) return r;
+
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> all;
+  all.reserve(n1 + n2);
+  for (double x : a) all.push_back({x, true});
+  for (double x : b) all.push_back({x, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& l, const Tagged& rr) { return l.value < rr.value; });
+
+  // Midranks with tie bookkeeping for the variance correction.
+  const std::size_t n = n1 + n2;
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;  // sum over tie groups of t^3 - t
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && all[j + 1].value == all[i].value) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    const double midrank = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k)
+      if (all[k].from_a) rank_sum_a += midrank;
+    if (t > 1.0) tie_term += t * t * t - t;
+    i = j + 1;
+  }
+
+  const double dn1 = static_cast<double>(n1), dn2 = static_cast<double>(n2);
+  const double dn = dn1 + dn2;
+  const double u1 = rank_sum_a - dn1 * (dn1 + 1.0) / 2.0;
+  r.u = u1;
+
+  const double mu = dn1 * dn2 / 2.0;
+  double sigma2 = dn1 * dn2 / 12.0 * ((dn + 1.0) - tie_term / (dn * (dn - 1.0)));
+  if (sigma2 <= 0.0) {
+    // All values tied: no evidence against H0 in either direction.
+    return r;
+  }
+  const double sigma = std::sqrt(sigma2);
+  // Continuity correction of 0.5 toward the mean.
+  double z;
+  if (u1 > mu)
+    z = (u1 - 0.5 - mu) / sigma;
+  else if (u1 < mu)
+    z = (u1 + 0.5 - mu) / sigma;
+  else
+    z = 0.0;
+  r.z = z;
+  r.p_two_sided = 2.0 * (1.0 - normal_cdf(std::abs(z)));
+  r.p_two_sided = std::min(1.0, r.p_two_sided);
+  r.p_greater = 1.0 - normal_cdf((u1 - 0.5 - mu) / sigma);
+  return r;
+}
+
+}  // namespace elsa::util

@@ -1,0 +1,28 @@
+// Mann–Whitney U (Wilcoxon rank-sum) test, used by the correlation miner to
+// decide whether an extracted gradual itemset is statistically significant
+// (paper §III.C cites Milton's extended critical-value tables [22]; we use
+// the standard normal approximation with tie correction, which matches the
+// tables to well under the decision threshold for the sample sizes the
+// miner produces).
+#pragma once
+
+#include <span>
+
+namespace elsa::util {
+
+struct MannWhitneyResult {
+  double u = 0.0;        ///< U statistic for the first sample.
+  double z = 0.0;        ///< Normal-approximation z score (tie-corrected).
+  double p_two_sided = 1.0;
+  double p_greater = 1.0;  ///< One-sided: first sample stochastically larger.
+};
+
+/// Rank-sum test of H0 "samples come from the same distribution".
+/// Both samples must be non-empty; otherwise a null result (p = 1) returns.
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double z);
+
+}  // namespace elsa::util

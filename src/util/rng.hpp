@@ -1,0 +1,119 @@
+// Deterministic, fast pseudo-random generation for the simulator and the
+// synthetic workloads. Every stochastic component in this repository draws
+// from an explicitly seeded Rng so experiments are exactly reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace elsa::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain), wrapped with the
+/// handful of distributions the simulator needs. Not cryptographic; chosen
+/// for speed, tiny state, and exact cross-platform reproducibility (unlike
+/// std::*_distribution, whose output is implementation-defined).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed via splitmix64 so that
+  /// nearby seeds yield uncorrelated streams.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    const __uint128_t m =
+        static_cast<__uint128_t>(next_u64()) * static_cast<__uint128_t>(n);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (= 1/rate). Used for failure
+  /// inter-arrival times, matching the paper's exponential failure model.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (cached second variate not kept to
+  /// preserve simple state semantics).
+  double normal() {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = std::numeric_limits<double>::min();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Poisson-distributed count. Knuth's product method for small means,
+  /// normal approximation above 64 (entirely adequate for message counts).
+  std::uint64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean > 64.0) {
+      const double v = std::round(normal(mean, std::sqrt(mean)));
+      return v < 0.0 ? 0 : static_cast<std::uint64_t>(v);
+    }
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double prod = uniform();
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+
+  /// Fork an independent stream; child streams are decorrelated via
+  /// splitmix64 over the parent's next output.
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace elsa::util

@@ -1,0 +1,155 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace elsa::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+namespace {
+double median_inplace(std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const auto lo_it = std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (*lo_it + hi);
+}
+}  // namespace
+
+double median(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  return median_inplace(v);
+}
+
+double mad(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = median(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) dev[i] = std::abs(xs[i] - m);
+  return median_inplace(dev);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  const double mx = mean(xs.subspan(0, n));
+  const double my = mean(ys.subspan(0, n));
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double binomial_tail_pvalue(int n, int k, double p) {
+  if (k <= 0) return 1.0;
+  if (p <= 0.0) return k > 0 ? 0.0 : 1.0;
+  if (p >= 1.0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum P(X = i) for i in [k, n] in log space with lgamma.
+  double tail = 0.0;
+  for (int i = k; i <= n; ++i) {
+    const double logp = std::lgamma(n + 1.0) - std::lgamma(i + 1.0) -
+                        std::lgamma(n - i + 1.0) +
+                        static_cast<double>(i) * std::log(p) +
+                        static_cast<double>(n - i) * std::log1p(-p);
+    tail += std::exp(logp);
+  }
+  return std::min(1.0, tail);
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+SlidingMedian::SlidingMedian(std::size_t window)
+    : window_(window == 0 ? 1 : window) {
+  fifo_.reserve(window_);
+  sorted_.reserve(window_);
+}
+
+void SlidingMedian::push(double x) {
+  if (count_ == window_) {
+    // Evict the oldest sample from the sorted view.
+    const double old = fifo_[head_];
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), old);
+    sorted_.erase(it);
+    fifo_[head_] = x;
+    head_ = (head_ + 1) % window_;
+  } else {
+    fifo_.push_back(x);
+    ++count_;
+  }
+  sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), x), x);
+}
+
+double SlidingMedian::median() const {
+  if (sorted_.empty()) return 0.0;
+  const std::size_t mid = sorted_.size() / 2;
+  if (sorted_.size() % 2 == 1) return sorted_[mid];
+  return 0.5 * (sorted_[mid - 1] + sorted_[mid]);
+}
+
+double SlidingMedian::mad() const {
+  if (sorted_.empty()) return 0.0;
+  const double m = median();
+  std::vector<double> dev(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i)
+    dev[i] = std::abs(sorted_[i] - m);
+  return median_inplace(dev);
+}
+
+void SlidingMedian::clear() {
+  fifo_.clear();
+  sorted_.clear();
+  head_ = 0;
+  count_ = 0;
+}
+
+}  // namespace elsa::util

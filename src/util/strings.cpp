@@ -1,0 +1,106 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace elsa::util {
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    std::size_t j = i;
+    while (j < s.size() && delims.find(s[j]) == std::string_view::npos) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::string> split_keep_empty(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool looks_numeric(std::string_view token) {
+  if (token.empty()) return false;
+  std::string_view t = token;
+  const bool hex_prefixed = starts_with(t, "0x") || starts_with(t, "0X");
+  if (hex_prefixed) t = t.substr(2);
+  if (t.empty()) return false;
+  std::size_t digits = 0, hex_letters = 0, others = 0;
+  for (unsigned char c : t) {
+    if (std::isdigit(c) || c == '.' || c == ':' || c == '-')
+      ++digits;
+    else if (std::isxdigit(c))
+      ++hex_letters;
+    else
+      ++others;
+  }
+  // 0x-prefixed payloads are numeric whenever they are valid-ish hex.
+  if (hex_prefixed) return others == 0;
+  // Otherwise require at least one real digit so ordinary words made of
+  // a-f letters ("detected", "cafe") never read as numbers; hex letters
+  // then count toward the numeric mass (addresses like 1a2b3c).
+  if (digits == 0) return false;
+  return others * 3 <= digits + hex_letters;
+}
+
+bool template_matches(const std::vector<std::string>& tmpl_tokens,
+                      const std::vector<std::string>& msg_tokens) {
+  if (tmpl_tokens.size() != msg_tokens.size()) return false;
+  for (std::size_t i = 0; i < tmpl_tokens.size(); ++i) {
+    const std::string& t = tmpl_tokens[i];
+    if (t == "*") continue;
+    if (t == "d+") {
+      if (!looks_numeric(msg_tokens[i])) return false;
+      continue;
+    }
+    if (t != msg_tokens[i]) return false;
+  }
+  return true;
+}
+
+std::string human_duration(double seconds) {
+  char buf[48];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace elsa::util

@@ -1,0 +1,39 @@
+// String helpers shared by the log generator (message formatting) and the
+// HELO template miner (tokenisation, wildcard matching).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace elsa::util {
+
+/// Split on any of the given delimiter characters, dropping empty tokens.
+std::vector<std::string> split(std::string_view s,
+                               std::string_view delims = " \t");
+
+/// Split preserving empty tokens (needed when message columns matter).
+std::vector<std::string> split_keep_empty(std::string_view s, char delim);
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep = " ");
+
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if the token is entirely digits (possibly hex with 0x prefix),
+/// a dotted decimal, or digit-dominated — HELO treats these as variables.
+bool looks_numeric(std::string_view token);
+
+/// Match a HELO-style template against a token list. Template tokens:
+///   "*"  matches any single token;  "d+" matches a numeric token;
+/// anything else must match exactly (case-sensitive).
+bool template_matches(const std::vector<std::string>& tmpl_tokens,
+                      const std::vector<std::string>& msg_tokens);
+
+/// Render a duration in seconds as a compact human string ("54s", "9m",
+/// "1.2h") for the report printers.
+std::string human_duration(double seconds);
+
+}  // namespace elsa::util

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii.hpp"
+
+namespace {
+
+using namespace elsa::util;
+
+TEST(AsciiTable, AlignsColumnsAndPadsShortRows) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Header line and rule line plus two rows.
+  int lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(AsciiBarChart, ScalesToMax) {
+  AsciiBarChart c("title", 10);
+  c.add("a", 10.0);
+  c.add("b", 5.0, "half");
+  std::ostringstream os;
+  c.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("##########"), std::string::npos);  // full bar
+  EXPECT_NE(out.find("#####  "), std::string::npos);     // half bar
+  EXPECT_NE(out.find("half"), std::string::npos);
+}
+
+TEST(AsciiBarChart, AllZeroValuesRenderEmptyBars) {
+  AsciiBarChart c("z", 10);
+  c.add("a", 0.0);
+  std::ostringstream os;
+  c.print(os);
+  EXPECT_EQ(os.str().find('#'), std::string::npos);
+}
+
+TEST(Sparkline, EmptyAndScaling) {
+  EXPECT_TRUE(sparkline({}).empty());
+  const auto s = sparkline({0.0, 1.0, 2.0, 4.0}, 4);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.back(), '#');   // max maps to densest glyph
+  EXPECT_EQ(s.front(), ' ');  // zero maps to blank
+}
+
+TEST(Sparkline, DownsamplingKeepsPeaks) {
+  std::vector<double> v(100, 0.0);
+  v[50] = 10.0;  // single spike must survive max-pooling
+  const auto s = sparkline(v, 10);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(Format, PercentAndDouble) {
+  EXPECT_EQ(format_pct(0.912), "91.2%");
+  EXPECT_EQ(format_pct(0.5, 0), "50%");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Catalog and fault-model validation tests: id assignment, lookups, and
+// every rejection path of FaultCatalog::validate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "simlog/catalog.hpp"
+#include "simlog/faults.hpp"
+
+namespace {
+
+using namespace elsa::simlog;
+
+EventTemplate make_template(const std::string& name, Severity sev) {
+  EventTemplate t;
+  t.name = name;
+  t.text = name + " <num>";
+  t.severity = sev;
+  t.shape = SignalShape::Silent;
+  t.emitter = EmitterScope::PerNode;
+  return t;
+}
+
+TEST(Catalog, IdsAreDenseIndices) {
+  Catalog c;
+  const auto a = c.add(make_template("a", Severity::Info));
+  const auto b = c.add(make_template("b", Severity::Failure));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c.at(b).name, "b");
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Catalog, FindAndRequire) {
+  Catalog c;
+  c.add(make_template("x", Severity::Info));
+  EXPECT_TRUE(c.find("x").has_value());
+  EXPECT_FALSE(c.find("y").has_value());
+  EXPECT_EQ(c.require("x"), 0);
+  EXPECT_THROW(c.require("y"), std::invalid_argument);
+}
+
+TEST(Catalog, DuplicateNameRejected) {
+  Catalog c;
+  c.add(make_template("dup", Severity::Info));
+  EXPECT_THROW(c.add(make_template("dup", Severity::Info)),
+               std::invalid_argument);
+}
+
+TEST(Severity, FailureClassification) {
+  EXPECT_TRUE(is_failure_severity(Severity::Failure));
+  EXPECT_TRUE(is_failure_severity(Severity::Fatal));
+  EXPECT_FALSE(is_failure_severity(Severity::Severe));
+  EXPECT_FALSE(is_failure_severity(Severity::Info));
+  EXPECT_STREQ(to_string(Severity::Severe), "SEVERE");
+}
+
+class FaultValidation : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    info_ = cat_.add(make_template("info", Severity::Info));
+    fail_ = cat_.add(make_template("fail", Severity::Failure));
+  }
+
+  FaultType valid_fault() const {
+    FaultType f;
+    f.name = "f";
+    f.category = "test";
+    f.rate_per_day = 1.0;
+    SyndromeStep pre;
+    pre.tmpl = info_;
+    SyndromeStep term;
+    term.tmpl = fail_;
+    term.offset_s = 10.0;
+    f.steps = {pre, term};
+    f.terminal_step = 1;
+    return f;
+  }
+
+  Catalog cat_;
+  std::uint16_t info_ = 0, fail_ = 0;
+};
+
+TEST_F(FaultValidation, AcceptsValid) {
+  FaultCatalog fc;
+  fc.add(valid_fault());
+  EXPECT_NO_THROW(fc.validate(cat_));
+}
+
+TEST_F(FaultValidation, RejectsEmptySteps) {
+  auto f = valid_fault();
+  f.steps.clear();
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_THROW(fc.validate(cat_), std::invalid_argument);
+}
+
+TEST_F(FaultValidation, RejectsTerminalOutOfRange) {
+  auto f = valid_fault();
+  f.terminal_step = 5;
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_THROW(fc.validate(cat_), std::invalid_argument);
+}
+
+TEST_F(FaultValidation, RejectsNonFailureTerminal) {
+  auto f = valid_fault();
+  f.terminal_step = 0;  // points at the INFO step
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_THROW(fc.validate(cat_), std::invalid_argument);
+}
+
+TEST_F(FaultValidation, BenignChainMayLackFailure) {
+  auto f = valid_fault();
+  f.terminal_step = 0;
+  f.benign = true;
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_NO_THROW(fc.validate(cat_));
+}
+
+TEST_F(FaultValidation, RejectsUnknownTemplate) {
+  auto f = valid_fault();
+  f.steps[0].tmpl = 99;
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_THROW(fc.validate(cat_), std::invalid_argument);
+}
+
+TEST_F(FaultValidation, RejectsBadRepeatRange) {
+  auto f = valid_fault();
+  f.steps[0].repeat_min = 3;
+  f.steps[0].repeat_max = 2;
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_THROW(fc.validate(cat_), std::invalid_argument);
+}
+
+TEST_F(FaultValidation, RejectsBadEmitProb) {
+  auto f = valid_fault();
+  f.steps[0].emit_prob = 1.5;
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_THROW(fc.validate(cat_), std::invalid_argument);
+}
+
+TEST_F(FaultValidation, RejectsFlakyTerminal) {
+  auto f = valid_fault();
+  f.steps[1].emit_prob = 0.5;
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_THROW(fc.validate(cat_), std::invalid_argument);
+}
+
+TEST_F(FaultValidation, RejectsEmptySuppressionInterval) {
+  auto f = valid_fault();
+  f.suppressions.push_back({info_, 10.0, 10.0, StepWhere::Initiator});
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_THROW(fc.validate(cat_), std::invalid_argument);
+}
+
+TEST_F(FaultValidation, RejectsBadAffectedRange) {
+  auto f = valid_fault();
+  f.affected_min = 0;
+  FaultCatalog fc;
+  fc.add(std::move(f));
+  EXPECT_THROW(fc.validate(cat_), std::invalid_argument);
+}
+
+TEST_F(FaultValidation, MeanLeadComputed) {
+  const auto f = valid_fault();
+  EXPECT_DOUBLE_EQ(f.mean_lead_s(), 10.0);
+}
+
+TEST(FaultCatalog, FindByName) {
+  FaultCatalog fc;
+  FaultType f;
+  f.name = "only";
+  fc.add(f);
+  EXPECT_NE(fc.find("only"), nullptr);
+  EXPECT_EQ(fc.find("other"), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Prediction-replay checkpoint simulation tests: hand-built timelines with
+// known outcomes, and consistency with the analytical waste model on a
+// real campaign's prediction stream.
+#include <gtest/gtest.h>
+
+#include "elsa/ckpt_replay.hpp"
+#include "elsa/pipeline.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+using namespace elsa;
+using core::Prediction;
+using simlog::GroundTruthFault;
+
+GroundTruthFault fault_at(std::uint32_t id, std::int64_t fail_ms) {
+  GroundTruthFault f;
+  f.id = id;
+  f.fail_time_ms = fail_ms;
+  f.category = "test";
+  return f;
+}
+
+core::ReplayConfig window(std::int64_t t0_ms, std::int64_t t1_ms,
+                          double interval_s = 0.0) {
+  core::ReplayConfig cfg;
+  cfg.params = {60.0, 300.0, 60.0, 86'400.0};  // C=1min R=5min D=1min
+  cfg.t_begin_ms = t0_ms;
+  cfg.t_end_ms = t1_ms;
+  cfg.interval_s = interval_s;
+  return cfg;
+}
+
+TEST(CkptReplay, NoEventsOnlyPeriodicCheckpoints) {
+  core::EvalResult eval;  // empty outcome vectors match empty inputs
+  const auto r = core::replay_checkpointing({}, {}, eval,
+                                            window(0, 3'600'000, 600.0));
+  EXPECT_EQ(r.failures, 0u);
+  // One hour at a 10-minute interval: checkpoints at 600, 1200, ..., 3600 -> 5
+  // full intervals inside (the last lands exactly at the window end).
+  EXPECT_GE(r.checkpoints, 5u);
+  EXPECT_LE(r.checkpoints, 6u);
+  EXPECT_NEAR(r.waste(),
+              static_cast<double>(r.checkpoints) * 60.0 / 3600.0, 1e-9);
+}
+
+TEST(CkptReplay, MissedFailureLosesWorkSinceCheckpoint) {
+  const std::vector<GroundTruthFault> faults{fault_at(1, 900'000)};
+  core::EvalResult eval;
+  eval.fault_predicted = {0};
+  const auto r = core::replay_checkpointing(
+      faults, {}, eval, window(0, 3'600'000, /*interval=*/600.0));
+  EXPECT_EQ(r.failures, 1u);
+  EXPECT_EQ(r.predicted_in_time, 0u);
+  // Failure at 900 s; last checkpoint at 600 s -> 300 s of work lost.
+  EXPECT_NEAR(r.lost_work_s, 300.0, 1e-9);
+  EXPECT_NEAR(r.restart_cost_s, 360.0, 1e-9);
+}
+
+TEST(CkptReplay, PredictedFailureLosesNoWork) {
+  const std::vector<GroundTruthFault> faults{fault_at(1, 900'000)};
+  core::EvalResult eval;
+  eval.fault_predicted = {1};
+  eval.fault_alarm_time_ms = {800'000};
+  const auto r = core::replay_checkpointing(faults, {}, eval,
+                                            window(0, 3'600'000, 600.0));
+  EXPECT_EQ(r.predicted_in_time, 1u);
+  EXPECT_DOUBLE_EQ(r.lost_work_s, 0.0);
+  EXPECT_NEAR(r.restart_cost_s, 360.0, 1e-9);
+}
+
+TEST(CkptReplay, FalseAlarmCostsOneCheckpoint) {
+  Prediction fp;
+  fp.issue_time_ms = 1'000'000;
+  core::EvalResult eval;
+  eval.prediction_correct = {0};
+  const auto with_fp = core::replay_checkpointing(
+      {}, {fp}, eval, window(0, 3'600'000, 600.0));
+  core::EvalResult none;
+  const auto without = core::replay_checkpointing(
+      {}, {}, none, window(0, 3'600'000, 600.0));
+  // The false alarm adds a checkpoint but also resets the periodic phase;
+  // total checkpoint cost grows by at most one C and at least stays equal.
+  EXPECT_GE(with_fp.false_alarms, 1u);
+  EXPECT_GE(with_fp.checkpoint_cost_s, without.checkpoint_cost_s);
+  EXPECT_LE(with_fp.checkpoint_cost_s,
+            without.checkpoint_cost_s + 60.0 + 1e-9);
+}
+
+TEST(CkptReplay, PredictionReducesWasteOnRealCampaign) {
+  auto sc = simlog::make_bluegene_scenario(2012, 10.0, 60);
+  const auto trace = sc.generator.generate(sc.config);
+  core::PipelineConfig cfg;
+  const auto res =
+      core::run_experiment(trace, 4.0, core::Method::Hybrid, cfg);
+
+  core::ReplayConfig rc;
+  // A harsher machine than the trace's real MTTF so waste is visible:
+  // pretend each failure costs a full global restart.
+  rc.params = {60.0, 300.0, 60.0, 0.0};
+  rc.params.mttf = 1.0;  // unused (interval from observed rate)
+  rc.t_begin_ms = trace.t_begin_ms + 4 * 86'400'000LL;
+  rc.t_end_ms = trace.t_end_ms;
+
+  const auto with_pred = core::replay_checkpointing(
+      trace.faults, res.predictions, res.eval, rc);
+
+  // Baseline: same failures, no prediction at all.
+  core::EvalResult blind;
+  blind.fault_predicted.assign(trace.faults.size(), 0);
+  blind.fault_alarm_time_ms.assign(trace.faults.size(), -1);
+  const auto without =
+      core::replay_checkpointing(trace.faults, {}, blind, rc);
+
+  EXPECT_GT(with_pred.predicted_in_time, 0u);
+  EXPECT_LT(with_pred.waste(), without.waste());
+  EXPECT_GT(with_pred.useful_s, without.useful_s);
+}
+
+TEST(CkptReplay, RejectsMismatchedEval) {
+  core::EvalResult eval;
+  eval.fault_predicted = {1, 0};  // two flags, one fault
+  EXPECT_THROW(core::replay_checkpointing({fault_at(1, 5'000)}, {}, eval,
+                                          window(0, 10'000)),
+               std::invalid_argument);
+  core::EvalResult ok;
+  EXPECT_THROW(core::replay_checkpointing({}, {}, ok, window(10, 10)),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Association-rule baseline tests: window semantics, gates, and the
+// structural blindnesses the paper attributes to this method class.
+#include <gtest/gtest.h>
+
+#include "elsa/dm_miner.hpp"
+
+namespace {
+
+using namespace elsa::core;
+
+constexpr std::int64_t kDt = 10'000;
+
+TEST(DmMiner, FindsWindowedRule) {
+  // Antecedent template 0 at t, failure template 1 at t + 60 s.
+  std::vector<std::vector<std::int64_t>> occ(2);
+  for (int i = 0; i < 10; ++i) {
+    occ[0].push_back(i * 3'600'000);
+    occ[1].push_back(i * 3'600'000 + 60'000);
+  }
+  const std::vector<bool> failure{false, true};
+  DmConfig cfg;
+  cfg.min_support = 4;
+  cfg.min_confidence = 0.5;
+  DmStats stats;
+  const auto rules = mine_assoc_rules(occ, failure, kDt, 1.0, cfg, &stats);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].items[0].signal, 0u);
+  EXPECT_EQ(rules[0].items[1].signal, 1u);
+  EXPECT_EQ(rules[0].items[1].delay, 6);  // 60 s in 10 s samples
+  EXPECT_EQ(rules[0].support, 10);
+  EXPECT_DOUBLE_EQ(rules[0].confidence, 1.0);
+  EXPECT_EQ(stats.rules, 1u);
+}
+
+TEST(DmMiner, FixedWindowMissesLongCascades) {
+  // The node-card pathology: 50-minute lead, far beyond the 4-min window.
+  std::vector<std::vector<std::int64_t>> occ(2);
+  for (int i = 0; i < 10; ++i) {
+    occ[0].push_back(i * 7'200'000);
+    occ[1].push_back(i * 7'200'000 + 3'000'000);  // +50 min
+  }
+  const std::vector<bool> failure{false, true};
+  const auto rules = mine_assoc_rules(occ, failure, kDt, 1.0, DmConfig{});
+  EXPECT_TRUE(rules.empty());
+}
+
+TEST(DmMiner, LowConfidenceRejected) {
+  // Antecedent mostly fires without the failure.
+  std::vector<std::vector<std::int64_t>> occ(2);
+  for (int i = 0; i < 100; ++i) occ[0].push_back(i * 600'000);
+  for (int i = 0; i < 5; ++i) occ[1].push_back(i * 600'000 + 30'000);
+  const std::vector<bool> failure{false, true};
+  DmConfig cfg;
+  cfg.min_confidence = 0.5;
+  EXPECT_TRUE(mine_assoc_rules(occ, failure, kDt, 1.0, cfg).empty());
+  cfg.min_confidence = 0.02;
+  EXPECT_EQ(mine_assoc_rules(occ, failure, kDt, 1.0, cfg).size(), 1u);
+}
+
+TEST(DmMiner, SupportGate) {
+  std::vector<std::vector<std::int64_t>> occ(2);
+  for (int i = 0; i < 3; ++i) {
+    occ[0].push_back(i * 600'000);
+    occ[1].push_back(i * 600'000 + 10'000);
+  }
+  const std::vector<bool> failure{false, true};
+  DmConfig cfg;
+  cfg.min_support = 4;
+  EXPECT_TRUE(mine_assoc_rules(occ, failure, kDt, 1.0, cfg).empty());
+  cfg.min_support = 3;
+  EXPECT_EQ(mine_assoc_rules(occ, failure, kDt, 1.0, cfg).size(), 1u);
+}
+
+TEST(DmMiner, OnlyFailureTemplatesAreConsequents) {
+  std::vector<std::vector<std::int64_t>> occ(2);
+  for (int i = 0; i < 10; ++i) {
+    occ[0].push_back(i * 600'000);
+    occ[1].push_back(i * 600'000 + 10'000);
+  }
+  const std::vector<bool> failure{false, false};
+  EXPECT_TRUE(mine_assoc_rules(occ, failure, kDt, 1.0, DmConfig{}).empty());
+}
+
+TEST(DmMiner, ChattyAntecedentSkipped) {
+  std::vector<std::vector<std::int64_t>> occ(2);
+  for (int i = 0; i < 5000; ++i) occ[0].push_back(i * 17'000);
+  for (int i = 0; i < 50; ++i) occ[1].push_back(i * 1'700'000 + 10'000);
+  const std::vector<bool> failure{false, true};
+  DmConfig cfg;
+  cfg.min_confidence = 0.0;
+  cfg.max_antecedent_per_day = 1000.0;  // 5000/day antecedent skipped
+  DmStats stats;
+  EXPECT_TRUE(mine_assoc_rules(occ, failure, kDt, 1.0, cfg, &stats).empty());
+  EXPECT_EQ(stats.pairs_scanned, 0u);
+}
+
+TEST(DmMiner, EachAntecedentCountedOnce) {
+  // One antecedent followed by TWO failures in window: support counts the
+  // antecedent once (first failure).
+  std::vector<std::vector<std::int64_t>> occ(2);
+  for (int i = 0; i < 6; ++i) {
+    occ[0].push_back(i * 600'000);
+    occ[1].push_back(i * 600'000 + 10'000);
+    occ[1].push_back(i * 600'000 + 20'000);
+  }
+  const std::vector<bool> failure{false, true};
+  DmConfig cfg;
+  const auto rules = mine_assoc_rules(occ, failure, kDt, 1.0, cfg);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].support, 6);
+  EXPECT_EQ(rules[0].items[1].delay, 1);  // first failure at +10 s
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Evaluation tests: the correctness / in-time split, location matching at
+// each scope, the zero-lead grace, category recall, and lead-time stats.
+#include <gtest/gtest.h>
+
+#include "elsa/evaluate.hpp"
+
+namespace {
+
+using namespace elsa::core;
+namespace topo = elsa::topo;
+using elsa::simlog::GroundTruthFault;
+
+Prediction pred(std::int64_t trigger_ms, std::int64_t issue_ms,
+                std::int64_t lead_ms, std::uint32_t tmpl,
+                std::vector<std::int32_t> nodes = {},
+                topo::Scope scope = topo::Scope::System) {
+  Prediction p;
+  p.trigger_time_ms = trigger_ms;
+  p.issue_time_ms = issue_ms;
+  p.lead_ms = lead_ms;
+  p.predicted_time_ms = trigger_ms + lead_ms;
+  p.tmpl = tmpl;
+  p.nodes = std::move(nodes);
+  p.scope = scope;
+  return p;
+}
+
+GroundTruthFault fault(std::uint32_t id, std::int64_t fail_ms,
+                       const std::string& category,
+                       std::vector<std::int32_t> affected = {5}) {
+  GroundTruthFault f;
+  f.id = id;
+  f.fail_time_ms = fail_ms;
+  f.category = category;
+  f.affected_nodes = std::move(affected);
+  f.initiating_node = f.affected_nodes.empty() ? -1 : f.affected_nodes[0];
+  return f;
+}
+
+class EvaluateTest : public ::testing::Test {
+ protected:
+  topo::Topology topo_ = topo::Topology::bluegene(2, 2, 4, 8);
+  EvalConfig cfg_;
+};
+
+TEST_F(EvaluateTest, InTimePredictionCountsForBoth) {
+  const std::vector<GroundTruthFault> faults{fault(1, 100'000, "memory")};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}};
+  const auto r = evaluate_predictions(
+      {pred(40'000, 41'000, 60'000, 7)}, faults, tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.predictions, 1u);
+  EXPECT_EQ(r.correct_predictions, 1u);
+  EXPECT_EQ(r.predicted_faults, 1u);
+  EXPECT_EQ(r.faults, 1u);
+  EXPECT_DOUBLE_EQ(r.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(r.recall(), 1.0);
+  ASSERT_EQ(r.lead_times_s.size(), 1u);
+  EXPECT_NEAR(r.lead_times_s[0], 59.0, 1e-9);
+}
+
+TEST_F(EvaluateTest, LatePredictionCorrectButNotRecalled) {
+  const std::vector<GroundTruthFault> faults{fault(1, 100'000, "io")};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}};
+  // Issued 5 s after the failure (analysis took too long).
+  const auto r = evaluate_predictions(
+      {pred(95'000, 105'000, 0, 7)}, faults, tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 1u);
+  EXPECT_EQ(r.predicted_faults, 0u);
+  EXPECT_EQ(r.missed_late, 1u);
+}
+
+TEST_F(EvaluateTest, WrongTemplateIsFalsePositive) {
+  const std::vector<GroundTruthFault> faults{fault(1, 100'000, "memory")};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}};
+  const auto r = evaluate_predictions(
+      {pred(40'000, 41'000, 60'000, 8)}, faults, tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 0u);
+  EXPECT_DOUBLE_EQ(r.precision(), 0.0);
+}
+
+TEST_F(EvaluateTest, AnyFailureTemplateOfFaultMatches) {
+  // A fault that logs two failure events (ciodb + mmcs aborts).
+  const std::vector<GroundTruthFault> faults{fault(1, 100'000, "io")};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7, 9}};
+  const auto r = evaluate_predictions(
+      {pred(40'000, 41'000, 60'000, 9)}, faults, tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 1u);
+}
+
+TEST_F(EvaluateTest, WindowTooEarlyOrTooLateRejected) {
+  const std::vector<GroundTruthFault> faults{fault(1, 500'000, "memory")};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}};
+  // Predicted window [40s, 100s + slack]; failure at 500 s: outside.
+  auto r = evaluate_predictions({pred(40'000, 41'000, 60'000, 7)}, faults,
+                                tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 0u);
+  // Failure before the trigger (beyond the grace bucket): outside.
+  r = evaluate_predictions({pred(600'000, 601'000, 60'000, 7)}, faults,
+                           tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 0u);
+}
+
+TEST_F(EvaluateTest, ZeroLeadGraceCoversSameBucketFailure) {
+  // Failure 8 s before the bucket-close trigger: within the grace.
+  const std::vector<GroundTruthFault> faults{fault(1, 92'000, "io")};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}};
+  const auto r = evaluate_predictions(
+      {pred(100'000, 100'500, 0, 7)}, faults, tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 1u);
+  EXPECT_EQ(r.predicted_faults, 0u);  // still late for proactive action
+}
+
+TEST_F(EvaluateTest, LocationScopeMatching) {
+  // Fault on node 5; prediction anchored at node 6 (same node card).
+  const std::vector<GroundTruthFault> faults{
+      fault(1, 100'000, "memory", {5})};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}};
+  // Node scope: 6 != 5 -> no match.
+  auto r = evaluate_predictions(
+      {pred(40'000, 41'000, 60'000, 7, {6}, topo::Scope::Node)}, faults,
+      tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 0u);
+  // NodeCard scope: nodes 5 and 6 share a card -> match.
+  r = evaluate_predictions(
+      {pred(40'000, 41'000, 60'000, 7, {6}, topo::Scope::NodeCard)}, faults,
+      tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 1u);
+  // Distant node even at midplane scope -> no match (node 100 = rack 1).
+  r = evaluate_predictions(
+      {pred(40'000, 41'000, 60'000, 7, {100}, topo::Scope::Midplane)},
+      faults, tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 0u);
+}
+
+TEST_F(EvaluateTest, SystemScopeAndEmptyNodesAlwaysMatchLocation) {
+  const std::vector<GroundTruthFault> faults{
+      fault(1, 100'000, "memory", {5})};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}};
+  auto r = evaluate_predictions(
+      {pred(40'000, 41'000, 60'000, 7, {}, topo::Scope::Node)}, faults,
+      tmpls, topo_, 0, cfg_);
+  EXPECT_EQ(r.correct_predictions, 1u);
+}
+
+TEST_F(EvaluateTest, RequireLocationOffIgnoresScopes) {
+  const std::vector<GroundTruthFault> faults{
+      fault(1, 100'000, "memory", {5})};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}};
+  auto cfg = cfg_;
+  cfg.require_location = false;
+  const auto r = evaluate_predictions(
+      {pred(40'000, 41'000, 60'000, 7, {100}, topo::Scope::Node)}, faults,
+      tmpls, topo_, 0, cfg);
+  EXPECT_EQ(r.correct_predictions, 1u);
+}
+
+TEST_F(EvaluateTest, TrainPeriodFaultsExcluded) {
+  const std::vector<GroundTruthFault> faults{fault(1, 100'000, "memory"),
+                                             fault(2, 900'000, "memory")};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}, {7}};
+  const auto r = evaluate_predictions({}, faults, tmpls, topo_,
+                                      /*test_begin=*/500'000, cfg_);
+  EXPECT_EQ(r.faults, 1u);
+}
+
+TEST_F(EvaluateTest, PerCategoryRecallBreakdown) {
+  const std::vector<GroundTruthFault> faults{
+      fault(1, 100'000, "memory"), fault(2, 400'000, "memory"),
+      fault(3, 700'000, "network")};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}, {7}, {8}};
+  const auto r = evaluate_predictions(
+      {pred(40'000, 41'000, 60'000, 7)}, faults, tmpls, topo_, 0, cfg_);
+  ASSERT_EQ(r.per_category.size(), 2u);
+  EXPECT_EQ(r.per_category[0].category, "memory");
+  EXPECT_EQ(r.per_category[0].total, 2u);
+  EXPECT_EQ(r.per_category[0].predicted, 1u);
+  EXPECT_DOUBLE_EQ(r.per_category[0].recall(), 0.5);
+  EXPECT_EQ(r.per_category[1].category, "network");
+  EXPECT_EQ(r.per_category[1].predicted, 0u);
+}
+
+TEST_F(EvaluateTest, LeadFractionAbove) {
+  EvalResult r;
+  r.lead_times_s = {5.0, 30.0, 90.0, 700.0};
+  EXPECT_DOUBLE_EQ(r.lead_fraction_above(10.0), 0.75);
+  EXPECT_DOUBLE_EQ(r.lead_fraction_above(60.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.lead_fraction_above(600.0), 0.25);
+  EXPECT_DOUBLE_EQ(EvalResult{}.lead_fraction_above(1.0), 0.0);
+}
+
+TEST_F(EvaluateTest, EarliestPredictionDefinesLeadTime) {
+  const std::vector<GroundTruthFault> faults{fault(1, 100'000, "memory")};
+  const std::vector<std::vector<std::uint32_t>> tmpls{{7}};
+  const auto r = evaluate_predictions(
+      {pred(40'000, 90'000, 60'000, 7), pred(40'000, 50'000, 60'000, 7)},
+      faults, tmpls, topo_, 0, cfg_);
+  ASSERT_EQ(r.lead_times_s.size(), 1u);
+  EXPECT_NEAR(r.lead_times_s[0], 50.0, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,272 @@
+// Trace-generator behaviour: determinism, ordering, emission rates,
+// fault-syndrome structure, suppression (the silent precursor), and
+// ground-truth consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "simlog/generator.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace elsa::simlog;
+namespace topo = elsa::topo;
+
+EventTemplate silent_tmpl(const std::string& name, Severity sev,
+                          EmitterScope scope = EmitterScope::PerNode) {
+  EventTemplate t;
+  t.name = name;
+  t.text = name + " <num>";
+  t.severity = sev;
+  t.shape = SignalShape::Silent;
+  t.emitter = scope;
+  return t;
+}
+
+struct TestWorld {
+  Catalog cat;
+  std::uint16_t heartbeat, warn, fail, info_start;
+
+  TestWorld() {
+    EventTemplate hb;
+    hb.name = "heartbeat";
+    hb.text = "health ok <num>";
+    hb.shape = SignalShape::Periodic;
+    hb.emitter = EmitterScope::PerNodeCard;
+    hb.period_s = 60.0;
+    hb.jitter_s = 2.0;
+    heartbeat = cat.add(hb);
+    warn = cat.add(silent_tmpl("warn", Severity::Warning));
+    fail = cat.add(silent_tmpl("fail", Severity::Failure));
+    info_start = cat.add(silent_tmpl("started", Severity::Info,
+                                     EmitterScope::Service));
+  }
+
+  FaultType fault(double rate, double lead_s = 60.0) const {
+    FaultType f;
+    f.name = "crash";
+    f.category = "test";
+    f.rate_per_day = rate;
+    SyndromeStep pre;
+    pre.tmpl = warn;
+    SyndromeStep term;
+    term.tmpl = fail;
+    term.offset_s = lead_s;
+    f.steps = {pre, term};
+    f.terminal_step = 1;
+    return f;
+  }
+};
+
+GeneratorConfig config(double days, std::uint64_t seed = 7) {
+  GeneratorConfig cfg;
+  cfg.duration_days = days;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  TestWorld w;
+  FaultCatalog fc;
+  fc.add(w.fault(3.0));
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat, fc);
+  const auto a = gen.generate(config(2.0));
+  const auto b = gen.generate(config(2.0));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].time_ms, b.records[i].time_ms);
+    EXPECT_EQ(a.records[i].true_template, b.records[i].true_template);
+    EXPECT_EQ(a.records[i].node_id, b.records[i].node_id);
+    EXPECT_EQ(a.records[i].message, b.records[i].message);
+  }
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  TestWorld w;
+  FaultCatalog fc;
+  fc.add(w.fault(3.0));
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat, fc);
+  const auto a = gen.generate(config(2.0, 7));
+  const auto b = gen.generate(config(2.0, 8));
+  EXPECT_NE(a.records.size(), b.records.size());
+}
+
+TEST(Generator, RecordsSortedAndInRange) {
+  TestWorld w;
+  FaultCatalog fc;
+  fc.add(w.fault(5.0));
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat, fc);
+  const auto tr = gen.generate(config(1.0));
+  ASSERT_FALSE(tr.records.empty());
+  for (std::size_t i = 1; i < tr.records.size(); ++i)
+    ASSERT_LE(tr.records[i - 1].time_ms, tr.records[i].time_ms);
+  for (const auto& r : tr.records) {
+    ASSERT_GE(r.time_ms, tr.t_begin_ms);
+    ASSERT_LT(r.time_ms, tr.t_end_ms);
+  }
+}
+
+TEST(Generator, PeriodicEmissionRate) {
+  TestWorld w;
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat,
+                     FaultCatalog{});
+  const auto tr = gen.generate(config(1.0));
+  // 4 node cards, one heartbeat per 60 s each, over one day.
+  std::size_t heartbeats = 0;
+  for (const auto& r : tr.records)
+    if (r.true_template == w.heartbeat) ++heartbeats;
+  const double expected = 4.0 * 86400.0 / 60.0;
+  EXPECT_NEAR(static_cast<double>(heartbeats), expected, expected * 0.05);
+}
+
+TEST(Generator, FaultArrivalRateApproximatesPoisson) {
+  TestWorld w;
+  FaultCatalog fc;
+  fc.add(w.fault(6.0));
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat, fc);
+  const auto tr = gen.generate(config(20.0));
+  EXPECT_NEAR(static_cast<double>(tr.faults.size()), 120.0, 30.0);
+}
+
+TEST(Generator, GroundTruthTerminalRecordExists) {
+  TestWorld w;
+  FaultCatalog fc;
+  fc.add(w.fault(4.0));
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat, fc);
+  const auto tr = gen.generate(config(3.0));
+  ASSERT_GT(tr.faults.size(), 0u);
+  for (const auto& f : tr.faults) {
+    EXPECT_EQ(f.terminal_template, w.fail);
+    EXPECT_GE(f.fail_time_ms, f.start_time_ms);
+    // The terminal record must exist at exactly the recorded time.
+    const bool found = std::any_of(
+        tr.records.begin(), tr.records.end(), [&](const LogRecord& r) {
+          return r.fault_id == f.id && r.true_template == w.fail &&
+                 r.time_ms == f.fail_time_ms;
+        });
+    EXPECT_TRUE(found) << "fault " << f.id;
+    // Initiator is always in the affected set.
+    EXPECT_NE(std::find(f.affected_nodes.begin(), f.affected_nodes.end(),
+                        f.initiating_node),
+              f.affected_nodes.end());
+  }
+}
+
+TEST(Generator, FaultsSortedByFailTime) {
+  TestWorld w;
+  FaultCatalog fc;
+  fc.add(w.fault(6.0));
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat, fc);
+  const auto tr = gen.generate(config(5.0));
+  for (std::size_t i = 1; i < tr.faults.size(); ++i)
+    ASSERT_LE(tr.faults[i - 1].fail_time_ms, tr.faults[i].fail_time_ms);
+}
+
+TEST(Generator, BenignChainsProduceNoGroundTruth) {
+  TestWorld w;
+  FaultCatalog fc;
+  FaultType benign;
+  benign.name = "restart";
+  benign.category = "benign";
+  benign.rate_per_day = 10.0;
+  benign.benign = true;
+  SyndromeStep s;
+  s.tmpl = w.info_start;
+  s.where = StepWhere::Service;
+  benign.steps = {s};
+  fc.add(std::move(benign));
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat, fc);
+  const auto tr = gen.generate(config(3.0));
+  EXPECT_TRUE(tr.faults.empty());
+  std::size_t starts = 0;
+  for (const auto& r : tr.records)
+    if (r.true_template == w.info_start) ++starts;
+  EXPECT_GT(starts, 10u);  // chain ran, just not as a failure
+}
+
+TEST(Generator, SuppressionSilencesHeartbeat) {
+  TestWorld w;
+  FaultCatalog fc;
+  auto f = w.fault(0.0);
+  f.rate_per_day = 2.0;
+  f.suppressions = {{w.heartbeat, 0.0, 3600.0, StepWhere::Initiator}};
+  fc.add(std::move(f));
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat, fc);
+  const auto tr = gen.generate(config(4.0));
+  ASSERT_GT(tr.faults.size(), 0u);
+  const auto& fault = tr.faults.front();
+  // The initiating node's card must log no heartbeat inside the window.
+  const std::int32_t card_rep = fault.initiating_node / 4 * 4;
+  for (const auto& r : tr.records) {
+    if (r.true_template != w.heartbeat || r.node_id != card_rep) continue;
+    const bool inside = r.time_ms >= fault.start_time_ms &&
+                        r.time_ms < fault.start_time_ms + 3600'000;
+    EXPECT_FALSE(inside) << "heartbeat at " << r.time_ms
+                         << " inside suppression of fault at "
+                         << fault.start_time_ms;
+  }
+}
+
+TEST(Generator, PropagationStaysInScope) {
+  TestWorld w;
+  FaultCatalog fc;
+  auto f = w.fault(4.0);
+  f.propagation = topo::Scope::Midplane;
+  f.affected_min = 2;
+  f.affected_max = 4;
+  fc.add(std::move(f));
+  const auto topology = topo::Topology::bluegene(2, 2, 4, 8);
+  TraceGenerator gen(topology, w.cat, fc);
+  const auto tr = gen.generate(config(4.0));
+  ASSERT_GT(tr.faults.size(), 0u);
+  for (const auto& fault : tr.faults) {
+    ASSERT_GE(fault.affected_nodes.size(), 1u);
+    ASSERT_LE(fault.affected_nodes.size(), 4u);
+    const auto spread = topology.classify_spread(fault.affected_nodes);
+    EXPECT_LE(static_cast<int>(spread),
+              static_cast<int>(topo::Scope::Midplane));
+    // No duplicates.
+    std::set<std::int32_t> uniq(fault.affected_nodes.begin(),
+                                fault.affected_nodes.end());
+    EXPECT_EQ(uniq.size(), fault.affected_nodes.size());
+  }
+}
+
+TEST(Generator, RenderTextOffLeavesMessagesEmpty) {
+  TestWorld w;
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 2, 2), w.cat,
+                     FaultCatalog{});
+  auto cfg = config(0.5);
+  cfg.render_text = false;
+  const auto tr = gen.generate(cfg);
+  ASSERT_FALSE(tr.records.empty());
+  for (const auto& r : tr.records) ASSERT_TRUE(r.message.empty());
+}
+
+TEST(Generator, BackgroundScaleMultipliesVolume) {
+  TestWorld w;
+  TraceGenerator gen(topo::Topology::bluegene(1, 1, 4, 4), w.cat,
+                     FaultCatalog{});
+  auto base = config(1.0);
+  auto scaled = config(1.0);
+  scaled.background_scale = 3.0;
+  const auto a = gen.generate(base);
+  const auto b = gen.generate(scaled);
+  EXPECT_NEAR(static_cast<double>(b.records.size()),
+              3.0 * static_cast<double>(a.records.size()),
+              0.15 * 3.0 * static_cast<double>(a.records.size()));
+}
+
+TEST(Generator, EmittersOfScopes) {
+  TestWorld w;
+  TraceGenerator gen(topo::Topology::bluegene(2, 2, 4, 8), w.cat,
+                     FaultCatalog{});
+  EXPECT_EQ(gen.emitters_of(w.cat.at(w.heartbeat)).size(), 16u);  // cards
+  EXPECT_EQ(gen.emitters_of(w.cat.at(w.info_start)),
+            std::vector<std::int32_t>{-1});
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Gradual-itemset miner tests: support counting, significance, level-wise
+// growth of a planted three-event cascade, delay consistency, subsumption
+// filtering, and serial/parallel equivalence.
+#include <gtest/gtest.h>
+
+#include "elsa/grite.hpp"
+#include "signalkit/xcorr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace elsa::core;
+using elsa::sigkit::OutlierStream;
+using elsa::sigkit::PairCorrelation;
+using elsa::sigkit::XcorrConfig;
+using elsa::util::Rng;
+
+/// Build streams with a planted cascade S0 -> S1 (+d1) -> S2 (+d2) over
+/// `occurrences` instances plus uniform noise outliers in each stream.
+std::vector<OutlierStream> planted_cascade(int occurrences, std::int32_t d1,
+                                           std::int32_t d2, int noise,
+                                           std::uint64_t seed,
+                                           std::size_t total) {
+  Rng rng(seed);
+  std::vector<OutlierStream> streams(4);
+  std::int32_t t = 50;
+  for (int i = 0; i < occurrences; ++i) {
+    streams[0].push_back(t);
+    streams[1].push_back(t + d1);
+    streams[2].push_back(t + d2);
+    t += static_cast<std::int32_t>(rng.range(500, 900));
+  }
+  for (int i = 0; i < noise; ++i)
+    for (std::size_t s = 0; s < streams.size(); ++s)
+      streams[s].push_back(static_cast<std::int32_t>(rng.below(total)));
+  for (auto& s : streams) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  return streams;
+}
+
+GriteConfig test_config(std::size_t total) {
+  GriteConfig cfg;
+  cfg.min_support = 3;
+  cfg.min_confidence = 0.2;
+  cfg.min_significance = 0.9;
+  cfg.total_samples = total;
+  return cfg;
+}
+
+std::vector<PairCorrelation> seed_pairs(
+    const std::vector<OutlierStream>& streams, std::size_t total) {
+  XcorrConfig xc;
+  xc.total_samples = total;
+  xc.min_support = 3;
+  xc.min_confidence = 0.2;
+  xc.min_significance = 0.9;
+  xc.max_chance_pvalue = 1e-3;
+  return correlate_all(streams, xc);
+}
+
+TEST(Grite, ItemsetSupportCountsAlignedOccurrences) {
+  const auto streams = planted_cascade(10, 5, 12, 0, 1, 10000);
+  const std::vector<ChainItem> items{{0, 0}, {1, 5}, {2, 12}};
+  EXPECT_EQ(itemset_support(items, streams, 2), 10);
+  const std::vector<ChainItem> wrong{{0, 0}, {1, 50}};
+  EXPECT_EQ(itemset_support(wrong, streams, 2), 0);
+}
+
+TEST(Grite, SignificanceHighForPlantedLowForRandom) {
+  const auto streams = planted_cascade(15, 5, 12, 0, 2, 15000);
+  const std::vector<ChainItem> real{{0, 0}, {1, 5}, {2, 12}};
+  EXPECT_GT(itemset_significance(real, streams, 2, 0.0, 15000), 0.99);
+  const std::vector<ChainItem> fake{{0, 0}, {3, 7}};
+  EXPECT_LT(itemset_significance(fake, streams, 2, 0.0, 15000), 0.9);
+}
+
+TEST(Grite, MinesPlantedThreeItemChain) {
+  const std::size_t total = 20000;
+  const auto streams = planted_cascade(12, 6, 15, 5, 3, total);
+  const auto seeds = seed_pairs(streams, total);
+  ASSERT_GE(seeds.size(), 2u);
+
+  GriteStats stats;
+  const auto chains =
+      mine_gradual_itemsets(streams, seeds, test_config(total), &stats);
+  EXPECT_GE(stats.levels_built, 2u);
+
+  bool found3 = false;
+  for (const auto& c : chains) {
+    if (c.items.size() != 3) continue;
+    if (c.items[0].signal == 0 && c.items[1].signal == 1 &&
+        c.items[2].signal == 2) {
+      found3 = true;
+      EXPECT_NEAR(c.items[1].delay, 6, 3);
+      EXPECT_NEAR(c.items[2].delay, 15, 3);
+      EXPECT_GE(c.support, 10);
+      EXPECT_GT(c.confidence, 0.5);
+    }
+  }
+  EXPECT_TRUE(found3);
+}
+
+TEST(Grite, SubsumedPairsRemoved) {
+  const std::size_t total = 20000;
+  const auto streams = planted_cascade(12, 6, 15, 0, 4, total);
+  const auto seeds = seed_pairs(streams, total);
+  auto cfg = test_config(total);
+  cfg.subsume_support_ratio = 0.6;
+  GriteStats stats;
+  const auto chains = mine_gradual_itemsets(streams, seeds, cfg, &stats);
+  EXPECT_GT(stats.subsumed_removed, 0u);
+  // The pair (0 -> 1) must be gone: the 3-chain covers it at full support.
+  for (const auto& c : chains) {
+    if (c.items.size() == 2 && c.items[0].signal == 0 &&
+        c.items[1].signal == 1)
+      FAIL() << "pair 0->1 should be subsumed by the 3-item chain";
+  }
+}
+
+TEST(Grite, SubsumeFilterDisabled) {
+  const std::size_t total = 20000;
+  const auto streams = planted_cascade(12, 6, 15, 0, 5, total);
+  const auto seeds = seed_pairs(streams, total);
+  auto cfg = test_config(total);
+  cfg.subsume_support_ratio = 0.0;
+  GriteStats stats;
+  const auto chains = mine_gradual_itemsets(streams, seeds, cfg, &stats);
+  EXPECT_EQ(stats.subsumed_removed, 0u);
+  bool pair01 = false;
+  for (const auto& c : chains)
+    pair01 |= c.items.size() == 2 && c.items[0].signal == 0 &&
+              c.items[1].signal == 1;
+  EXPECT_TRUE(pair01);
+}
+
+TEST(Grite, NoSeedsNoChains) {
+  const auto streams = planted_cascade(12, 6, 15, 0, 6, 20000);
+  const auto chains =
+      mine_gradual_itemsets(streams, {}, test_config(20000), nullptr);
+  EXPECT_TRUE(chains.empty());
+}
+
+TEST(Grite, MaxLevelCapsGrowth) {
+  const std::size_t total = 20000;
+  const auto streams = planted_cascade(12, 6, 15, 0, 7, total);
+  const auto seeds = seed_pairs(streams, total);
+  auto cfg = test_config(total);
+  cfg.max_level = 2;  // pairs only
+  const auto chains = mine_gradual_itemsets(streams, seeds, cfg, nullptr);
+  for (const auto& c : chains) EXPECT_EQ(c.items.size(), 2u);
+}
+
+TEST(Grite, ParallelMatchesSerial) {
+  const std::size_t total = 30000;
+  const auto streams = planted_cascade(14, 4, 11, 8, 8, total);
+  const auto seeds = seed_pairs(streams, total);
+  auto cfg = test_config(total);
+  cfg.threads = 1;
+  const auto serial = mine_gradual_itemsets(streams, seeds, cfg, nullptr);
+  cfg.threads = 4;
+  const auto parallel = mine_gradual_itemsets(streams, seeds, cfg, nullptr);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].items.size(), parallel[i].items.size());
+    EXPECT_EQ(serial[i].support, parallel[i].support);
+    for (std::size_t j = 0; j < serial[i].items.size(); ++j) {
+      EXPECT_EQ(serial[i].items[j].signal, parallel[i].items[j].signal);
+      EXPECT_EQ(serial[i].items[j].delay, parallel[i].items[j].delay);
+    }
+  }
+}
+
+TEST(Chain, SpanLeadAndPredicates) {
+  Chain c;
+  c.items = {{4, 0}, {9, 10}, {2, 25}};
+  EXPECT_EQ(c.span(), 25);
+  EXPECT_FALSE(c.predictive());  // failure_item unset
+  c.failure_item = 2;
+  EXPECT_TRUE(c.predictive());
+  EXPECT_EQ(c.lead(), 25);
+  c.failure_item = 0;
+  EXPECT_FALSE(c.predictive());  // failure first: nothing precedes it
+  EXPECT_EQ(to_string(c), "4 ->(10) 9 ->(15) 2");
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// HELO template-mining tests: recovery of planted templates, numeric
+// generalisation, bucket separation, online incremental behaviour, and
+// purity against the generator's hidden templates.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "helo/helo.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+using namespace elsa::helo;
+
+TEST(Helo, IdenticalMessagesShareTemplate) {
+  TemplateMiner m;
+  const auto a = m.classify("ciodb has been restarted.");
+  const auto b = m.classify("ciodb has been restarted.");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(a).count, 2u);
+}
+
+TEST(Helo, NumericFieldsGeneralise) {
+  TemplateMiner m;
+  const auto a = m.classify("job 4711 timed out");
+  const auto b = m.classify("job 42 timed out");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(m.at(a).text(), "job d+ timed out");
+}
+
+TEST(Helo, HexAndAddressesGeneralise) {
+  TemplateMiner m;
+  const auto a = m.classify("parity error at 0xdeadbeef corrected");
+  const auto b = m.classify("parity error at 0x00001234 corrected");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Helo, WordVariablesBecomeWildcards) {
+  TemplateMiner m;
+  const auto a = m.classify("torus link failure detected on dimension alpha");
+  const auto b = m.classify("torus link failure detected on dimension omega");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(m.at(a).tokens[6], "*");
+  EXPECT_EQ(m.at(a).wildcards(), 1u);
+}
+
+TEST(Helo, DifferentLengthsNeverMerge) {
+  TemplateMiner m;
+  const auto a = m.classify("link down");
+  const auto b = m.classify("link down now");
+  EXPECT_NE(a, b);
+}
+
+TEST(Helo, DifferentLeadingTokensNeverMerge) {
+  TemplateMiner m;
+  const auto a = m.classify("correctable error detected in directory 0xab");
+  const auto b = m.classify("uncorrectable error detected in directory 0xab");
+  EXPECT_NE(a, b);
+}
+
+TEST(Helo, TooManyWordMismatchesSplit) {
+  TemplateMiner m;
+  const auto a = m.classify("alpha bravo charlie delta echo foxtrot");
+  const auto b = m.classify("alpha xxx yyy zzz www qqq");
+  EXPECT_NE(a, b);
+}
+
+TEST(Helo, ClassifyConstDoesNotMutate) {
+  TemplateMiner m;
+  m.classify("known message one");
+  const std::size_t before = m.size();
+  EXPECT_EQ(m.classify_const("unknown message entirely different"),
+            TemplateMiner::kNoTemplate);
+  EXPECT_EQ(m.size(), before);
+  EXPECT_NE(m.classify_const("known message one"), TemplateMiner::kNoTemplate);
+}
+
+TEST(Helo, EmptyMessage) {
+  TemplateMiner m;
+  EXPECT_EQ(m.classify(""), TemplateMiner::kNoTemplate);
+  EXPECT_EQ(m.classify_const("   "), TemplateMiner::kNoTemplate);
+}
+
+TEST(Helo, OnlinePhaseAddsNewTemplatesWithStableIds) {
+  TemplateMiner m;
+  const auto a = m.classify("service action started part 12");
+  const auto b = m.classify("completely new subsystem message appears");
+  EXPECT_EQ(b, a + 1);
+  // Old template id unchanged after new additions.
+  EXPECT_EQ(m.classify("service action started part 99"), a);
+}
+
+// Integration: run HELO over a generated campaign and check that the
+// recovered templates track the generator's hidden ones.
+TEST(Helo, RecoversGeneratorTemplatesWithHighPurity) {
+  auto scenario =
+      elsa::simlog::make_bluegene_scenario(99, /*duration_days=*/1.0,
+                                           /*filler_templates=*/40);
+  const auto trace = scenario.generator.generate(scenario.config);
+  ASSERT_GT(trace.records.size(), 1000u);
+
+  TemplateMiner m;
+  // helo id -> histogram of true template ids
+  std::map<std::uint32_t, std::map<std::uint16_t, std::size_t>> assignment;
+  for (const auto& rec : trace.records) {
+    const auto tid = m.classify(rec.message);
+    ASSERT_NE(tid, TemplateMiner::kNoTemplate);
+    ++assignment[tid][rec.true_template];
+  }
+
+  // Purity: fraction of records whose helo template's majority true id
+  // matches their own true id.
+  std::size_t majority_total = 0;
+  for (const auto& [tid, hist] : assignment) {
+    std::size_t best = 0;
+    for (const auto& [true_id, n] : hist) {
+      (void)true_id;
+      best = std::max(best, n);
+    }
+    majority_total += best;
+  }
+  const double purity =
+      static_cast<double>(majority_total) /
+      static_cast<double>(trace.records.size());
+  EXPECT_GT(purity, 0.97) << "HELO merged unrelated generator templates";
+
+  // Completeness: most generator templates that appear get their own
+  // (majority) helo template rather than being split into many.
+  std::set<std::uint16_t> seen_true;
+  for (const auto& rec : trace.records) seen_true.insert(rec.true_template);
+  EXPECT_LT(m.size(), seen_true.size() * 2)
+      << "HELO shattered templates into fragments";
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/histogram.hpp"
+
+namespace {
+
+using namespace elsa::util;
+
+TEST(EdgeHistogram, BucketsAndFractions) {
+  EdgeHistogram h({0.0, 10.0, 60.0});
+  h.add(5.0);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(59.0);
+  h.add(1000.0);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.2);
+}
+
+TEST(EdgeHistogram, BelowRangeDropped) {
+  EdgeHistogram h({10.0, 20.0});
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(EdgeHistogram, WeightsAccumulate) {
+  EdgeHistogram h({0.0, 1.0});
+  h.add(0.5, 7);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(EdgeHistogram, LabelsRenderRanges) {
+  EdgeHistogram h({0.0, 10.0, 60.0});
+  EXPECT_EQ(h.label(0, "s"), "[0s, 10s)");
+  EXPECT_EQ(h.label(2, "s"), ">=60s");
+}
+
+TEST(EdgeHistogram, RejectsBadEdges) {
+  EXPECT_THROW(EdgeHistogram({}), std::invalid_argument);
+  EXPECT_THROW(EdgeHistogram({3.0, 1.0}), std::invalid_argument);
+}
+
+TEST(EdgeHistogram, EmptyFractionIsZero) {
+  EdgeHistogram h({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(CategoryHistogram, InsertionOrderAndCounts) {
+  CategoryHistogram h;
+  h.add("memory");
+  h.add("network");
+  h.add("memory", 2);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.name(0), "memory");
+  EXPECT_EQ(h.name(1), "network");
+  EXPECT_EQ(h.count("memory"), 3u);
+  EXPECT_EQ(h.count("network"), 1u);
+  EXPECT_EQ(h.count("disk"), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction("memory"), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(CategoryHistogram, EmptyFractions) {
+  CategoryHistogram h;
+  EXPECT_DOUBLE_EQ(h.fraction("nothing"), 0.0);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Location-correlation tests: propagation profiles from planted outlier
+// events with known node sets, scope classification, and the
+// initiator-inclusion statistic from §V.
+#include <gtest/gtest.h>
+
+#include "elsa/location.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace elsa::core;
+namespace topo = elsa::topo;
+
+Chain pair_chain(std::uint32_t a, std::uint32_t b, std::int32_t delay) {
+  Chain c;
+  c.items = {{a, 0}, {b, delay}};
+  return c;
+}
+
+OutlierEvent ev(std::int32_t sample, std::vector<std::int32_t> nodes) {
+  OutlierEvent e;
+  e.sample = sample;
+  e.nodes = std::move(nodes);
+  return e;
+}
+
+TEST(Location, SingleNodeChainDoesNotPropagate) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  EventsBySignal events(2);
+  for (int i = 0; i < 6; ++i) {
+    events[0].push_back(ev(i * 100, {37}));
+    events[1].push_back(ev(i * 100 + 10, {37}));
+  }
+  const auto prof =
+      build_location_profile(pair_chain(0, 1, 10), events, t);
+  EXPECT_EQ(prof.occurrences, 6);
+  EXPECT_EQ(prof.scope, topo::Scope::Node);
+  EXPECT_DOUBLE_EQ(prof.propagating_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(prof.initiator_included, 1.0);
+  EXPECT_DOUBLE_EQ(prof.mean_nodes, 1.0);
+}
+
+TEST(Location, MidplaneSpreadClassified) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  EventsBySignal events(2);
+  // Nodes 0 and 40 share a midplane (4 cards x 8 nodes = 32 per midplane ->
+  // node 40 is midplane 1); use 0 and 20: same midplane, different cards.
+  for (int i = 0; i < 5; ++i) {
+    events[0].push_back(ev(i * 100, {0}));
+    events[1].push_back(ev(i * 100 + 5, {20}));
+  }
+  const auto prof = build_location_profile(pair_chain(0, 1, 5), events, t);
+  EXPECT_EQ(prof.scope, topo::Scope::Midplane);
+  EXPECT_DOUBLE_EQ(prof.propagating_fraction, 1.0);
+  // First-symptom node 0 never reappears in the later set.
+  EXPECT_DOUBLE_EQ(prof.initiator_included, 0.0);
+  EXPECT_DOUBLE_EQ(prof.mean_nodes, 2.0);
+}
+
+TEST(Location, ScopeQuantileIgnoresOneOffFluke) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  EventsBySignal events(2);
+  // Nine tight occurrences, one globally spread fluke.
+  for (int i = 0; i < 9; ++i) {
+    events[0].push_back(ev(i * 100, {5}));
+    events[1].push_back(ev(i * 100 + 5, {5}));
+  }
+  events[0].push_back(ev(2000, {5}));
+  events[1].push_back(ev(2005, {100}));  // other rack (node 100 = rack 1)
+  const auto prof = build_location_profile(pair_chain(0, 1, 5), events, t);
+  EXPECT_EQ(prof.occurrences, 10);
+  EXPECT_EQ(prof.scope, topo::Scope::Node);  // 80th percentile robust
+}
+
+TEST(Location, IncompleteOccurrencesSkipped) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  EventsBySignal events(2);
+  events[0].push_back(ev(100, {1}));
+  events[0].push_back(ev(500, {2}));
+  events[1].push_back(ev(110, {1}));  // only the first aligns
+  const auto prof = build_location_profile(pair_chain(0, 1, 10), events, t);
+  EXPECT_EQ(prof.occurrences, 1);
+}
+
+TEST(Location, ServiceOnlyEventsYieldNoSpread) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  EventsBySignal events(2);
+  for (int i = 0; i < 4; ++i) {
+    events[0].push_back(ev(i * 100, {}));  // service record, no node
+    events[1].push_back(ev(i * 100 + 2, {}));
+  }
+  const auto prof = build_location_profile(pair_chain(0, 1, 2), events, t);
+  EXPECT_EQ(prof.occurrences, 4);
+  EXPECT_EQ(prof.scope, topo::Scope::None);  // nothing to localise
+}
+
+TEST(Location, EmptyChainOrNoEvents) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  EventsBySignal events(2);
+  const auto prof = build_location_profile(pair_chain(0, 1, 5), events, t);
+  EXPECT_EQ(prof.occurrences, 0);
+  EXPECT_EQ(prof.scope, topo::Scope::None);
+}
+
+TEST(Location, AnnotateAll) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  EventsBySignal events(3);
+  for (int i = 0; i < 5; ++i) {
+    events[0].push_back(ev(i * 100, {3}));
+    events[1].push_back(ev(i * 100 + 4, {3}));
+    events[2].push_back(ev(i * 100 + 4, {99}));
+  }
+  std::vector<Chain> chains{pair_chain(0, 1, 4), pair_chain(0, 2, 4)};
+  annotate_locations(chains, events, t);
+  EXPECT_EQ(chains[0].location.scope, topo::Scope::Node);
+  EXPECT_GT(static_cast<int>(chains[1].location.scope),
+            static_cast<int>(topo::Scope::Node));
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+// RAS log serialisation tests: round trip, severity/location parsing, and
+// tolerance to dirty lines.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "simlog/logio.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+using namespace elsa::simlog;
+namespace topo = elsa::topo;
+
+TEST(LogIo, SeverityParsing) {
+  EXPECT_EQ(parse_severity("FAILURE"), Severity::Failure);
+  EXPECT_EQ(parse_severity("INFO"), Severity::Info);
+  EXPECT_EQ(parse_severity("bogus"), std::nullopt);
+}
+
+TEST(LogIo, BlueGeneLocationRoundTrip) {
+  const auto t = topo::Topology::bluegene(4, 2, 8, 16);
+  for (const std::int32_t n : {0, 17, 300, t.total_nodes() - 1}) {
+    const auto code = t.code(n);
+    EXPECT_EQ(parse_location(code, t), n) << code;
+  }
+  EXPECT_EQ(parse_location("SYSTEM", t), std::nullopt);
+  EXPECT_EQ(parse_location("R99-M9-N99-C:J99", t), std::nullopt);
+}
+
+TEST(LogIo, ClusterLocationRoundTrip) {
+  const auto t = topo::Topology::cluster(891, 32, "tg-c");
+  EXPECT_EQ(parse_location("tg-c0107", t), 107);
+  EXPECT_EQ(parse_location("tg-c9999", t), std::nullopt);
+  EXPECT_EQ(parse_location("tg-c", t), std::nullopt);
+}
+
+TEST(LogIo, WriteThenReadPreservesRecords) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  std::vector<LogRecord> records;
+  LogRecord a;
+  a.time_ms = 12'345;
+  a.node_id = 42;
+  a.severity = Severity::Severe;
+  a.message = "linkcard power module R00-M1 is not accessible";
+  records.push_back(a);
+  LogRecord b;
+  b.time_ms = 20'000;
+  b.node_id = -1;
+  b.severity = Severity::Info;
+  b.message = "ciodb has been restarted.";
+  records.push_back(b);
+
+  std::stringstream ss;
+  write_ras_log(ss, records, t);
+  const auto parsed = read_ras_log(ss, t);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.malformed_lines, 0u);
+  EXPECT_EQ(parsed.records[0].time_ms, 12'345);
+  EXPECT_EQ(parsed.records[0].node_id, 42);
+  EXPECT_EQ(parsed.records[0].severity, Severity::Severe);
+  EXPECT_EQ(parsed.records[0].message, a.message);
+  EXPECT_EQ(parsed.records[1].node_id, -1);
+}
+
+TEST(LogIo, MalformedLinesCountedNotFatal) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  std::stringstream ss;
+  ss << "not a log line\n"
+     << "\n"
+     << "12345\tNONSENSE\tRAS\tSYSTEM\tmsg\n"
+     << "9000\tINFO\tRAS\tSYSTEM\tgood message\n";
+  const auto parsed = read_ras_log(ss, t);
+  EXPECT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.malformed_lines, 2u);  // empty line skipped silently
+}
+
+TEST(LogIo, MessageWithTabsRejoined) {
+  const auto t = topo::Topology::bluegene(2, 2, 4, 8);
+  std::stringstream ss;
+  ss << "100\tINFO\tRAS\tSYSTEM\tpart one\tpart two\n";
+  const auto parsed = read_ras_log(ss, t);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].message, "part one part two");
+}
+
+TEST(LogIo, GeneratedCampaignRoundTrip) {
+  auto sc = make_bluegene_scenario(11, 0.5, 20);
+  const auto trace = sc.generator.generate(sc.config);
+  std::stringstream ss;
+  write_ras_log(ss, trace.records, trace.topology);
+  const auto parsed = read_ras_log(ss, trace.topology);
+  ASSERT_EQ(parsed.records.size(), trace.records.size());
+  EXPECT_EQ(parsed.malformed_lines, 0u);
+  for (std::size_t i = 0; i < parsed.records.size(); i += 997) {
+    EXPECT_EQ(parsed.records[i].time_ms, trace.records[i].time_ms);
+    EXPECT_EQ(parsed.records[i].node_id, trace.records[i].node_id);
+    EXPECT_EQ(parsed.records[i].message, trace.records[i].message);
+  }
+}
+
+TEST(LogIo, FileErrorsThrow) {
+  const auto t = topo::Topology::bluegene(1, 1, 2, 2);
+  EXPECT_THROW(read_ras_log_file("/nonexistent/dir/x.log", t),
+               std::runtime_error);
+  EXPECT_THROW(write_ras_log_file("/nonexistent/dir/x.log", {}, t),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Tests for the Mann–Whitney U implementation against hand-computed and
+// textbook values, including the tie handling the binary outlier samples
+// exercise heavily.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/mann_whitney.hpp"
+
+namespace {
+
+using namespace elsa::util;
+
+TEST(MannWhitney, EmptySampleIsNull) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> empty;
+  auto r = mann_whitney_u(a, empty);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+  r = mann_whitney_u(empty, a);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(MannWhitney, AllTiedIsNull) {
+  const std::vector<double> a{2, 2, 2};
+  const std::vector<double> b{2, 2, 2, 2};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+  EXPECT_DOUBLE_EQ(r.z, 0.0);
+}
+
+TEST(MannWhitney, CompleteSeparationLargeSamples) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(100.0 + i);
+    b.push_back(i);
+  }
+  const auto r = mann_whitney_u(a, b);
+  // U for the first sample is maximal: n1*n2.
+  EXPECT_DOUBLE_EQ(r.u, 900.0);
+  EXPECT_LT(r.p_greater, 1e-6);
+  EXPECT_LT(r.p_two_sided, 1e-6);
+}
+
+TEST(MannWhitney, SymmetryOfDirection) {
+  const std::vector<double> a{5, 6, 7, 8, 9, 10};
+  const std::vector<double> b{1, 2, 3, 4, 5, 6};
+  const auto ab = mann_whitney_u(a, b);
+  const auto ba = mann_whitney_u(b, a);
+  EXPECT_NEAR(ab.p_two_sided, ba.p_two_sided, 1e-9);
+  EXPECT_LT(ab.p_greater, 0.5);
+  EXPECT_GT(ba.p_greater, 0.5);
+  // U1 + U2 = n1 * n2.
+  EXPECT_NEAR(ab.u + ba.u, 36.0, 1e-9);
+}
+
+TEST(MannWhitney, KnownSmallExample) {
+  // Classic example: A = {1,2,4}, B = {3,5,6}; ranks 1,2,4 -> R1 = 7,
+  // U1 = 7 - 6 = 1.
+  const std::vector<double> a{1, 2, 4};
+  const std::vector<double> b{3, 5, 6};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.u, 1.0);
+  EXPECT_GT(r.p_two_sided, 0.05);  // tiny samples: no significance
+}
+
+TEST(MannWhitney, BinaryProportionsDetected) {
+  // Aligned indicators: 80% ones vs background 5% ones -- the exact usage
+  // pattern in the correlation miner.
+  std::vector<double> aligned, background;
+  for (int i = 0; i < 100; ++i) {
+    aligned.push_back(i < 80 ? 1.0 : 0.0);
+    background.push_back(i < 5 ? 1.0 : 0.0);
+  }
+  const auto r = mann_whitney_u(aligned, background);
+  EXPECT_LT(r.p_greater, 1e-9);
+}
+
+TEST(MannWhitney, BinaryEqualProportionsNotSignificant) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(i % 10 == 0 ? 1.0 : 0.0);
+    b.push_back(i % 10 == 5 ? 1.0 : 0.0);
+  }
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_GT(r.p_two_sided, 0.5);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_cdf(5.0) + normal_cdf(-5.0), 1.0, 1e-12);
+}
+
+}  // namespace

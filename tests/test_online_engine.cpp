@@ -1,0 +1,244 @@
+// Online-engine tests on hand-built chains and record streams: trigger ->
+// prediction mechanics, lead times, sequence confirmation, deduplication,
+// location attachment, the raw-matching DM mode, and the analysis-queue
+// latency accounting.
+#include <gtest/gtest.h>
+
+#include "elsa/online.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace elsa::core;
+namespace topo = elsa::topo;
+using elsa::simlog::LogRecord;
+
+constexpr std::int64_t kDt = 10'000;
+
+SignalProfile silent_profile() {
+  SignalProfile p;
+  p.cls = elsa::sigkit::SignalClass::Silent;
+  p.spike_delta = 0.5;
+  return p;
+}
+
+LogRecord rec(std::int64_t t_ms, std::int32_t node = 5) {
+  LogRecord r;
+  r.time_ms = t_ms;
+  r.node_id = node;
+  r.message = "x";
+  return r;
+}
+
+/// Chain 0 ->(6 samples) 1, template 1 is the failure.
+Chain simple_chain() {
+  Chain c;
+  c.items = {{0, 0}, {1, 6}};
+  c.failure_item = 1;
+  c.support = 10;
+  c.confidence = 0.9;
+  c.location.scope = topo::Scope::Node;
+  return c;
+}
+
+EngineConfig fast_config() {
+  EngineConfig cfg;
+  cfg.dt_ms = kDt;
+  cfg.median_window = 64;
+  cfg.cost = {0.0, 0.0, 0.0};  // no queueing latency unless a test wants it
+  return cfg;
+}
+
+TEST(OnlineEngine, EmitsPredictionWithLeadAndLocation) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, fast_config());
+  eng.feed(rec(25'000, 7), 0);  // outlier occurrence of template 0
+  eng.finish(400'000);
+
+  ASSERT_EQ(eng.predictions().size(), 1u);
+  const auto& p = eng.predictions()[0];
+  EXPECT_EQ(p.tmpl, 1u);
+  EXPECT_EQ(p.lead_ms, 6 * kDt);
+  EXPECT_EQ(p.trigger_time_ms, 30'000);  // bucket [20k,30k) closes at 30 s
+  EXPECT_EQ(p.predicted_time_ms, 30'000 + 6 * kDt);
+  ASSERT_EQ(p.nodes.size(), 1u);
+  EXPECT_EQ(p.nodes[0], 7);
+  EXPECT_EQ(p.scope, topo::Scope::Node);
+  EXPECT_EQ(eng.stats().chains_used, 1u);
+  EXPECT_EQ(eng.stats().outlier_onsets, 1u);
+}
+
+TEST(OnlineEngine, NonPredictiveChainNeverFires) {
+  auto c = simple_chain();
+  c.failure_item = -1;
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {c}, {silent_profile(), silent_profile()},
+                   fast_config());
+  eng.feed(rec(25'000), 0);
+  eng.finish(400'000);
+  EXPECT_TRUE(eng.predictions().empty());
+}
+
+TEST(OnlineEngine, DedupeSuppressesRepeatedTriggers) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, fast_config());
+  // Two occurrences 3 buckets apart on the same node: one prediction.
+  eng.feed(rec(25'000, 7), 0);
+  eng.feed(rec(55'000, 7), 0);
+  eng.finish(400'000);
+  EXPECT_EQ(eng.predictions().size(), 1u);
+  EXPECT_EQ(eng.stats().duplicates_suppressed, 1u);
+}
+
+TEST(OnlineEngine, FarApartTriggersBothPredict) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  auto cfg = fast_config();
+  cfg.dedupe_window_samples = 10;
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, cfg);
+  eng.feed(rec(25'000, 7), 0);
+  eng.feed(rec(2'000'000, 7), 0);
+  eng.finish(4'000'000);
+  EXPECT_EQ(eng.predictions().size(), 2u);
+}
+
+TEST(OnlineEngine, ConfirmationRequiredForLongPrefixes) {
+  // Chain with a 2-item prefix: 0 ->(4) 2 ->(10) 1(failure).
+  Chain c;
+  c.items = {{0, 0}, {2, 4}, {1, 10}};
+  c.failure_item = 2;
+  c.confidence = 0.8;
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  auto cfg = fast_config();
+  cfg.min_prefix_matches = 2;
+  OnlineEngine eng(
+      t, {c}, {silent_profile(), silent_profile(), silent_profile()}, cfg);
+
+  // First item alone: no alarm.
+  eng.feed(rec(25'000, 3), 0);
+  eng.finish(100'000);
+  EXPECT_TRUE(eng.predictions().empty());
+
+  // Second item at the expected +4 samples: alarm fires, locations merged.
+  OnlineEngine eng2(
+      t, {c}, {silent_profile(), silent_profile(), silent_profile()}, cfg);
+  eng2.feed(rec(25'000, 3), 0);
+  eng2.feed(rec(25'000 + 4 * kDt, 9), 2);
+  eng2.finish(400'000);
+  ASSERT_EQ(eng2.predictions().size(), 1u);
+  const auto& p = eng2.predictions()[0];
+  EXPECT_EQ(p.tmpl, 1u);
+  EXPECT_EQ(p.lead_ms, 6 * kDt);  // failure delay 10 - item delay 4
+  ASSERT_EQ(p.nodes.size(), 2u);
+}
+
+TEST(OnlineEngine, ConfirmationRejectsWrongDelay) {
+  Chain c;
+  c.items = {{0, 0}, {2, 4}, {1, 10}};
+  c.failure_item = 2;
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  auto cfg = fast_config();
+  cfg.min_prefix_matches = 2;
+  OnlineEngine eng(
+      t, {c}, {silent_profile(), silent_profile(), silent_profile()}, cfg);
+  eng.feed(rec(25'000, 3), 0);
+  // Second item far too late (not 4 +/- tolerance samples).
+  eng.feed(rec(25'000 + 40 * kDt, 9), 2);
+  eng.finish(1'000'000);
+  EXPECT_TRUE(eng.predictions().empty());
+}
+
+TEST(OnlineEngine, ConfirmationDisabledFiresImmediately) {
+  Chain c;
+  c.items = {{0, 0}, {2, 4}, {1, 10}};
+  c.failure_item = 2;
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  auto cfg = fast_config();
+  cfg.min_prefix_matches = 1;
+  OnlineEngine eng(
+      t, {c}, {silent_profile(), silent_profile(), silent_profile()}, cfg);
+  eng.feed(rec(25'000, 3), 0);
+  eng.finish(100'000);
+  EXPECT_EQ(eng.predictions().size(), 1u);
+}
+
+TEST(OnlineEngine, RawModeTriggersOnEveryAntecedentRecord) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  auto cfg = fast_config();
+  cfg.raw_event_matching = true;
+  cfg.use_location = false;
+  cfg.dedupe_window_samples = 2;
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, cfg);
+  eng.feed(rec(25'000, 7), 0);
+  eng.feed(rec(2'000'000, 2), 0);
+  eng.finish(4'000'000);
+  ASSERT_EQ(eng.predictions().size(), 2u);
+  EXPECT_EQ(eng.stats().raw_triggers, 2u);
+  // DM predictions are system-wide (no location capability).
+  EXPECT_EQ(eng.predictions()[0].scope, topo::Scope::System);
+  EXPECT_TRUE(eng.predictions()[0].nodes.empty());
+  // Raw mode uses the record time directly, not bucket close.
+  EXPECT_EQ(eng.predictions()[0].trigger_time_ms, 25'000);
+}
+
+TEST(OnlineEngine, LocationScopeFromChainProfile) {
+  auto c = simple_chain();
+  c.location.scope = topo::Scope::Midplane;
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {c}, {silent_profile(), silent_profile()},
+                   fast_config());
+  eng.feed(rec(25'000, 7), 0);
+  eng.finish(400'000);
+  ASSERT_EQ(eng.predictions().size(), 1u);
+  EXPECT_EQ(eng.predictions()[0].scope, topo::Scope::Midplane);
+}
+
+TEST(OnlineEngine, AnalysisQueueDelaysIssueTime) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  auto cfg = fast_config();
+  cfg.cost.per_outlier_ms = 2'000.0;
+  cfg.cost.per_chain_trigger_ms = 500.0;
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, cfg);
+  eng.feed(rec(25'000, 7), 0);
+  eng.finish(400'000);
+  ASSERT_EQ(eng.predictions().size(), 1u);
+  const auto& p = eng.predictions()[0];
+  // Outlier batch enqueued at bucket close (30 s); one onset + one chain.
+  EXPECT_EQ(p.issue_time_ms, 30'000 + 2'000 + 500);
+  ASSERT_EQ(eng.stats().analysis_window_ms.size(), 1u);
+  EXPECT_FLOAT_EQ(eng.stats().analysis_window_ms[0], 2'500.0f);
+}
+
+TEST(OnlineEngine, BacklogAccumulatesAcrossBusyBuckets) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  auto cfg = fast_config();
+  cfg.cost.per_outlier_ms = 25'000.0;  // well beyond one bucket
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, cfg);
+  eng.feed(rec(25'000, 7), 0);
+  // Outlier two buckets later (the episode resets in between).
+  eng.feed(rec(45'000, 7), 0);
+  eng.feed(rec(205'000, 7), 0);
+  eng.finish(400'000);
+  const auto& w = eng.stats().analysis_window_ms;
+  ASSERT_GE(w.size(), 2u);
+  // Second batch waits for the first: window strictly exceeds service time.
+  EXPECT_GT(w[1], 25'000.0f);
+}
+
+TEST(OnlineEngine, UnknownTemplatesGetDefaultDetectors) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, fast_config());
+  // Template 9 was never profiled offline (new software version).
+  eng.feed(rec(25'000, 1), 9);
+  eng.feed(rec(26'000, 1), 9);
+  eng.finish(100'000);
+  EXPECT_GE(eng.stats().outlier_onsets, 1u);  // treated as silent signal
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Cross-cutting property tests: invariants that must hold for ANY seed or
+// input, exercised over randomised sweeps — the guard rails under the
+// experiment results.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "elsa/pipeline.hpp"
+#include "helo/helo.hpp"
+#include "simlog/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace elsa;
+
+// ---- HELO fuzz -----------------------------------------------------------
+
+std::string random_message(util::Rng& rng) {
+  static const char* words[] = {"error",  "node",   "0xdead", "42",
+                                "::",     "a.b.c",  "!!",     "R00-M1",
+                                "kernel", "-",      "d+",     "*",
+                                "",       "\t",     "x9y",    "...."};
+  std::string msg;
+  const int n = static_cast<int>(rng.range(0, 12));
+  for (int i = 0; i < n; ++i) {
+    if (i) msg += ' ';
+    msg += words[rng.below(std::size(words))];
+  }
+  return msg;
+}
+
+TEST(Property, HeloNeverCrashesAndIsIdempotent) {
+  util::Rng rng(101);
+  helo::TemplateMiner miner;
+  for (int i = 0; i < 20000; ++i) {
+    const auto msg = random_message(rng);
+    const auto a = miner.classify(msg);
+    const auto b = miner.classify(msg);
+    ASSERT_EQ(a, b) << "classify not idempotent for: " << msg;
+    if (a != helo::TemplateMiner::kNoTemplate) {
+      ASSERT_EQ(miner.classify_const(msg), a)
+          << "classify_const disagrees for: " << msg;
+      ASSERT_LT(a, miner.size());
+    }
+  }
+}
+
+TEST(Property, HeloTemplateTextsMatchTheirMessages) {
+  util::Rng rng(77);
+  helo::TemplateMiner miner;
+  for (int i = 0; i < 2000; ++i) miner.classify(random_message(rng));
+  // Every template's own text must classify back to itself (stability of
+  // the template representation under re-ingestion).
+  for (std::uint32_t t = 0; t < miner.size(); ++t) {
+    const auto back = miner.classify_const(miner.at(t).text());
+    ASSERT_NE(back, helo::TemplateMiner::kNoTemplate);
+  }
+}
+
+// ---- generator invariants over seeds --------------------------------------
+
+class GeneratorSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeeds, GroundTruthInvariants) {
+  auto sc = simlog::make_bluegene_scenario(GetParam(), 3.0, 30);
+  const auto trace = sc.generator.generate(sc.config);
+  ASSERT_FALSE(trace.records.empty());
+
+  std::uint32_t prev_id = 0;
+  (void)prev_id;
+  for (const auto& f : trace.faults) {
+    // Terminal never precedes the first symptom.
+    EXPECT_LE(f.start_time_ms, f.fail_time_ms);
+    // All times inside the trace.
+    EXPECT_GE(f.start_time_ms, trace.t_begin_ms);
+    EXPECT_LT(f.fail_time_ms, trace.t_end_ms);
+    // The affected set is non-empty, unique, in-machine, with initiator.
+    ASSERT_FALSE(f.affected_nodes.empty());
+    for (const auto n : f.affected_nodes) {
+      ASSERT_GE(n, 0);
+      ASSERT_LT(n, trace.topology.total_nodes());
+    }
+    EXPECT_NE(std::find(f.affected_nodes.begin(), f.affected_nodes.end(),
+                        f.initiating_node),
+              f.affected_nodes.end());
+    EXPECT_NE(f.category, "benign");
+  }
+  // Every fault-tagged record's fault exists.
+  std::set<std::uint32_t> ids;
+  for (const auto& f : trace.faults) ids.insert(f.id);
+  std::size_t orphan_records = 0;
+  for (const auto& rec : trace.records)
+    if (rec.fault_id != 0 && !ids.count(rec.fault_id)) ++orphan_records;
+  // Benign chains and end-truncated faults legitimately tag records whose
+  // fault is not ground truth; they must still be a small minority.
+  EXPECT_LT(orphan_records, trace.records.size() / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// ---- prediction stream invariants -----------------------------------------
+
+class PipelineSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeeds, PredictionStreamInvariants) {
+  auto sc = simlog::make_bluegene_scenario(GetParam(), 8.0, 40);
+  const auto trace = sc.generator.generate(sc.config);
+  core::PipelineConfig cfg;
+  const auto res =
+      core::run_experiment(trace, 4.0, core::Method::Hybrid, cfg);
+
+  std::int64_t prev_trigger = 0;
+  for (const auto& p : res.predictions) {
+    // Time ordering and causality.
+    EXPECT_GE(p.trigger_time_ms, prev_trigger);
+    prev_trigger = p.trigger_time_ms;
+    EXPECT_GE(p.issue_time_ms, p.trigger_time_ms);
+    EXPECT_GE(p.lead_ms, 0);
+    EXPECT_EQ(p.predicted_time_ms, p.trigger_time_ms + p.lead_ms);
+    // Chain references are valid and predictive.
+    ASSERT_LT(p.chain_id, res.model.chains.size());
+    EXPECT_TRUE(res.model.chains[p.chain_id].predictive());
+    // Locations are in-machine.
+    for (const auto n : p.nodes) {
+      ASSERT_GE(n, 0);
+      ASSERT_LT(n, trace.topology.total_nodes());
+    }
+  }
+  // Scoring is internally consistent.
+  EXPECT_LE(res.eval.correct_predictions, res.eval.predictions);
+  EXPECT_LE(res.eval.predicted_faults, res.eval.faults);
+  EXPECT_EQ(res.eval.predictions, res.predictions.size());
+  std::size_t cat_total = 0, cat_pred = 0;
+  for (const auto& c : res.eval.per_category) {
+    cat_total += c.total;
+    cat_pred += c.predicted;
+  }
+  EXPECT_EQ(cat_total, res.eval.faults);
+  EXPECT_EQ(cat_pred, res.eval.predicted_faults);
+  EXPECT_EQ(res.eval.lead_times_s.size(), res.eval.predicted_faults);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeeds, ::testing::Values(11, 23, 31));
+
+// ---- robustness guard: the headline shape must not be seed luck -----------
+
+TEST(Property, HybridBeatsDataMiningAcrossSeeds) {
+  double hybrid_recall = 0.0, dm_recall = 0.0, hybrid_precision = 0.0;
+  const std::uint64_t seeds[] = {2012, 1337};
+  for (const auto seed : seeds) {
+    auto sc = simlog::make_bluegene_scenario(seed, 12.0, 110);
+    const auto trace = sc.generator.generate(sc.config);
+    core::PipelineConfig cfg;
+    const auto hybrid =
+        core::run_experiment(trace, 4.0, core::Method::Hybrid, cfg);
+    const auto dm =
+        core::run_experiment(trace, 4.0, core::Method::DataMining, cfg);
+    hybrid_recall += hybrid.eval.recall();
+    hybrid_precision += hybrid.eval.precision();
+    dm_recall += dm.eval.recall();
+  }
+  const double n = static_cast<double>(std::size(seeds));
+  EXPECT_GT(hybrid_recall / n, 1.8 * (dm_recall / n));
+  EXPECT_GT(hybrid_precision / n, 0.85);
+}
+
+}  // namespace

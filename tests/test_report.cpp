@@ -1,0 +1,105 @@
+// Report-builder tests on hand-constructed chains and results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "elsa/report.hpp"
+
+namespace {
+
+using namespace elsa;
+using core::Chain;
+
+Chain chain_of(std::vector<core::ChainItem> items,
+               topo::Scope scope = topo::Scope::Node, int occurrences = 5,
+               double propagating = 0.0) {
+  Chain c;
+  c.items = std::move(items);
+  c.location.scope = scope;
+  c.location.occurrences = occurrences;
+  c.location.propagating_fraction = propagating;
+  c.location.initiator_included = 0.9;
+  return c;
+}
+
+TEST(Report, SequenceSizes) {
+  std::vector<Chain> chains{
+      chain_of({{0, 0}, {1, 2}}),
+      chain_of({{0, 0}, {1, 2}, {2, 4}}),
+      chain_of({{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}, {6, 6},
+                {7, 7}, {8, 8}}),
+  };
+  const auto r = core::sequence_size_report(chains);
+  EXPECT_NEAR(r.mean_size, (2 + 3 + 9) / 3.0, 1e-12);
+  EXPECT_NEAR(r.fraction_above_8, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(r.sizes.count("2"), 1u);
+  EXPECT_EQ(r.sizes.count("8+"), 1u);
+}
+
+TEST(Report, SequenceSizesEmpty) {
+  const auto r = core::sequence_size_report({});
+  EXPECT_DOUBLE_EQ(r.mean_size, 0.0);
+  EXPECT_EQ(r.sizes.total(), 0u);
+}
+
+TEST(Report, DelayBuckets) {
+  // Gaps (samples, dt 10 s): 0 (0 s), 3 (30 s), 400 (4000 s).
+  std::vector<Chain> chains{
+      chain_of({{0, 0}, {1, 0}}),
+      chain_of({{0, 0}, {1, 3}}),
+      chain_of({{0, 0}, {1, 400}}),
+  };
+  const auto r = core::delay_report(chains, 10'000);
+  EXPECT_EQ(r.pair_delays.count(0), 1u);  // [0, 10 s)
+  EXPECT_EQ(r.pair_delays.count(1), 1u);  // [10 s, 60 s)
+  EXPECT_EQ(r.pair_delays.count(3), 1u);  // >= 600 s
+  EXPECT_DOUBLE_EQ(r.max_span_s, 4000.0);
+  // Spans equal the single gaps here.
+  EXPECT_EQ(r.span_delays.total(), 3u);
+}
+
+TEST(Report, Propagation) {
+  std::vector<Chain> chains{
+      chain_of({{0, 0}, {1, 1}}, topo::Scope::Node, 5, 0.0),
+      chain_of({{0, 0}, {1, 1}}, topo::Scope::Midplane, 5, 1.0),
+      chain_of({{0, 0}, {1, 1}}, topo::Scope::System, 5, 1.0),
+      chain_of({{0, 0}, {1, 1}}, topo::Scope::Node, 0),  // no occurrences
+  };
+  const auto r = core::propagation_report(chains);
+  EXPECT_EQ(r.chains, 3u);  // the profile-less chain is skipped
+  EXPECT_EQ(r.propagating, 2u);
+  EXPECT_NEAR(r.fraction_propagating, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.fraction_beyond_midplane, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.initiator_included, 0.9, 1e-12);
+  EXPECT_EQ(r.scopes.count("node"), 1u);
+}
+
+TEST(Report, RecallBreakdownSortedByShare) {
+  core::EvalResult eval;
+  eval.faults = 10;
+  eval.per_category = {{"cache", 2, 0}, {"memory", 6, 3}, {"io", 2, 1}};
+  const auto bars = core::recall_breakdown(eval);
+  ASSERT_EQ(bars.size(), 3u);
+  EXPECT_EQ(bars[0].category, "memory");
+  EXPECT_NEAR(bars[0].occurrence_fraction, 0.6, 1e-12);
+  EXPECT_NEAR(bars[0].predicted_fraction, 0.3, 1e-12);
+  // cache and io tie on occurrence share; find cache by name.
+  const auto cache = std::find_if(
+      bars.begin(), bars.end(),
+      [](const core::CategoryBar& b) { return b.category == "cache"; });
+  ASSERT_NE(cache, bars.end());
+  EXPECT_EQ(cache->predicted, 0u);
+}
+
+TEST(Report, AnalysisTime) {
+  core::EngineStats stats;
+  stats.analysis_window_ms = {10.0f, 20.0f, 30.0f, 1000.0f};
+  const auto r = core::analysis_time_report(stats);
+  EXPECT_EQ(r.windows, 4u);
+  EXPECT_NEAR(r.mean_ms, 265.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.max_ms, 1000.0);
+  EXPECT_GT(r.p95_ms, 30.0);
+  EXPECT_EQ(core::analysis_time_report(core::EngineStats{}).windows, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Unit tests for the deterministic RNG: reproducibility, distribution
+// moments, bounded generation, and fork decorrelation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using elsa::util::Rng;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsBoundedAndCoversRange) {
+  Rng rng(9);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (int c : seen) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(2, 4);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 4);
+    saw_lo |= v == 2;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const double mean = 40.0;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.exponential(mean);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 50000.0, mean, mean * 0.03);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sq / n - m * m;
+  EXPECT_NEAR(m, 2.0, 0.08);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(19);
+  for (const double mean : {0.5, 4.0, 120.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.05)) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(31);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Canned-scenario sanity: both machines build valid catalogs, generate
+// traces with the structural properties the experiments rely on (three
+// signal classes, fault categories, message-rate envelope, NFS storms).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simlog/scenario.hpp"
+
+namespace {
+
+using namespace elsa::simlog;
+
+TEST(Scenario, BlueGeneCatalogsValidate) {
+  const auto sc = make_bluegene_scenario(1, 2.0, 40);
+  EXPECT_EQ(sc.name, "bluegene");
+  EXPECT_NO_THROW(sc.generator.faults().validate(sc.generator.catalog()));
+  EXPECT_GT(sc.generator.catalog().size(), 60u);
+  EXPECT_TRUE(sc.generator.topology().is_hierarchical());
+}
+
+TEST(Scenario, MercuryCatalogsValidate) {
+  const auto sc = make_mercury_scenario(1, 2.0, 40);
+  EXPECT_NO_THROW(sc.generator.faults().validate(sc.generator.catalog()));
+  EXPECT_FALSE(sc.generator.topology().is_hierarchical());
+  EXPECT_EQ(sc.generator.topology().total_nodes(), 891);
+}
+
+TEST(Scenario, FillerTemplateCountHonoured) {
+  Catalog c;
+  add_filler_templates(c, 25, 3);
+  EXPECT_EQ(c.size(), 25u);
+  // Paper: silent signals are the majority of event types.
+  int silent = 0;
+  for (const auto& t : c.all())
+    if (t.shape == SignalShape::Silent) ++silent;
+  EXPECT_GT(silent, 12);
+}
+
+TEST(Scenario, BlueGeneTraceShape) {
+  auto sc = make_bluegene_scenario(2012, 3.0, 40);
+  const auto tr = sc.generator.generate(sc.config);
+  // Message-rate envelope: the real systems averaged a few msgs/s; the
+  // scaled simulation targets fractions of that.
+  EXPECT_GT(tr.message_rate(), 0.1);
+  EXPECT_LT(tr.message_rate(), 5.0);
+  // All marquee categories appear given enough days.
+  std::set<std::string> cats;
+  for (const auto& f : tr.faults) cats.insert(f.category);
+  EXPECT_TRUE(cats.count("memory"));
+  EXPECT_TRUE(cats.count("software"));
+  EXPECT_TRUE(cats.count("cache"));
+  // Severity mix: failures are a small minority of the traffic.
+  std::size_t failures = 0;
+  for (const auto& r : tr.records)
+    failures += is_failure_severity(r.severity);
+  EXPECT_LT(static_cast<double>(failures),
+            0.05 * static_cast<double>(tr.records.size()));
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(Scenario, BlueGeneHasAllThreeSignalShapes) {
+  const auto sc = make_bluegene_scenario(1, 1.0, 30);
+  std::set<SignalShape> shapes;
+  for (const auto& t : sc.generator.catalog().all()) shapes.insert(t.shape);
+  EXPECT_EQ(shapes.size(), 3u);
+}
+
+TEST(Scenario, NodecardCascadeHasHourScaleLead) {
+  const auto sc = make_bluegene_scenario(1, 1.0, 10);
+  const auto* f = sc.generator.faults().find("nodecard_fail");
+  ASSERT_NE(f, nullptr);
+  EXPECT_GT(f->mean_lead_s(), 2400.0);  // 40+ minutes (Table II)
+  const auto* cio = sc.generator.faults().find("ciodb_crash");
+  ASSERT_NE(cio, nullptr);
+  EXPECT_LT(cio->mean_lead_s(), 5.0);  // effectively zero window (Table II)
+}
+
+TEST(Scenario, MercuryNfsStormHitsManyNodes) {
+  auto sc = make_mercury_scenario(7, 10.0, 30);
+  sc.config.fault_rate_scale = 3.0;  // make sure at least one storm lands
+  const auto tr = sc.generator.generate(sc.config);
+  bool storm = false;
+  for (const auto& f : tr.faults) {
+    if (f.category != "io") continue;
+    storm = true;
+    EXPECT_GT(f.affected_nodes.size(), 100u);  // ~25 % of 891 nodes
+  }
+  EXPECT_TRUE(storm);
+}
+
+TEST(Scenario, DeterministicAcrossCalls) {
+  auto a = make_bluegene_scenario(5, 1.0, 20);
+  auto b = make_bluegene_scenario(5, 1.0, 20);
+  const auto ta = a.generator.generate(a.config);
+  const auto tb = b.generator.generate(b.config);
+  ASSERT_EQ(ta.records.size(), tb.records.size());
+  EXPECT_EQ(ta.faults.size(), tb.faults.size());
+}
+
+}  // namespace

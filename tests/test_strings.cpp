@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace elsa::util;
+
+TEST(Strings, SplitDropsEmpty) {
+  const auto t = split("  a  bb   c ", " ");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "bb");
+  EXPECT_EQ(t[2], "c");
+  EXPECT_TRUE(split("", " ").empty());
+  EXPECT_TRUE(split("   ", " ").empty());
+}
+
+TEST(Strings, SplitMultipleDelims) {
+  const auto t = split("a\tb c", " \t");
+  ASSERT_EQ(t.size(), 3u);
+}
+
+TEST(Strings, SplitKeepEmptyPreservesColumns) {
+  const auto t = split_keep_empty("a,,b,", ',');
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[1], "");
+  EXPECT_EQ(t[3], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(join({}, "-"), "");
+  EXPECT_EQ(join({"solo"}, "-"), "solo");
+}
+
+TEST(Strings, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("MiXeD 123"), "mixed 123");
+  EXPECT_TRUE(starts_with("FAILURE ciodb", "FAILURE"));
+  EXPECT_FALSE(starts_with("abc", "abcd"));
+}
+
+TEST(Strings, LooksNumericPositives) {
+  EXPECT_TRUE(looks_numeric("12345"));
+  EXPECT_TRUE(looks_numeric("0xdeadbeef"));
+  EXPECT_TRUE(looks_numeric("10.0.3.77"));
+  EXPECT_TRUE(looks_numeric("3:136"));
+  EXPECT_TRUE(looks_numeric("-42"));
+}
+
+TEST(Strings, LooksNumericNegatives) {
+  EXPECT_FALSE(looks_numeric("kernel"));
+  EXPECT_FALSE(looks_numeric(""));
+  EXPECT_FALSE(looks_numeric("restarted."));
+  EXPECT_FALSE(looks_numeric("r00-m0"));  // hmm: r,m letters vs digits
+}
+
+TEST(Strings, TemplateMatchesSemantics) {
+  const std::vector<std::string> tmpl{"linkcard", "power", "module", "*",
+                                      "is", "not", "accessible"};
+  EXPECT_TRUE(template_matches(
+      tmpl, {"linkcard", "power", "module", "R00-M0", "is", "not",
+             "accessible"}));
+  EXPECT_FALSE(template_matches(
+      tmpl, {"linkcard", "power", "module", "R00-M0", "is", "accessible"}));
+  const std::vector<std::string> num{"job", "d+", "timed", "out."};
+  EXPECT_TRUE(template_matches(num, {"job", "4711", "timed", "out."}));
+  EXPECT_FALSE(template_matches(num, {"job", "alpha", "timed", "out."}));
+}
+
+TEST(Strings, HumanDuration) {
+  EXPECT_EQ(human_duration(5.0), "5s");
+  EXPECT_EQ(human_duration(90.0), "1.5m");
+  EXPECT_EQ(human_duration(5400.0), "1.5h");
+}
+
+}  // namespace

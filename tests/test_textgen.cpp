@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "simlog/textgen.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace elsa::simlog;
+using elsa::util::Rng;
+
+TEST(TextGen, SubstitutesEveryPlaceholder) {
+  Rng rng(1);
+  const std::string pattern =
+      "err <num> at <hex> on <loc> via <ip> path <path> unit <word>";
+  const std::string msg = render_message(pattern, rng, "R00-M1-N03");
+  EXPECT_EQ(msg.find("<num>"), std::string::npos);
+  EXPECT_EQ(msg.find("<hex>"), std::string::npos);
+  EXPECT_NE(msg.find("R00-M1-N03"), std::string::npos);
+  EXPECT_NE(msg.find("0x"), std::string::npos);
+  // Token count preserved.
+  EXPECT_EQ(elsa::util::split(msg, " ").size(),
+            elsa::util::split(pattern, " ").size());
+}
+
+TEST(TextGen, ConstantTokensUntouched) {
+  Rng rng(2);
+  const std::string msg =
+      render_message("ciodb has been restarted.", rng, "SYSTEM");
+  EXPECT_EQ(msg, "ciodb has been restarted.");
+}
+
+TEST(TextGen, VariabilityAcrossRenders) {
+  Rng rng(3);
+  const std::string p = "value <num> addr <hex>";
+  const auto a = render_message(p, rng, "X");
+  const auto b = render_message(p, rng, "X");
+  EXPECT_NE(a, b);
+}
+
+TEST(TextGen, PatternAsTemplateNotation) {
+  EXPECT_EQ(pattern_as_template("job <num> timed out"), "job d+ timed out");
+  EXPECT_EQ(pattern_as_template("module <loc> is <word>"), "module * is *");
+  EXPECT_EQ(pattern_as_template("plain text"), "plain text");
+}
+
+}  // namespace

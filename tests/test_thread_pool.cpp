@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace elsa::util;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i)
+    futs.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&counter] { ++counter; });
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, ComputesEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for(pool, 0, hits.size(),
+               [&](std::size_t i) { ++hits[i]; }, /*grain=*/16);
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndReversedRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerial) {
+  ThreadPool pool(4);
+  std::vector<int> order;
+  // grain larger than the range: body must run inline, in order.
+  parallel_for(pool, 0, 8,
+               [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               /*grain=*/64);
+  std::vector<int> expected{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, ExceptionRethrown) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 1000,
+                            [](std::size_t i) {
+                              if (i == 777) throw std::runtime_error("x");
+                            },
+                            /*grain=*/8),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  ThreadPool pool(3);
+  std::vector<long> partial(4096, 0);
+  parallel_for(pool, 0, partial.size(),
+               [&](std::size_t i) { partial[i] = static_cast<long>(i * i); },
+               /*grain=*/32);
+  long sum = std::accumulate(partial.begin(), partial.end(), 0L);
+  long expect = 0;
+  for (long i = 0; i < 4096; ++i) expect += i * i;
+  EXPECT_EQ(sum, expect);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Adaptive-update tests: chain matching, merge semantics (refresh / decay /
+// retire / add), and a full model-update round on a generated campaign.
+#include <gtest/gtest.h>
+
+#include "elsa/updater.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+using namespace elsa;
+using core::Chain;
+
+Chain make_chain(std::vector<core::ChainItem> items, int support) {
+  Chain c;
+  c.items = std::move(items);
+  c.support = support;
+  c.confidence = 0.5;
+  return c;
+}
+
+TEST(Updater, SameChainMatching) {
+  const auto a = make_chain({{1, 0}, {2, 10}}, 5);
+  EXPECT_TRUE(core::same_chain(a, make_chain({{1, 0}, {2, 12}}, 3), 3));
+  EXPECT_FALSE(core::same_chain(a, make_chain({{1, 0}, {2, 20}}, 3), 3));
+  EXPECT_FALSE(core::same_chain(a, make_chain({{1, 0}, {3, 10}}, 3), 3));
+  EXPECT_FALSE(core::same_chain(a, make_chain({{1, 0}}, 3), 3));
+  // Proportional slack helps long delays.
+  const auto lng = make_chain({{1, 0}, {2, 300}}, 5);
+  EXPECT_TRUE(core::same_chain(lng, make_chain({{1, 0}, {2, 315}}, 3), 3, 0.08));
+}
+
+TEST(Updater, MergeRefreshesMatchingChains) {
+  const auto old_set = std::vector<Chain>{make_chain({{1, 0}, {2, 10}}, 8)};
+  auto fresh = make_chain({{1, 0}, {2, 11}}, 4);
+  fresh.confidence = 0.9;
+  core::UpdateStats st;
+  const auto merged =
+      core::merge_chain_sets(old_set, {fresh}, core::UpdateConfig{}, &st);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(st.refreshed, 1u);
+  EXPECT_EQ(merged[0].support, 4);          // fresh stats win
+  EXPECT_DOUBLE_EQ(merged[0].confidence, 0.9);
+}
+
+TEST(Updater, MergeKeepsRicherLocationProfile) {
+  auto old_chain = make_chain({{1, 0}, {2, 10}}, 8);
+  old_chain.location.occurrences = 20;
+  old_chain.location.scope = topo::Scope::Midplane;
+  auto fresh = make_chain({{1, 0}, {2, 10}}, 3);
+  fresh.location.occurrences = 2;
+  fresh.location.scope = topo::Scope::Node;
+  const auto merged = core::merge_chain_sets({old_chain}, {fresh});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].location.scope, topo::Scope::Midplane);
+}
+
+TEST(Updater, UnseenChainsDecayThenRetire) {
+  core::UpdateConfig cfg;
+  cfg.unseen_decay = 0.5;
+  cfg.retire_support = 1.5;
+  const auto old_set = std::vector<Chain>{make_chain({{1, 0}, {2, 10}}, 8),
+                                          make_chain({{3, 0}, {4, 5}}, 3)};
+  core::UpdateStats st;
+  const auto merged = core::merge_chain_sets(old_set, {}, cfg, &st);
+  // 8 -> 4 survives; 3 -> 1 (floor) retires.
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].support, 4);
+  EXPECT_EQ(st.decayed, 1u);
+  EXPECT_EQ(st.retired, 1u);
+}
+
+TEST(Updater, NewChainsAdded) {
+  core::UpdateStats st;
+  const auto merged = core::merge_chain_sets(
+      {}, {make_chain({{7, 0}, {8, 3}}, 5)}, core::UpdateConfig{}, &st);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(st.added, 1u);
+}
+
+TEST(Updater, FullModelUpdateRound) {
+  auto sc = simlog::make_bluegene_scenario(2012, 8.0, 40);
+  const auto trace = sc.generator.generate(sc.config);
+  core::PipelineConfig cfg;
+  const std::int64_t train_end = trace.t_begin_ms + 4 * 86'400'000LL;
+  auto model =
+      core::train_offline(trace, train_end, core::Method::Hybrid, cfg);
+  const std::size_t before = model.chains.size();
+  ASSERT_GT(before, 0u);
+
+  const auto st = core::update_model(model, trace, train_end,
+                                     trace.t_end_ms, cfg);
+  EXPECT_GT(st.refreshed + st.added + st.decayed + st.retired, 0u);
+  // Stable syndromes must be re-found, not retired wholesale.
+  EXPECT_GT(st.refreshed, 0u);
+  // The model stays coherent: profiles cover every template id used.
+  for (const auto& c : model.chains)
+    for (const auto& item : c.items)
+      ASSERT_LT(item.signal, model.helo.size());
+  // And it still contains predictive chains.
+  std::size_t predictive = 0;
+  for (const auto& c : model.chains) predictive += c.predictive();
+  EXPECT_GT(predictive, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Cross-correlation tests: sparse search helpers, planted-delay recovery,
+// each statistical gate, and serial/parallel equivalence.
+#include <gtest/gtest.h>
+
+#include "signalkit/xcorr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace elsa::sigkit;
+using elsa::util::Rng;
+
+TEST(Xcorr, HasNearAndCountNear) {
+  const OutlierStream s{10, 20, 21, 22, 50};
+  EXPECT_TRUE(has_near(s, 20, 0));
+  EXPECT_TRUE(has_near(s, 18, 2));
+  EXPECT_FALSE(has_near(s, 15, 2));
+  EXPECT_EQ(count_near(s, 21, 1), 3);
+  EXPECT_EQ(count_near(s, 100, 5), 0);
+}
+
+XcorrConfig loose_config(std::size_t total) {
+  XcorrConfig cfg;
+  cfg.total_samples = total;
+  cfg.min_support = 3;
+  cfg.min_confidence = 0.2;
+  cfg.min_significance = 0.9;
+  cfg.min_lift = 2.0;
+  cfg.max_chance_pvalue = 1e-4;
+  return cfg;
+}
+
+TEST(Xcorr, RecoversPlantedDelay) {
+  Rng rng(1);
+  OutlierStream a, b;
+  std::int32_t t = 100;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(t);
+    b.push_back(t + 42 + static_cast<std::int32_t>(rng.range(-1, 1)));
+    t += static_cast<std::int32_t>(rng.range(400, 900));
+  }
+  const auto pc = correlate_pair(a, b, 0, 1, loose_config(20000));
+  ASSERT_TRUE(pc.has_value());
+  EXPECT_NEAR(pc->delay, 42, 3);
+  EXPECT_GE(pc->support, 18);
+  EXPECT_GT(pc->confidence, 0.9);
+  EXPECT_GT(pc->significance, 0.99);
+}
+
+TEST(Xcorr, NoCorrelationRejected) {
+  Rng rng(2);
+  OutlierStream a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(static_cast<std::int32_t>(rng.below(50000)));
+    b.push_back(static_cast<std::int32_t>(rng.below(50000)));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const auto pc = correlate_pair(a, b, 0, 1, loose_config(50000));
+  EXPECT_FALSE(pc.has_value());
+}
+
+TEST(Xcorr, EmptyStreamsRejected) {
+  const OutlierStream a{1, 2}, empty;
+  EXPECT_FALSE(correlate_pair(a, empty, 0, 1, loose_config(100)).has_value());
+  EXPECT_FALSE(correlate_pair(empty, a, 0, 1, loose_config(100)).has_value());
+}
+
+TEST(Xcorr, SupportGate) {
+  OutlierStream a{100, 5000}, b{142, 5042};
+  auto cfg = loose_config(10000);
+  cfg.min_support = 3;  // only 2 co-occurrences available
+  EXPECT_FALSE(correlate_pair(a, b, 0, 1, cfg).has_value());
+  cfg.min_support = 2;
+  cfg.min_significance = 0.0;  // tiny samples can't reach significance
+  cfg.max_chance_pvalue = 1.0;
+  EXPECT_TRUE(correlate_pair(a, b, 0, 1, cfg).has_value());
+}
+
+TEST(Xcorr, ConfidenceGate) {
+  // b fires after only 3 of 30 a-events: confidence 0.1.
+  Rng rng(3);
+  OutlierStream a, b;
+  std::int32_t t = 500;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(t);
+    if (i < 3) b.push_back(t + 10);
+    t += 700;
+  }
+  auto cfg = loose_config(30000);
+  cfg.min_confidence = 0.2;
+  EXPECT_FALSE(correlate_pair(a, b, 0, 1, cfg).has_value());
+  cfg.min_confidence = 0.05;
+  cfg.min_significance = 0.0;
+  EXPECT_TRUE(correlate_pair(a, b, 0, 1, cfg).has_value());
+}
+
+TEST(Xcorr, ChattyConsequentFailsLiftGate) {
+  // b is everywhere: any alignment is chance; lift must reject it.
+  OutlierStream a, b;
+  for (std::int32_t t = 50; t < 5000; t += 200) a.push_back(t);
+  for (std::int32_t t = 0; t < 5000; t += 9) b.push_back(t);
+  auto cfg = loose_config(5000);
+  cfg.min_lift = 3.0;
+  EXPECT_FALSE(correlate_pair(a, b, 0, 1, cfg).has_value());
+}
+
+TEST(Xcorr, EffectiveToleranceWidensAndCaps) {
+  XcorrConfig cfg;
+  cfg.tolerance = 3;
+  cfg.tolerance_frac = 0.08;
+  cfg.max_tolerance = 24;
+  EXPECT_EQ(cfg.effective_tolerance(0), 3);
+  EXPECT_EQ(cfg.effective_tolerance(100), 11);
+  EXPECT_EQ(cfg.effective_tolerance(10000), 24);
+}
+
+TEST(Xcorr, LongDelayWithProportionalJitterFound) {
+  // Node-card style: delay 300 samples with +/-15 jitter. Fixed tolerance 3
+  // would miss it; the proportional window must catch it.
+  Rng rng(4);
+  OutlierStream a, b;
+  std::int32_t t = 100;
+  for (int i = 0; i < 12; ++i) {
+    a.push_back(t);
+    b.push_back(t + 300 + static_cast<std::int32_t>(rng.range(-15, 15)));
+    t += 3000;
+  }
+  auto cfg = loose_config(40000);
+  const auto pc = correlate_pair(a, b, 0, 1, cfg);
+  ASSERT_TRUE(pc.has_value());
+  EXPECT_NEAR(pc->delay, 300, 25);
+  EXPECT_GE(pc->support, 10);
+}
+
+TEST(Xcorr, CorrelateAllFindsDirectedPair) {
+  Rng rng(5);
+  std::vector<OutlierStream> streams(3);
+  std::int32_t t = 200;
+  for (int i = 0; i < 15; ++i) {
+    streams[0].push_back(t);
+    streams[2].push_back(t + 12);
+    t += 800;
+  }
+  const auto out = correlate_all(streams, loose_config(15000));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a, 0u);
+  EXPECT_EQ(out[0].b, 2u);
+  EXPECT_NEAR(out[0].delay, 12, 3);
+}
+
+TEST(Xcorr, ZeroDelayPairKeptOnce) {
+  std::vector<OutlierStream> streams(2);
+  std::int32_t t = 300;
+  for (int i = 0; i < 12; ++i) {
+    streams[0].push_back(t);
+    streams[1].push_back(t);
+    t += 900;
+  }
+  const auto out = correlate_all(streams, loose_config(12000));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a, 0u);  // lower id is the antecedent for delay 0
+  EXPECT_EQ(out[0].delay, 0);
+}
+
+TEST(Xcorr, ParallelMatchesSerial) {
+  Rng rng(6);
+  std::vector<OutlierStream> streams(12);
+  for (auto& s : streams) {
+    std::int32_t t = static_cast<std::int32_t>(rng.below(100));
+    for (int i = 0; i < 25; ++i) {
+      s.push_back(t);
+      t += static_cast<std::int32_t>(rng.range(100, 600));
+    }
+  }
+  // Plant one real correlation.
+  streams[3].clear();
+  for (const std::int32_t t : streams[1]) streams[3].push_back(t + 7);
+
+  const auto cfg = loose_config(20000);
+  const auto serial = correlate_all(streams, cfg, 1);
+  const auto parallel = correlate_all(streams, cfg, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].a, parallel[i].a);
+    EXPECT_EQ(serial[i].b, parallel[i].b);
+    EXPECT_EQ(serial[i].delay, parallel[i].delay);
+    EXPECT_EQ(serial[i].support, parallel[i].support);
+  }
+}
+
+}  // namespace

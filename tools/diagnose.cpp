@@ -1,0 +1,97 @@
+// Internal diagnostic: name-resolved dump of mined chains, predictions and
+// ground truth for a BG/L campaign. Not installed; development aid.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <unordered_map>
+
+#include "elsa/pipeline.hpp"
+#include "simlog/scenario.hpp"
+
+using namespace elsa;
+
+int main(int argc, char** argv) {
+  const double days = argc > 1 ? std::atof(argv[1]) : 6.0;
+  const int method_i = argc > 2 ? std::atoi(argv[2]) : 0;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2012;
+  auto scenario = simlog::make_bluegene_scenario(seed, days, 110);
+  const auto trace = scenario.generator.generate(scenario.config);
+  core::PipelineConfig cfg;
+  const auto method = static_cast<core::Method>(method_i);
+  const auto res = core::run_experiment(trace, std::min(scenario.train_days, days/2.0), method, cfg);
+
+  // helo tid -> generator template name (majority vote)
+  std::unordered_map<std::uint32_t, std::map<std::string,int>> votes;
+  {
+    // re-classify all records (classify_const against final miner)
+    for (const auto& rec : trace.records) {
+      auto tid = res.model.helo.classify_const(rec.message);
+      if (tid == helo::TemplateMiner::kNoTemplate) continue;
+      votes[tid][scenario.generator.catalog().at(rec.true_template).name]++;
+    }
+  }
+  auto name_of = [&](std::uint32_t tid) -> std::string {
+    auto it = votes.find(tid);
+    if (it == votes.end()) return "helo#" + std::to_string(tid);
+    std::string best; int bc = -1;
+    for (auto& [n,c] : it->second) if (c > bc) { bc = c; best = n; }
+    return best;
+  };
+
+  const std::int64_t train_end = trace.t_begin_ms + (std::int64_t)(std::min(scenario.train_days, days/2.0)*86400000.0);
+  printf("== method %s: %zu chains (%zu non-error)\n", core::to_string(method),
+         res.model.chains.size(), res.model.non_error_chains);
+  for (size_t i = 0; i < res.model.chains.size(); ++i) {
+    const auto& c = res.model.chains[i];
+    printf("chain %zu%s sup=%d conf=%.2f sig=%.3f scope=%s : ", i,
+           c.predictive() ? "*" : " ", c.support, c.confidence, c.significance,
+           topo::to_string(c.location.scope));
+    for (auto& it : c.items) printf("[%s +%d] ", name_of(it.signal).c_str(), it.delay);
+    printf("\n");
+  }
+
+  printf("\n== seed pairs: %zu, outlier stream sizes (nonzero):\n",
+         res.model.seeds.size());
+  for (size_t t = 0; t < res.model.train_outliers.size(); ++t)
+    if (!res.model.train_outliers[t].empty())
+      printf("  %-28s %zu\n", name_of((std::uint32_t)t).c_str(),
+             res.model.train_outliers[t].size());
+
+  printf("\n== faults in train:\n");
+  {
+    std::map<std::string,int> tr;
+    for (const auto& f : trace.faults)
+      if (f.fail_time_ms < train_end) tr[f.category]++;
+    for (auto& [k,v] : tr) printf("  %s: %d\n", k.c_str(), v);
+  }
+
+  printf("\n== faults in test:\n");
+  std::map<std::string,int> ftot;
+  for (size_t i = 0; i < trace.faults.size(); ++i) {
+    const auto& f = trace.faults[i];
+    if (f.fail_time_ms < train_end) continue;
+    ftot[f.category]++;
+  }
+  for (auto& [k,v] : ftot) printf("  %s: %d\n", k.c_str(), v);
+
+  printf("\n== predictions (%zu):\n", res.predictions.size());
+  // correctness recheck
+  core::EvalConfig ec = cfg.eval;
+  for (const auto& p : res.predictions) {
+    bool correct = false; std::string which;
+    for (size_t i = 0; i < trace.faults.size(); ++i) {
+      const auto& f = trace.faults[i];
+      if (f.fail_time_ms < train_end) continue;
+      const auto& ft = res.fault_failure_tmpls[i];
+      if (std::find(ft.begin(), ft.end(), p.tmpl) == ft.end()) continue;
+      auto slack = ec.slack_ms + (std::int64_t)(ec.slack_lead_factor * p.lead_ms);
+      if (f.fail_time_ms > p.predicted_time_ms + slack) continue;
+      if (f.fail_time_ms < p.trigger_time_ms - ec.trigger_grace_ms) continue;
+      correct = true; which = f.category; break;
+    }
+    printf("  t=%.1fh chain=%zu tmpl=%s lead=%llds %s %s\n",
+           p.trigger_time_ms/3.6e6, p.chain_id, name_of(p.tmpl).c_str(),
+           (long long)p.lead_ms/1000, correct?"HIT":"FP ", which.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,220 @@
+// elsa — command-line frontend for the toolkit.
+//
+//   elsa generate --system bluegene|mercury --days N [--seed S] --out LOG
+//       Generate a synthetic campaign and write it as a RAS text log.
+//
+//   elsa train --system bluegene|mercury --log LOG [--method hybrid|signal|dm]
+//              [--train-days N] --out MODEL
+//       Run the offline phase on a RAS log and persist the learned model.
+//
+//   elsa inspect --model MODEL
+//       Summarise a model: templates, signal classes, chains.
+//
+//   elsa predict --system bluegene|mercury --log LOG --model MODEL
+//       Stream a RAS log through the online engine and print alarms.
+//
+// The --system flag supplies the machine topology (real deployments would
+// read it from the site's configuration database).
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "elsa/model_io.hpp"
+#include "elsa/online.hpp"
+#include "elsa/pipeline.hpp"
+#include "elsa/report.hpp"
+#include "simlog/logio.hpp"
+#include "simlog/scenario.hpp"
+#include "util/ascii.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace elsa;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  elsa generate --system bluegene|mercury --days N [--seed S] "
+         "--out LOG\n"
+         "  elsa train    --system bluegene|mercury --log LOG "
+         "[--method hybrid|signal|dm] [--train-days N] --out MODEL\n"
+         "  elsa inspect  --model MODEL\n"
+         "  elsa predict  --system bluegene|mercury --log LOG --model MODEL "
+         "[--max-alarms N]\n";
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) throw std::runtime_error(
+        std::string("expected a --flag, got '") + argv[i] + "'");
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+topo::Topology topology_for(const std::string& system) {
+  if (system == "bluegene") return topo::Topology::bluegene(4, 2, 8, 16);
+  if (system == "mercury") return topo::Topology::cluster(891, 32);
+  throw std::runtime_error("unknown --system '" + system +
+                           "' (want bluegene or mercury)");
+}
+
+core::Method method_for(const std::string& name) {
+  if (name == "hybrid" || name.empty()) return core::Method::Hybrid;
+  if (name == "signal") return core::Method::SignalOnly;
+  if (name == "dm") return core::Method::DataMining;
+  throw std::runtime_error("unknown --method '" + name + "'");
+}
+
+simlog::Trace trace_from_log(const std::string& path,
+                             const std::string& system) {
+  const auto topology = topology_for(system);
+  auto parsed = simlog::read_ras_log_file(path, topology);
+  if (parsed.records.empty())
+    throw std::runtime_error("no records parsed from " + path);
+  simlog::Trace trace;
+  trace.topology = topology;
+  trace.t_begin_ms = parsed.records.front().time_ms;
+  trace.t_end_ms = parsed.records.back().time_ms + 1;
+  trace.records = std::move(parsed.records);
+  if (parsed.malformed_lines > 0)
+    std::cerr << "warning: " << parsed.malformed_lines
+              << " malformed lines skipped\n";
+  return trace;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  const auto system = flags.at("system");
+  const double days = std::stod(flags.at("days"));
+  const std::uint64_t seed =
+      flags.count("seed") ? std::stoull(flags.at("seed")) : 2012;
+  auto scenario = system == "mercury"
+                      ? simlog::make_mercury_scenario(seed, days)
+                      : simlog::make_bluegene_scenario(seed, days);
+  const auto trace = scenario.generator.generate(scenario.config);
+  simlog::write_ras_log_file(flags.at("out"), trace.records, trace.topology);
+  std::cout << "wrote " << trace.records.size() << " records ("
+            << trace.faults.size() << " injected failures) to "
+            << flags.at("out") << "\n";
+  return 0;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  const auto trace = trace_from_log(flags.at("log"), flags.at("system"));
+  const double span_days =
+      static_cast<double>(trace.t_end_ms - trace.t_begin_ms) / 86'400'000.0;
+  const double train_days = flags.count("train-days")
+                                ? std::stod(flags.at("train-days"))
+                                : span_days;
+  const auto method = method_for(
+      flags.count("method") ? flags.at("method") : std::string{});
+
+  core::PipelineConfig cfg;
+  const std::int64_t train_end =
+      trace.t_begin_ms +
+      static_cast<std::int64_t>(train_days * 86'400'000.0);
+  const auto model = core::train_offline(trace, train_end, method, cfg);
+  core::save_model_file(flags.at("out"), model);
+
+  std::size_t predictive = 0;
+  for (const auto& c : model.chains) predictive += c.predictive();
+  std::cout << core::to_string(method) << " model trained on "
+            << util::format_double(train_days, 1) << " days: "
+            << model.helo.size() << " event types, " << model.chains.size()
+            << " chains (" << predictive << " predictive) -> "
+            << flags.at("out") << "\n";
+  return 0;
+}
+
+int cmd_inspect(const std::map<std::string, std::string>& flags) {
+  const auto model = core::load_model_file(flags.at("model"));
+  std::cout << "model: " << core::to_string(model.method) << ", trained over "
+            << util::human_duration(
+                   static_cast<double>(model.train_end_ms -
+                                       model.train_begin_ms) /
+                   1000.0)
+            << "\n";
+  std::size_t by_class[3] = {0, 0, 0};
+  for (const auto& p : model.profiles)
+    ++by_class[static_cast<std::size_t>(p.cls)];
+  std::cout << model.helo.size() << " event types: " << by_class[0]
+            << " periodic, " << by_class[1] << " noise, " << by_class[2]
+            << " silent\n";
+  const auto sizes = core::sequence_size_report(model.chains);
+  std::cout << model.chains.size() << " chains, mean length "
+            << util::format_double(sizes.mean_size, 1) << "\n\n";
+  for (const auto& c : model.chains) {
+    if (!c.predictive()) continue;
+    std::cout << "  [sup " << c.support << ", conf "
+              << util::format_pct(c.confidence, 0) << ", lead "
+              << util::human_duration(c.lead() * 10.0) << ", scope "
+              << topo::to_string(c.location.scope) << "]\n";
+    for (const auto& item : c.items)
+      std::cout << "      " << model.helo.at(item.signal).text().substr(0, 70)
+                << "\n";
+  }
+  return 0;
+}
+
+int cmd_predict(const std::map<std::string, std::string>& flags) {
+  const auto trace = trace_from_log(flags.at("log"), flags.at("system"));
+  auto model = core::load_model_file(flags.at("model"));
+  const std::size_t max_alarms =
+      flags.count("max-alarms") ? std::stoul(flags.at("max-alarms")) : 50;
+
+  core::PipelineConfig cfg;
+  core::EngineConfig ec = cfg.engine;
+  ec.dt_ms = cfg.dt_ms;
+  ec.use_location = model.method != core::Method::DataMining;
+  ec.raw_event_matching = model.method == core::Method::DataMining;
+  core::OnlineEngine engine(trace.topology, model.chains, model.profiles, ec);
+
+  std::size_t seen = 0, printed = 0;
+  for (const auto& rec : trace.records) {
+    engine.feed(rec, model.helo.classify(rec.message));
+    while (seen < engine.predictions().size()) {
+      const auto& p = engine.predictions()[seen++];
+      if (printed >= max_alarms) continue;
+      ++printed;
+      std::cout << p.issue_time_ms << "\tALARM\t"
+                << (p.nodes.empty() ? std::string("SYSTEM")
+                                    : trace.topology.code(p.nodes.front()))
+                << "\t+" << p.lead_ms / 1000 << "s\t"
+                << model.helo.at(p.tmpl).text() << "\n";
+    }
+  }
+  engine.finish(trace.t_end_ms);
+  std::cerr << engine.predictions().size() << " alarms ("
+            << engine.stats().duplicates_suppressed
+            << " duplicates suppressed), mean analysis window "
+            << util::format_double(engine.stats().mean_analysis_ms(), 1)
+            << " ms\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "inspect") return cmd_inspect(flags);
+    if (cmd == "predict") return cmd_predict(flags);
+  } catch (const std::out_of_range&) {
+    std::cerr << "missing required flag for '" << cmd << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
