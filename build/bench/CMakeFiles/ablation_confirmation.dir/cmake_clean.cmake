@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_confirmation.dir/ablation_confirmation.cpp.o"
+  "CMakeFiles/ablation_confirmation.dir/ablation_confirmation.cpp.o.d"
+  "ablation_confirmation"
+  "ablation_confirmation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_confirmation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

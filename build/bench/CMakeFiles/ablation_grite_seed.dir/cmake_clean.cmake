@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grite_seed.dir/ablation_grite_seed.cpp.o"
+  "CMakeFiles/ablation_grite_seed.dir/ablation_grite_seed.cpp.o.d"
+  "ablation_grite_seed"
+  "ablation_grite_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grite_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

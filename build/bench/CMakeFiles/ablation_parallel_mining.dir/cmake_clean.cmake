@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_mining.dir/ablation_parallel_mining.cpp.o"
+  "CMakeFiles/ablation_parallel_mining.dir/ablation_parallel_mining.cpp.o.d"
+  "ablation_parallel_mining"
+  "ablation_parallel_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_signal_types.dir/fig1_signal_types.cpp.o"
+  "CMakeFiles/fig1_signal_types.dir/fig1_signal_types.cpp.o.d"
+  "fig1_signal_types"
+  "fig1_signal_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_signal_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

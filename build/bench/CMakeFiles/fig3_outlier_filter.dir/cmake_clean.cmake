@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_outlier_filter.dir/fig3_outlier_filter.cpp.o"
+  "CMakeFiles/fig3_outlier_filter.dir/fig3_outlier_filter.cpp.o.d"
+  "fig3_outlier_filter"
+  "fig3_outlier_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_outlier_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sequence_sizes.dir/fig5_sequence_sizes.cpp.o"
+  "CMakeFiles/fig5_sequence_sizes.dir/fig5_sequence_sizes.cpp.o.d"
+  "fig5_sequence_sizes"
+  "fig5_sequence_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sequence_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_time_delays.dir/fig6_time_delays.cpp.o"
+  "CMakeFiles/fig6_time_delays.dir/fig6_time_delays.cpp.o.d"
+  "fig6_time_delays"
+  "fig6_time_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_time_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

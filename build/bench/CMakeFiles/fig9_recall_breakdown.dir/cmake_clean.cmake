@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_recall_breakdown.dir/fig9_recall_breakdown.cpp.o"
+  "CMakeFiles/fig9_recall_breakdown.dir/fig9_recall_breakdown.cpp.o.d"
+  "fig9_recall_breakdown"
+  "fig9_recall_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_recall_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

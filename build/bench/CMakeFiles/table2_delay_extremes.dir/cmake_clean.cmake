@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_delay_extremes.dir/table2_delay_extremes.cpp.o"
+  "CMakeFiles/table2_delay_extremes.dir/table2_delay_extremes.cpp.o.d"
+  "table2_delay_extremes"
+  "table2_delay_extremes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_delay_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_checkpoint_waste.dir/table4_checkpoint_waste.cpp.o"
+  "CMakeFiles/table4_checkpoint_waste.dir/table4_checkpoint_waste.cpp.o.d"
+  "table4_checkpoint_waste"
+  "table4_checkpoint_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_checkpoint_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_roundtrip.dir/log_roundtrip.cpp.o"
+  "CMakeFiles/log_roundtrip.dir/log_roundtrip.cpp.o.d"
+  "log_roundtrip"
+  "log_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

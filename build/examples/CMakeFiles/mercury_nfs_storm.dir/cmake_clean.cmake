@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mercury_nfs_storm.dir/mercury_nfs_storm.cpp.o"
+  "CMakeFiles/mercury_nfs_storm.dir/mercury_nfs_storm.cpp.o.d"
+  "mercury_nfs_storm"
+  "mercury_nfs_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mercury_nfs_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_ckpt.dir/simulator.cpp.o"
+  "CMakeFiles/elsa_ckpt.dir/simulator.cpp.o.d"
+  "CMakeFiles/elsa_ckpt.dir/waste_model.cpp.o"
+  "CMakeFiles/elsa_ckpt.dir/waste_model.cpp.o.d"
+  "libelsa_ckpt.a"
+  "libelsa_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

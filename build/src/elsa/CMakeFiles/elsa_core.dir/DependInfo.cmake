@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elsa/chain.cpp" "src/elsa/CMakeFiles/elsa_core.dir/chain.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/chain.cpp.o.d"
+  "/root/repo/src/elsa/ckpt_replay.cpp" "src/elsa/CMakeFiles/elsa_core.dir/ckpt_replay.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/ckpt_replay.cpp.o.d"
+  "/root/repo/src/elsa/dm_miner.cpp" "src/elsa/CMakeFiles/elsa_core.dir/dm_miner.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/dm_miner.cpp.o.d"
+  "/root/repo/src/elsa/evaluate.cpp" "src/elsa/CMakeFiles/elsa_core.dir/evaluate.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/evaluate.cpp.o.d"
+  "/root/repo/src/elsa/grite.cpp" "src/elsa/CMakeFiles/elsa_core.dir/grite.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/grite.cpp.o.d"
+  "/root/repo/src/elsa/location.cpp" "src/elsa/CMakeFiles/elsa_core.dir/location.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/location.cpp.o.d"
+  "/root/repo/src/elsa/model_io.cpp" "src/elsa/CMakeFiles/elsa_core.dir/model_io.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/elsa/online.cpp" "src/elsa/CMakeFiles/elsa_core.dir/online.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/online.cpp.o.d"
+  "/root/repo/src/elsa/outlier.cpp" "src/elsa/CMakeFiles/elsa_core.dir/outlier.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/outlier.cpp.o.d"
+  "/root/repo/src/elsa/pipeline.cpp" "src/elsa/CMakeFiles/elsa_core.dir/pipeline.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/elsa/profile.cpp" "src/elsa/CMakeFiles/elsa_core.dir/profile.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/profile.cpp.o.d"
+  "/root/repo/src/elsa/report.cpp" "src/elsa/CMakeFiles/elsa_core.dir/report.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/report.cpp.o.d"
+  "/root/repo/src/elsa/updater.cpp" "src/elsa/CMakeFiles/elsa_core.dir/updater.cpp.o" "gcc" "src/elsa/CMakeFiles/elsa_core.dir/updater.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elsa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/elsa_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/simlog/CMakeFiles/elsa_simlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/helo/CMakeFiles/elsa_helo.dir/DependInfo.cmake"
+  "/root/repo/build/src/signalkit/CMakeFiles/elsa_signalkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/elsa_ckpt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

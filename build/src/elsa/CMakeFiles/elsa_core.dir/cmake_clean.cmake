@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_core.dir/chain.cpp.o"
+  "CMakeFiles/elsa_core.dir/chain.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/ckpt_replay.cpp.o"
+  "CMakeFiles/elsa_core.dir/ckpt_replay.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/dm_miner.cpp.o"
+  "CMakeFiles/elsa_core.dir/dm_miner.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/evaluate.cpp.o"
+  "CMakeFiles/elsa_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/grite.cpp.o"
+  "CMakeFiles/elsa_core.dir/grite.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/location.cpp.o"
+  "CMakeFiles/elsa_core.dir/location.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/model_io.cpp.o"
+  "CMakeFiles/elsa_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/online.cpp.o"
+  "CMakeFiles/elsa_core.dir/online.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/outlier.cpp.o"
+  "CMakeFiles/elsa_core.dir/outlier.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/pipeline.cpp.o"
+  "CMakeFiles/elsa_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/profile.cpp.o"
+  "CMakeFiles/elsa_core.dir/profile.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/report.cpp.o"
+  "CMakeFiles/elsa_core.dir/report.cpp.o.d"
+  "CMakeFiles/elsa_core.dir/updater.cpp.o"
+  "CMakeFiles/elsa_core.dir/updater.cpp.o.d"
+  "libelsa_core.a"
+  "libelsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_helo.dir/helo.cpp.o"
+  "CMakeFiles/elsa_helo.dir/helo.cpp.o.d"
+  "libelsa_helo.a"
+  "libelsa_helo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_helo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signalkit/classify.cpp" "src/signalkit/CMakeFiles/elsa_signalkit.dir/classify.cpp.o" "gcc" "src/signalkit/CMakeFiles/elsa_signalkit.dir/classify.cpp.o.d"
+  "/root/repo/src/signalkit/fft.cpp" "src/signalkit/CMakeFiles/elsa_signalkit.dir/fft.cpp.o" "gcc" "src/signalkit/CMakeFiles/elsa_signalkit.dir/fft.cpp.o.d"
+  "/root/repo/src/signalkit/filters.cpp" "src/signalkit/CMakeFiles/elsa_signalkit.dir/filters.cpp.o" "gcc" "src/signalkit/CMakeFiles/elsa_signalkit.dir/filters.cpp.o.d"
+  "/root/repo/src/signalkit/signal.cpp" "src/signalkit/CMakeFiles/elsa_signalkit.dir/signal.cpp.o" "gcc" "src/signalkit/CMakeFiles/elsa_signalkit.dir/signal.cpp.o.d"
+  "/root/repo/src/signalkit/wavelet.cpp" "src/signalkit/CMakeFiles/elsa_signalkit.dir/wavelet.cpp.o" "gcc" "src/signalkit/CMakeFiles/elsa_signalkit.dir/wavelet.cpp.o.d"
+  "/root/repo/src/signalkit/xcorr.cpp" "src/signalkit/CMakeFiles/elsa_signalkit.dir/xcorr.cpp.o" "gcc" "src/signalkit/CMakeFiles/elsa_signalkit.dir/xcorr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

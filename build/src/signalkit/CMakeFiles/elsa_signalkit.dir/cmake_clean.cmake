@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_signalkit.dir/classify.cpp.o"
+  "CMakeFiles/elsa_signalkit.dir/classify.cpp.o.d"
+  "CMakeFiles/elsa_signalkit.dir/fft.cpp.o"
+  "CMakeFiles/elsa_signalkit.dir/fft.cpp.o.d"
+  "CMakeFiles/elsa_signalkit.dir/filters.cpp.o"
+  "CMakeFiles/elsa_signalkit.dir/filters.cpp.o.d"
+  "CMakeFiles/elsa_signalkit.dir/signal.cpp.o"
+  "CMakeFiles/elsa_signalkit.dir/signal.cpp.o.d"
+  "CMakeFiles/elsa_signalkit.dir/wavelet.cpp.o"
+  "CMakeFiles/elsa_signalkit.dir/wavelet.cpp.o.d"
+  "CMakeFiles/elsa_signalkit.dir/xcorr.cpp.o"
+  "CMakeFiles/elsa_signalkit.dir/xcorr.cpp.o.d"
+  "libelsa_signalkit.a"
+  "libelsa_signalkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_signalkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

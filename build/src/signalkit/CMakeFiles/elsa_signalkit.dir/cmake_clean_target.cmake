@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelsa_signalkit.a"
+)

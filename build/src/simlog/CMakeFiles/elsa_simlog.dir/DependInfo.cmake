@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simlog/catalog.cpp" "src/simlog/CMakeFiles/elsa_simlog.dir/catalog.cpp.o" "gcc" "src/simlog/CMakeFiles/elsa_simlog.dir/catalog.cpp.o.d"
+  "/root/repo/src/simlog/faults.cpp" "src/simlog/CMakeFiles/elsa_simlog.dir/faults.cpp.o" "gcc" "src/simlog/CMakeFiles/elsa_simlog.dir/faults.cpp.o.d"
+  "/root/repo/src/simlog/generator.cpp" "src/simlog/CMakeFiles/elsa_simlog.dir/generator.cpp.o" "gcc" "src/simlog/CMakeFiles/elsa_simlog.dir/generator.cpp.o.d"
+  "/root/repo/src/simlog/logio.cpp" "src/simlog/CMakeFiles/elsa_simlog.dir/logio.cpp.o" "gcc" "src/simlog/CMakeFiles/elsa_simlog.dir/logio.cpp.o.d"
+  "/root/repo/src/simlog/record.cpp" "src/simlog/CMakeFiles/elsa_simlog.dir/record.cpp.o" "gcc" "src/simlog/CMakeFiles/elsa_simlog.dir/record.cpp.o.d"
+  "/root/repo/src/simlog/scenario.cpp" "src/simlog/CMakeFiles/elsa_simlog.dir/scenario.cpp.o" "gcc" "src/simlog/CMakeFiles/elsa_simlog.dir/scenario.cpp.o.d"
+  "/root/repo/src/simlog/textgen.cpp" "src/simlog/CMakeFiles/elsa_simlog.dir/textgen.cpp.o" "gcc" "src/simlog/CMakeFiles/elsa_simlog.dir/textgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elsa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/elsa_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_simlog.dir/catalog.cpp.o"
+  "CMakeFiles/elsa_simlog.dir/catalog.cpp.o.d"
+  "CMakeFiles/elsa_simlog.dir/faults.cpp.o"
+  "CMakeFiles/elsa_simlog.dir/faults.cpp.o.d"
+  "CMakeFiles/elsa_simlog.dir/generator.cpp.o"
+  "CMakeFiles/elsa_simlog.dir/generator.cpp.o.d"
+  "CMakeFiles/elsa_simlog.dir/logio.cpp.o"
+  "CMakeFiles/elsa_simlog.dir/logio.cpp.o.d"
+  "CMakeFiles/elsa_simlog.dir/record.cpp.o"
+  "CMakeFiles/elsa_simlog.dir/record.cpp.o.d"
+  "CMakeFiles/elsa_simlog.dir/scenario.cpp.o"
+  "CMakeFiles/elsa_simlog.dir/scenario.cpp.o.d"
+  "CMakeFiles/elsa_simlog.dir/textgen.cpp.o"
+  "CMakeFiles/elsa_simlog.dir/textgen.cpp.o.d"
+  "libelsa_simlog.a"
+  "libelsa_simlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_simlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_topology.dir/topology.cpp.o"
+  "CMakeFiles/elsa_topology.dir/topology.cpp.o.d"
+  "libelsa_topology.a"
+  "libelsa_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

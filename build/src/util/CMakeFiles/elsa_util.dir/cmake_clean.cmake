@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_util.dir/ascii.cpp.o"
+  "CMakeFiles/elsa_util.dir/ascii.cpp.o.d"
+  "CMakeFiles/elsa_util.dir/histogram.cpp.o"
+  "CMakeFiles/elsa_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/elsa_util.dir/mann_whitney.cpp.o"
+  "CMakeFiles/elsa_util.dir/mann_whitney.cpp.o.d"
+  "CMakeFiles/elsa_util.dir/stats.cpp.o"
+  "CMakeFiles/elsa_util.dir/stats.cpp.o.d"
+  "CMakeFiles/elsa_util.dir/strings.cpp.o"
+  "CMakeFiles/elsa_util.dir/strings.cpp.o.d"
+  "CMakeFiles/elsa_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/elsa_util.dir/thread_pool.cpp.o.d"
+  "libelsa_util.a"
+  "libelsa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

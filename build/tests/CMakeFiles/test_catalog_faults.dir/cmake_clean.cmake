@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_catalog_faults.dir/test_catalog_faults.cpp.o"
+  "CMakeFiles/test_catalog_faults.dir/test_catalog_faults.cpp.o.d"
+  "test_catalog_faults"
+  "test_catalog_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_catalog_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckpt_replay.dir/test_ckpt_replay.cpp.o"
+  "CMakeFiles/test_ckpt_replay.dir/test_ckpt_replay.cpp.o.d"
+  "test_ckpt_replay"
+  "test_ckpt_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckpt_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dm_miner.dir/test_dm_miner.cpp.o"
+  "CMakeFiles/test_dm_miner.dir/test_dm_miner.cpp.o.d"
+  "test_dm_miner"
+  "test_dm_miner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dm_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evaluate.dir/test_evaluate.cpp.o"
+  "CMakeFiles/test_evaluate.dir/test_evaluate.cpp.o.d"
+  "test_evaluate"
+  "test_evaluate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evaluate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

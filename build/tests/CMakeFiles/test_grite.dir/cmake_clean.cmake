@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grite.dir/test_grite.cpp.o"
+  "CMakeFiles/test_grite.dir/test_grite.cpp.o.d"
+  "test_grite"
+  "test_grite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_helo.dir/test_helo.cpp.o"
+  "CMakeFiles/test_helo.dir/test_helo.cpp.o.d"
+  "test_helo"
+  "test_helo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_helo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_helo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logio.dir/test_logio.cpp.o"
+  "CMakeFiles/test_logio.dir/test_logio.cpp.o.d"
+  "test_logio"
+  "test_logio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mann_whitney.cpp" "tests/CMakeFiles/test_mann_whitney.dir/test_mann_whitney.cpp.o" "gcc" "tests/CMakeFiles/test_mann_whitney.dir/test_mann_whitney.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elsa/CMakeFiles/elsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/elsa_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simlog/CMakeFiles/elsa_simlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/elsa_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/helo/CMakeFiles/elsa_helo.dir/DependInfo.cmake"
+  "/root/repo/build/src/signalkit/CMakeFiles/elsa_signalkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mann_whitney.dir/test_mann_whitney.cpp.o"
+  "CMakeFiles/test_mann_whitney.dir/test_mann_whitney.cpp.o.d"
+  "test_mann_whitney"
+  "test_mann_whitney.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mann_whitney.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_engine.dir/test_online_engine.cpp.o"
+  "CMakeFiles/test_online_engine.dir/test_online_engine.cpp.o.d"
+  "test_online_engine"
+  "test_online_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

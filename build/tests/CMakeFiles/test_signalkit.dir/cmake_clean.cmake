@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signalkit.dir/test_signalkit.cpp.o"
+  "CMakeFiles/test_signalkit.dir/test_signalkit.cpp.o.d"
+  "test_signalkit"
+  "test_signalkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signalkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

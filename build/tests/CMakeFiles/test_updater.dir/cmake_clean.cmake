@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_updater.dir/test_updater.cpp.o"
+  "CMakeFiles/test_updater.dir/test_updater.cpp.o.d"
+  "test_updater"
+  "test_updater.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_updater.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xcorr.dir/test_xcorr.cpp.o"
+  "CMakeFiles/test_xcorr.dir/test_xcorr.cpp.o.d"
+  "test_xcorr"
+  "test_xcorr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xcorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsa_cli.dir/elsa_cli.cpp.o"
+  "CMakeFiles/elsa_cli.dir/elsa_cli.cpp.o.d"
+  "elsa"
+  "elsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
