@@ -1,0 +1,113 @@
+// Serving-layer throughput: replays a >= 1M-record Blue Gene/L-like
+// campaign through the sharded prediction service as fast as possible and
+// reports sustained records/s plus p50/p99 ingest-to-prediction latency at
+// 1, 2, 4 and 8 shards. This is the "how fast can the analysis side run"
+// companion to the paper's §VI.A analysis-window measurements: there the
+// delay is simulated from 2012 calibration constants; here it is measured
+// on real threads, real queues and real hardware.
+//
+// Not a google-benchmark microbench: each configuration is one long
+// macro-run (~1M records end to end), so a single timed pass per shard
+// count is the measurement.
+//
+//   ./build/bench/serve_throughput [days] [shard counts...]
+//
+// NOTE: shard scaling needs cores. On a single-core container every
+// configuration multiplexes onto one CPU and the sharded runs can only tie
+// (or lose to) the 1-shard run; the per-shard numbers are still reported.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "elsa/pipeline.hpp"
+#include "serve/replayer.hpp"
+#include "serve/service.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+using namespace elsa;
+using Clock = std::chrono::steady_clock;
+
+constexpr double kTrainDays = 4.0;
+
+struct RunResult {
+  std::size_t shards = 0;
+  std::size_t records = 0;
+  double seconds = 0.0;
+  serve::MetricsSnapshot m;
+};
+
+RunResult run_once(const simlog::Trace& trace, const core::OfflineModel& model,
+                   std::int64_t train_end, std::size_t shards) {
+  serve::ServiceConfig cfg;
+  cfg.shards = shards;
+  serve::PredictionService service(trace.topology, model, cfg);
+
+  serve::ReplayOptions ro;  // speedup 0: as fast as possible
+  ro.from_ms = train_end;
+  const serve::TraceReplayer replayer(trace, ro);
+
+  const auto t0 = Clock::now();
+  const std::size_t accepted = replayer.replay_into(service);
+  service.finish(trace.t_end_ms);
+  const auto t1 = Clock::now();
+
+  RunResult r;
+  r.shards = shards;
+  r.records = accepted;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.m = service.metrics();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // ~43k records/day -> 28 days comfortably clears 1M records replayed
+  // over the post-training period.
+  const double days = argc > 1 ? std::atof(argv[1]) : 28.0;
+  std::vector<std::size_t> shard_counts;
+  for (int i = 2; i < argc; ++i)
+    shard_counts.push_back(std::strtoul(argv[i], nullptr, 10));
+  if (shard_counts.empty()) shard_counts = {1, 2, 4, 8};
+
+  std::printf("generating %.0f-day BG/L-like campaign...\n", days);
+  auto sc = simlog::make_bluegene_scenario(2012, days, 110);
+  const auto trace = sc.generator.generate(sc.config);
+  const std::int64_t train_end =
+      trace.t_begin_ms + static_cast<std::int64_t>(kTrainDays * 86'400'000.0);
+  std::size_t replay_records = 0;
+  for (const auto& rec : trace.records)
+    replay_records += rec.time_ms >= train_end;
+  std::printf("  %zu records total, %zu in the replay window\n",
+              trace.records.size(), replay_records);
+
+  std::printf("offline phase (first %.0f days)...\n", kTrainDays);
+  core::PipelineConfig pcfg;
+  const auto model =
+      core::train_offline(trace, train_end, core::Method::Hybrid, pcfg);
+
+  std::printf("%u hardware threads\n\n",
+              std::thread::hardware_concurrency());
+  std::printf(
+      "%6s %12s %12s %10s %10s %10s %10s %8s\n", "shards", "records",
+      "records/s", "p50 us", "p99 us", "pred p50", "pred p99", "alarms");
+
+  double base_rps = 0.0;
+  for (const std::size_t shards : shard_counts) {
+    const RunResult r = run_once(trace, model, train_end, shards);
+    const double rps =
+        r.seconds > 0 ? static_cast<double>(r.records) / r.seconds : 0.0;
+    if (base_rps == 0.0) base_rps = rps;
+    std::printf("%6zu %12zu %12.0f %10.0f %10.0f %10.0f %10.0f %8llu  (%.2fx)\n",
+                r.shards, r.records, rps, r.m.ingest_p50_us, r.m.ingest_p99_us,
+                r.m.predict_p50_us, r.m.predict_p99_us,
+                static_cast<unsigned long long>(r.m.predictions),
+                base_rps > 0 ? rps / base_rps : 0.0);
+  }
+  return 0;
+}

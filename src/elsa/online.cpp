@@ -59,21 +59,31 @@ void OnlineEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
   ++stats_.records;
 
   if (cfg_.raw_event_matching) {
-    // DM baseline: every record is a potential rule antecedent.
+    // DM baseline: every record is a potential rule antecedent. A record
+    // behind the latest one seen is clamped forward so the trigger sample
+    // and queue clock never move backwards.
+    std::int64_t t_ms = rec.time_ms;
+    if (started_ && t_ms < last_time_ms_) {
+      ++stats_.out_of_order;
+      t_ms = last_time_ms_;
+    } else {
+      last_time_ms_ = t_ms;
+      started_ = true;
+    }
     double service = cfg_.cost.per_event_ms;
     const auto it = triggers_.find(tmpl);
     std::size_t fanout = it == triggers_.end() ? 0 : it->second.size();
     service += static_cast<double>(fanout) * cfg_.cost.per_chain_trigger_ms;
     server_free_ms_ =
-        std::max(server_free_ms_, static_cast<double>(rec.time_ms)) + service;
+        std::max(server_free_ms_, static_cast<double>(t_ms)) + service;
     if (fanout > 0) {
       ++stats_.raw_triggers;
       std::vector<std::int32_t> nodes;
       if (rec.node_id >= 0) nodes.push_back(rec.node_id);
       const std::int32_t sample =
-          static_cast<std::int32_t>(rec.time_ms / cfg_.dt_ms);
+          static_cast<std::int32_t>(t_ms / cfg_.dt_ms);
       for (const Trigger& tr : it->second)
-        trigger_chain(tr, sample, rec.time_ms,
+        trigger_chain(tr, sample, t_ms,
                       static_cast<std::int64_t>(server_free_ms_), nodes);
     }
     return;
@@ -83,11 +93,19 @@ void OnlineEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
     bucket_start_ms_ = rec.time_ms / cfg_.dt_ms * cfg_.dt_ms;
     started_ = true;
   }
-  close_buckets_through(rec.time_ms);
+  // A record that arrives after its bucket closed (small skew from a
+  // concurrent ingest path) is attributed to the open bucket: its count
+  // still contributes to the signal, one sample late at worst.
+  std::int64_t t_ms = rec.time_ms;
+  if (t_ms < bucket_start_ms_) {
+    ++stats_.out_of_order;
+    t_ms = bucket_start_ms_;
+  }
+  close_buckets_through(t_ms);
 
   // Queue cost of ingesting the record itself.
   server_free_ms_ =
-      std::max(server_free_ms_, static_cast<double>(rec.time_ms)) +
+      std::max(server_free_ms_, static_cast<double>(t_ms)) +
       cfg_.cost.per_event_ms;
 
   ensure_detector(tmpl);

@@ -74,6 +74,12 @@ struct Prediction {
 struct EngineStats {
   std::size_t records = 0;
   std::size_t buckets = 0;
+  /// Records that arrived after their bucket had already closed (or, in raw
+  /// matching mode, behind the latest record seen). They are clamped to the
+  /// open bucket / latest time instead of being dropped: out-of-order
+  /// arrival is the norm for a concurrent ingest path, and a slightly
+  /// mis-bucketed count is far better than a hole in the signal.
+  std::size_t out_of_order = 0;
   std::size_t outlier_onsets = 0;
   std::size_t raw_triggers = 0;
   std::size_t predictions_emitted = 0;
@@ -91,8 +97,11 @@ class OnlineEngine {
   OnlineEngine(const topo::Topology& topo, std::vector<Chain> chains,
                std::vector<SignalProfile> profiles, EngineConfig cfg);
 
-  /// Feed one record (records must be time-ordered). `tmpl` is the event
-  /// type id assigned by the online HELO classifier.
+  /// Feed one record. `tmpl` is the event type id assigned by the online
+  /// HELO classifier. Records should be roughly time-ordered; a record
+  /// arriving behind the open bucket (normal for a concurrent ingest path)
+  /// is clamped onto the open bucket and counted in
+  /// `EngineStats::out_of_order` rather than corrupting closed history.
   void feed(const simlog::LogRecord& rec, std::uint32_t tmpl);
 
   /// Flush trailing buckets up to the end of the observation period.
@@ -146,6 +155,8 @@ class OnlineEngine {
   std::vector<OnlineDetector> detectors_;
   std::int64_t bucket_start_ms_ = 0;
   bool started_ = false;
+  /// Latest record time seen (raw matching mode's ordering reference).
+  std::int64_t last_time_ms_ = 0;
   /// Per-template activity in the open bucket.
   std::unordered_map<std::uint32_t, std::pair<std::uint32_t,
                                               std::vector<std::int32_t>>>

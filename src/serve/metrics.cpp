@@ -1,0 +1,161 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace elsa::serve {
+
+namespace {
+
+/// 1-2-5 log-scale edges from 1 us to 50 s, plus a 0 floor bin.
+std::vector<double> latency_edges_us() {
+  std::vector<double> e{0.0};
+  for (double decade = 1.0; decade <= 1e7; decade *= 10.0)
+    for (double m : {1.0, 2.0, 5.0}) e.push_back(decade * m);
+  return e;
+}
+
+/// Power-of-two depth edges, 0..64k.
+std::vector<double> depth_edges() {
+  std::vector<double> e{0.0};
+  for (double d = 1.0; d <= 65536.0; d *= 2.0) e.push_back(d);
+  return e;
+}
+
+double us_since(ServeMetrics::Clock::time_point t0) {
+  const auto dt = ServeMetrics::Clock::now() - t0;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+}  // namespace
+
+AtomicHistogram::AtomicHistogram(std::vector<double> edges)
+    : edges_(std::move(edges)),
+      counts_(new std::atomic<std::uint64_t>[edges_.size()]) {
+  for (std::size_t i = 0; i < edges_.size(); ++i) counts_[i] = 0;
+}
+
+void AtomicHistogram::add(double x) {
+  if (x < edges_.front()) x = edges_.front();
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  const std::size_t bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  counts_[bin].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t AtomicHistogram::total() const {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i)
+    t += counts_[i].load(std::memory_order_relaxed);
+  return t;
+}
+
+util::EdgeHistogram AtomicHistogram::snapshot() const {
+  util::EdgeHistogram h(edges_);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c > 0) h.add(edges_[i], c);
+  }
+  return h;
+}
+
+ServeMetrics::ServeMetrics()
+    : ingest_lat_(latency_edges_us()),
+      predict_lat_(latency_edges_us()),
+      depth_(depth_edges()),
+      started_(Clock::now()) {}
+
+void ServeMetrics::on_ingest(std::size_t queue_depth) {
+  records_in_.fetch_add(1, std::memory_order_relaxed);
+  depth_.add(static_cast<double>(queue_depth));
+}
+
+void ServeMetrics::on_drop(std::uint64_t records) {
+  dropped_.fetch_add(records, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_processed(Clock::time_point enqueued_at) {
+  records_out_.fetch_add(1, std::memory_order_relaxed);
+  ingest_lat_.add(us_since(enqueued_at));
+}
+
+void ServeMetrics::on_prediction(Clock::time_point enqueued_at) {
+  predictions_.fetch_add(1, std::memory_order_relaxed);
+  predict_lat_.add(us_since(enqueued_at));
+}
+
+void ServeMetrics::on_dedupe(std::uint64_t hits) {
+  dedupe_hits_.fetch_add(hits, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_out_of_order(std::uint64_t records) {
+  out_of_order_.fetch_add(records, std::memory_order_relaxed);
+}
+
+void ServeMetrics::start() {
+  started_ = Clock::now();
+  stopped_ns_.store(-1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::stop() {
+  const auto up = Clock::now() - started_;
+  stopped_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(up).count(),
+      std::memory_order_relaxed);
+}
+
+MetricsSnapshot ServeMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.records_in = records_in_.load(std::memory_order_relaxed);
+  s.records_out = records_out_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.predictions = predictions_.load(std::memory_order_relaxed);
+  s.dedupe_hits = dedupe_hits_.load(std::memory_order_relaxed);
+  s.out_of_order = out_of_order_.load(std::memory_order_relaxed);
+
+  const std::int64_t frozen = stopped_ns_.load(std::memory_order_relaxed);
+  const auto up = frozen >= 0 ? std::chrono::nanoseconds(frozen)
+                              : std::chrono::duration_cast<
+                                    std::chrono::nanoseconds>(Clock::now() -
+                                                              started_);
+  s.wall_seconds = std::chrono::duration<double>(up).count();
+  s.records_per_sec =
+      s.wall_seconds > 0.0
+          ? static_cast<double>(s.records_out) / s.wall_seconds
+          : 0.0;
+
+  const auto il = ingest_lat_.snapshot();
+  s.ingest_p50_us = il.quantile(0.50);
+  s.ingest_p99_us = il.quantile(0.99);
+  const auto pl = predict_lat_.snapshot();
+  s.predict_p50_us = pl.quantile(0.50);
+  s.predict_p99_us = pl.quantile(0.99);
+  const auto qd = depth_.snapshot();
+  s.queue_depth_p50 = qd.quantile(0.50);
+  s.queue_depth_p99 = qd.quantile(0.99);
+  return s;
+}
+
+std::string ServeMetrics::text_report() const {
+  const MetricsSnapshot s = snapshot();
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "serve metrics (%.2f s uptime)\n"
+      "  records    in %llu, out %llu, dropped %llu, out-of-order %llu\n"
+      "  throughput %.0f records/s\n"
+      "  alarms     %llu issued, %llu duplicates suppressed\n"
+      "  ingest     p50 %.0f us, p99 %.0f us (enqueue -> processed)\n"
+      "  prediction p50 %.0f us, p99 %.0f us (enqueue -> alarm)\n"
+      "  queue depth p50 %.0f, p99 %.0f\n",
+      s.wall_seconds, static_cast<unsigned long long>(s.records_in),
+      static_cast<unsigned long long>(s.records_out),
+      static_cast<unsigned long long>(s.dropped),
+      static_cast<unsigned long long>(s.out_of_order), s.records_per_sec,
+      static_cast<unsigned long long>(s.predictions),
+      static_cast<unsigned long long>(s.dedupe_hits), s.ingest_p50_us,
+      s.ingest_p99_us, s.predict_p50_us, s.predict_p99_us, s.queue_depth_p50,
+      s.queue_depth_p99);
+  return buf;
+}
+
+}  // namespace elsa::serve

@@ -1,0 +1,107 @@
+// Observability for the serving layer. Every counter is a relaxed atomic —
+// the hot path (worker threads, producer threads) never takes a lock for
+// bookkeeping. Latency and queue-depth distributions are kept in lock-free
+// fixed-edge bucket arrays and materialised into `util::EdgeHistogram`s
+// only when a snapshot or report is requested, so the percentile machinery
+// is shared with the rest of the experiment harness.
+//
+// The measured quantities follow the paper's framing (§VI.A): what matters
+// for an online predictor is the *visible* delay between a symptom entering
+// the system and the alarm leaving it. The offline engine simulates that
+// delay with a calibrated cost model; the serving layer measures it for
+// real: `ingest` is enqueue -> record fully processed, `prediction` is
+// enqueue of the triggering record -> alarm issued.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace elsa::serve {
+
+/// Thread-safe histogram over fixed bin edges; add() is lock-free.
+class AtomicHistogram {
+ public:
+  explicit AtomicHistogram(std::vector<double> edges);
+
+  void add(double x);
+  std::uint64_t total() const;
+
+  /// Materialise the current counts into a regular EdgeHistogram (for
+  /// labels, fractions and quantiles). Concurrent adds may or may not be
+  /// included; the result is always internally consistent.
+  util::EdgeHistogram snapshot() const;
+
+ private:
+  std::vector<double> edges_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+};
+
+/// One consistent-enough view of the service, cheap to take at any time.
+struct MetricsSnapshot {
+  std::uint64_t records_in = 0;   ///< accepted into the ingest queue
+  std::uint64_t records_out = 0;  ///< fully processed by a shard engine
+  std::uint64_t dropped = 0;      ///< shed on overflow (try_submit path)
+  std::uint64_t predictions = 0;
+  std::uint64_t dedupe_hits = 0;   ///< duplicate alarms suppressed
+  std::uint64_t out_of_order = 0;  ///< records clamped onto an open bucket
+  double wall_seconds = 0.0;       ///< service uptime (start -> stop/now)
+  double records_per_sec = 0.0;    ///< records_out / wall_seconds
+  double ingest_p50_us = 0.0;      ///< enqueue -> processed latency
+  double ingest_p99_us = 0.0;
+  double predict_p50_us = 0.0;  ///< enqueue of trigger -> alarm issued
+  double predict_p99_us = 0.0;
+  double queue_depth_p50 = 0.0;  ///< ingest ring depth observed at enqueue
+  double queue_depth_p99 = 0.0;
+};
+
+class ServeMetrics {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ServeMetrics();
+
+  // -- hot-path hooks ------------------------------------------------------
+  void on_ingest(std::size_t queue_depth);
+  void on_drop(std::uint64_t records = 1);
+  void on_processed(Clock::time_point enqueued_at);
+  void on_prediction(Clock::time_point enqueued_at);
+  void on_dedupe(std::uint64_t hits);
+  void on_out_of_order(std::uint64_t records);
+
+  // -- lifecycle -----------------------------------------------------------
+  /// Restart the uptime clock (the constructor already starts it).
+  void start();
+  /// Freeze the uptime clock; later snapshots report the frozen span.
+  void stop();
+
+  // -- reporting -----------------------------------------------------------
+  MetricsSnapshot snapshot() const;
+  /// Multi-line human-readable report (counters + latency percentiles).
+  std::string text_report() const;
+  util::EdgeHistogram ingest_latency_us() const { return ingest_lat_.snapshot(); }
+  util::EdgeHistogram prediction_latency_us() const {
+    return predict_lat_.snapshot();
+  }
+  util::EdgeHistogram queue_depth() const { return depth_.snapshot(); }
+
+ private:
+  std::atomic<std::uint64_t> records_in_{0};
+  std::atomic<std::uint64_t> records_out_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> predictions_{0};
+  std::atomic<std::uint64_t> dedupe_hits_{0};
+  std::atomic<std::uint64_t> out_of_order_{0};
+  AtomicHistogram ingest_lat_;   ///< microseconds
+  AtomicHistogram predict_lat_;  ///< microseconds
+  AtomicHistogram depth_;        ///< ingest ring depth
+  Clock::time_point started_;
+  std::atomic<std::int64_t> stopped_ns_{-1};  ///< uptime at stop(), ns
+};
+
+}  // namespace elsa::serve

@@ -1,0 +1,54 @@
+#include "serve/replayer.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "serve/service.hpp"
+
+namespace elsa::serve {
+
+std::size_t TraceReplayer::replay(
+    const std::function<bool(const simlog::LogRecord&)>& sink) const {
+  using Clock = std::chrono::steady_clock;
+  const bool paced = opt_.speedup > 0.0;
+  const Clock::time_point wall0 = Clock::now();
+  std::int64_t trace0_ms = 0;
+  bool first = true;
+  std::size_t delivered = 0;
+
+  for (const simlog::LogRecord& rec : trace_->records) {
+    if (rec.time_ms < opt_.from_ms || rec.time_ms >= opt_.until_ms) continue;
+    if (paced) {
+      if (first) {
+        trace0_ms = rec.time_ms;
+        first = false;
+      }
+      const double elapsed_ms =
+          static_cast<double>(rec.time_ms - trace0_ms) / opt_.speedup;
+      const auto deadline =
+          wall0 + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(elapsed_ms));
+      if (deadline > Clock::now()) std::this_thread::sleep_until(deadline);
+    }
+    if (!sink(rec)) break;
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t TraceReplayer::replay_into(PredictionService& service) const {
+  std::size_t accepted = 0;
+  const bool shed = opt_.shed;
+  replay([&](const simlog::LogRecord& rec) {
+    if (shed) {
+      if (service.try_submit(rec)) ++accepted;
+      return true;  // shedding never aborts the feed
+    }
+    if (!service.submit(rec)) return false;  // service finished
+    ++accepted;
+    return true;
+  });
+  return accepted;
+}
+
+}  // namespace elsa::serve

@@ -1,0 +1,54 @@
+// Trace replay: drives the serving layer the way a live syslog feed would.
+//
+// Streams a `simlog::Trace`'s records, in time order, at a configurable
+// multiple of real time — 1.0 reproduces the original arrival cadence,
+// 3600 compresses an hour into a second, and <= 0 means "as fast as
+// possible" (the throughput-bench mode). Pacing uses absolute deadlines
+// against a steady clock, so delivery cannot drift even when individual
+// records are delayed by backpressure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "simlog/record.hpp"
+
+namespace elsa::serve {
+
+class PredictionService;
+
+struct ReplayOptions {
+  /// Trace-time seconds delivered per wall-clock second; <= 0 replays as
+  /// fast as possible.
+  double speedup = 0.0;
+  /// Only records with time_ms in [from_ms, until_ms) are delivered.
+  std::int64_t from_ms = std::numeric_limits<std::int64_t>::min();
+  std::int64_t until_ms = std::numeric_limits<std::int64_t>::max();
+  /// Use the shedding submit path (try_submit) instead of blocking
+  /// backpressure when driving a PredictionService.
+  bool shed = false;
+};
+
+class TraceReplayer {
+ public:
+  /// The trace must outlive the replayer.
+  TraceReplayer(const simlog::Trace& trace, ReplayOptions opt = {})
+      : trace_(&trace), opt_(opt) {}
+
+  /// Stream records into `sink`; a false return from the sink aborts the
+  /// replay (e.g. the service was stopped). Blocks the calling thread for
+  /// the paced duration. Returns records delivered (sink invocations).
+  std::size_t replay(
+      const std::function<bool(const simlog::LogRecord&)>& sink) const;
+
+  /// Convenience: stream into a PredictionService (submit or try_submit
+  /// per `opt.shed`). Returns records accepted by the service.
+  std::size_t replay_into(PredictionService& service) const;
+
+ private:
+  const simlog::Trace* trace_;
+  ReplayOptions opt_;
+};
+
+}  // namespace elsa::serve

@@ -1,0 +1,155 @@
+// Bounded MPMC ring buffer: the ingest spine of the serving layer.
+//
+// A fixed-capacity circular buffer guarded by a mutex and two condition
+// variables. Any number of producers and consumers may operate on it
+// concurrently. Two overflow policies are exposed and the *caller* picks
+// per call site:
+//
+//   * push()  — block until space frees up (backpressure: a slow analysis
+//     tier throttles the syslog tap instead of silently losing records);
+//   * offer() — never block; on a full ring the item is dropped and the
+//     ring's drop counter incremented (load-shedding: a live feed that
+//     must not stall prefers losing a record to losing the feed).
+//
+// close() wakes every waiter; consumers then drain the remaining items and
+// pop() returns nullopt once the ring is empty. Throughput-sensitive
+// consumers use pop_all() which swaps out every queued item under one lock
+// acquisition, amortising synchronisation to well under the cost of the
+// mutex handshake per item.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace elsa::serve {
+
+template <class T>
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("Ring: zero capacity");
+  }
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Items currently queued (racy by nature; for monitoring).
+  std::size_t size() const {
+    std::lock_guard lk(mu_);
+    return count_;
+  }
+
+  /// Records silently shed by offer() on overflow.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  /// Blocking push. Returns the queue depth after insertion (>= 1), or 0 if
+  /// the ring was closed while waiting — the item was not enqueued.
+  std::size_t push(T item) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return count_ < buf_.size() || closed_; });
+    if (closed_) return 0;
+    buf_[(head_ + count_) % buf_.size()] = std::move(item);
+    const std::size_t depth = ++count_;
+    lk.unlock();
+    not_empty_.notify_one();
+    return depth;
+  }
+
+  /// Non-blocking push. On a full (or closed) ring the item is dropped and
+  /// counted; returns the depth after insertion, or 0 on drop.
+  std::size_t offer(T item) {
+    {
+      std::unique_lock lk(mu_);
+      if (!closed_ && count_ < buf_.size()) {
+        buf_[(head_ + count_) % buf_.size()] = std::move(item);
+        const std::size_t depth = ++count_;
+        lk.unlock();
+        not_empty_.notify_one();
+        return depth;
+      }
+    }
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+
+  /// Blocking pop; nullopt once the ring is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return std::nullopt;
+    T item = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --count_;
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lk(mu_);
+    if (count_ == 0) return std::nullopt;
+    T item = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --count_;
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Drain everything currently queued into `out` (appended, FIFO order)
+  /// under one lock acquisition; blocks until at least one item is
+  /// available. Returns false once the ring is closed and fully drained.
+  bool pop_all(std::vector<T>& out) {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return false;
+    out.reserve(out.size() + count_);
+    while (count_ > 0) {
+      out.push_back(std::move(buf_[head_]));
+      head_ = (head_ + 1) % buf_.size();
+      --count_;
+    }
+    lk.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Stop accepting items and wake every blocked producer and consumer.
+  /// Idempotent. Items already queued remain poppable.
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::vector<T> buf_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace elsa::serve

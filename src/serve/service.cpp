@@ -1,0 +1,94 @@
+#include "serve/service.hpp"
+
+namespace elsa::serve {
+
+PredictionService::PredictionService(const topo::Topology& topo,
+                                     const core::OfflineModel& model,
+                                     ServiceConfig cfg)
+    : classifier_(&model.helo),
+      unknown_tmpl_(static_cast<std::uint32_t>(
+          std::max(model.helo.size(), model.profiles.size()))),
+      ingest_(cfg.ingest_capacity),
+      alarms_(cfg.alarm_capacity) {
+  ShardOptions so;
+  so.shards = cfg.shards;
+  so.queue_capacity = cfg.shard_queue_capacity;
+  so.batch = cfg.batch;
+  so.drop_on_overflow = cfg.drop_on_overflow;
+  sharded_ = std::make_unique<ShardedEngine>(
+      topo, model.chains, model.profiles, cfg.engine, so, &metrics_,
+      [this](const core::Prediction& p) {
+        // Streaming view only; overflow is tolerated (merged list is the
+        // canonical record).
+        alarms_.offer(p);
+      });
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+PredictionService::~PredictionService() {
+  ingest_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::uint32_t PredictionService::classify(std::string_view message) const {
+  const std::uint32_t tid = classifier_->classify_const(message);
+  return tid == helo::TemplateMiner::kNoTemplate ? unknown_tmpl_ : tid;
+}
+
+bool PredictionService::submit(const simlog::LogRecord& rec) {
+  const Item item{rec.time_ms, rec.node_id, classify(rec.message),
+                  ServeMetrics::Clock::now()};
+  const std::size_t depth = ingest_.push(item);
+  if (depth == 0) return false;  // closed
+  metrics_.on_ingest(depth);
+  return true;
+}
+
+bool PredictionService::try_submit(const simlog::LogRecord& rec) {
+  const Item item{rec.time_ms, rec.node_id, classify(rec.message),
+                  ServeMetrics::Clock::now()};
+  const std::size_t depth = ingest_.offer(item);
+  if (depth == 0) {
+    metrics_.on_drop();
+    return false;
+  }
+  metrics_.on_ingest(depth);
+  return true;
+}
+
+void PredictionService::dispatcher_loop() {
+  simlog::LogRecord rec;
+  std::vector<Item> buf;
+  while (ingest_.pop_all(buf)) {
+    for (const Item& item : buf) {
+      rec.time_ms = item.time_ms;
+      rec.node_id = item.node_id;
+      sharded_->feed(rec, item.tmpl, item.enq);
+    }
+    buf.clear();
+    // Input went quiet: hand partial batches over now so a trickle-rate
+    // feed pays at most one scheduling hop of extra latency, not a wait
+    // for a batch to fill.
+    if (ingest_.size() == 0) sharded_->flush();
+  }
+}
+
+void PredictionService::finish(std::int64_t t_end_ms) {
+  if (finished_) return;
+  finished_ = true;
+  ingest_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  sharded_->finish(t_end_ms);
+  metrics_.stop();
+}
+
+std::size_t PredictionService::poll_alarms(std::vector<core::Prediction>& out) {
+  std::size_t n = 0;
+  while (auto p = alarms_.try_pop()) {
+    out.push_back(std::move(*p));
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace elsa::serve

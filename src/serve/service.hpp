@@ -1,0 +1,124 @@
+// elsa-serve: the streaming prediction service (paper Fig 2's online half,
+// deployed for real). Producers — syslog taps, the trace replayer, test
+// harnesses — submit raw records from any number of threads; the service
+// classifies them against the frozen offline model, funnels them through a
+// bounded MPMC ingest ring, and a dispatcher thread routes them to the
+// topology-sharded engines. Alarms stream out through a polling ring as
+// they are issued; the deterministic merged list is available after
+// finish().
+//
+//   producers -> [classify] -> ingest Ring -> dispatcher -> ShardedEngine
+//                                                |              |  alarms
+//                                           ServeMetrics <------+--> Ring
+//
+// Classification happens on the *producer's* thread: the model is frozen
+// while serving (classify_const never mutates), so the most string-heavy
+// stage of the path parallelises with zero coordination. Messages never
+// cross the ring — only (time, node, template) does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "elsa/online.hpp"
+#include "elsa/pipeline.hpp"
+#include "serve/metrics.hpp"
+#include "serve/ring.hpp"
+#include "serve/sharded_engine.hpp"
+
+namespace elsa::serve {
+
+struct ServiceConfig {
+  std::size_t shards = 4;
+  /// Ingest ring capacity, in records.
+  std::size_t ingest_capacity = 8192;
+  /// Per-shard queue capacity, in batches of `batch` records.
+  std::size_t shard_queue_capacity = 256;
+  std::size_t batch = 64;
+  /// Shed batches instead of applying backpressure when a shard queue
+  /// fills (the ingest ring's policy is chosen per call: submit blocks,
+  /// try_submit sheds).
+  bool drop_on_overflow = false;
+  /// Streaming alarm ring capacity; overflowing alarms are dropped from
+  /// the *streaming view only* (the merged list after finish() is always
+  /// complete).
+  std::size_t alarm_capacity = 4096;
+  core::EngineConfig engine;
+
+  /// Zeroes the engine's simulated analysis-cost model: the serving layer
+  /// measures real latency instead of simulating 2012 hardware, and a
+  /// zero-cost model is what makes sharded output identical to a
+  /// single-engine run (per-shard simulated queues would diverge).
+  ServiceConfig() { engine.cost = core::AnalysisCostModel{0.0, 0.0, 0.0}; }
+};
+
+class PredictionService {
+ public:
+  /// `model` supplies the classifier, chains and signal profiles; it must
+  /// outlive the service and must not be mutated while serving.
+  PredictionService(const topo::Topology& topo,
+                    const core::OfflineModel& model, ServiceConfig cfg = {});
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Classify and enqueue one record; blocks while the ingest ring is full
+  /// (backpressure). Thread-safe. False once the service is finished.
+  bool submit(const simlog::LogRecord& rec);
+
+  /// Classify and enqueue one record; sheds it (counted in the metrics)
+  /// when the ingest ring is full. Thread-safe. False if shed or finished.
+  bool try_submit(const simlog::LogRecord& rec);
+
+  /// Stop intake, drain everything, close trailing buckets through
+  /// `t_end_ms`, freeze the metrics clock. Idempotent.
+  void finish(std::int64_t t_end_ms);
+
+  /// Drain alarms issued since the last poll into `out` (appended);
+  /// returns how many. Callable anytime from any one consumer thread.
+  std::size_t poll_alarms(std::vector<core::Prediction>& out);
+
+  /// Canonical deterministically-merged predictions (after finish()).
+  const std::vector<core::Prediction>& predictions() const {
+    return sharded_->predictions();
+  }
+
+  /// Aggregated engine statistics (after finish()).
+  const core::EngineStats& engine_stats() const { return sharded_->stats(); }
+
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  std::string metrics_report() const { return metrics_.text_report(); }
+  const ServeMetrics& raw_metrics() const { return metrics_; }
+
+  std::size_t shards() const { return sharded_->shards(); }
+
+  /// Template id the service assigns to `message` (frozen-model
+  /// classification; unseen messages map to one reserved "unknown" id).
+  std::uint32_t classify(std::string_view message) const;
+
+ private:
+  struct Item {
+    std::int64_t time_ms = 0;
+    std::int32_t node_id = -1;
+    std::uint32_t tmpl = 0;
+    ServeMetrics::Clock::time_point enq{};
+  };
+
+  void dispatcher_loop();
+
+  const helo::TemplateMiner* classifier_;
+  std::uint32_t unknown_tmpl_;
+  ServeMetrics metrics_;
+  Ring<Item> ingest_;
+  Ring<core::Prediction> alarms_;
+  std::unique_ptr<ShardedEngine> sharded_;
+  std::thread dispatcher_;
+  bool finished_ = false;
+};
+
+}  // namespace elsa::serve

@@ -1,0 +1,176 @@
+#include "serve/sharded_engine.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace elsa::serve {
+
+namespace {
+
+/// Total order on predictions for the deterministic merge. Every field that
+/// can differ participates, so the merged order is independent of shard
+/// count and thread scheduling.
+bool prediction_less(const core::Prediction& a, const core::Prediction& b) {
+  const auto key = [](const core::Prediction& p) {
+    return std::tie(p.issue_time_ms, p.chain_id, p.tmpl, p.trigger_time_ms,
+                    p.predicted_time_ms);
+  };
+  if (key(a) != key(b)) return key(a) < key(b);
+  return std::lexicographical_compare(a.nodes.begin(), a.nodes.end(),
+                                      b.nodes.begin(), b.nodes.end());
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const topo::Topology& topo,
+                             std::vector<core::Chain> chains,
+                             std::vector<core::SignalProfile> profiles,
+                             core::EngineConfig engine_cfg, ShardOptions opt,
+                             ServeMetrics* metrics, PredictionSink on_prediction)
+    : topo_(topo),
+      opt_(opt),
+      metrics_(metrics),
+      sink_(std::move(on_prediction)) {
+  if (opt_.shards == 0) opt_.shards = 1;
+  if (opt_.batch == 0) opt_.batch = 1;
+  nodes_per_midplane_ =
+      std::max(1, topo.nodes_per_nodecard() * topo.nodecards_per_midplane());
+  shards_.reserve(opt_.shards);
+  for (std::size_t i = 0; i < opt_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        opt_.queue_capacity,
+        core::OnlineEngine(topo, chains, profiles, engine_cfg)));
+    shards_.back()->pending.reserve(opt_.batch);
+  }
+  for (auto& s : shards_)
+    s->worker = std::thread([this, sp = s.get()] { worker_loop(*sp); });
+}
+
+ShardedEngine::~ShardedEngine() {
+  for (auto& s : shards_) s->queue.close();
+  for (auto& s : shards_)
+    if (s->worker.joinable()) s->worker.join();
+}
+
+std::size_t ShardedEngine::shard_of(std::int32_t node_id) const {
+  if (node_id < 0) return 0;  // system-scoped records ride on shard 0
+  const std::size_t midplane =
+      static_cast<std::size_t>(node_id) /
+      static_cast<std::size_t>(nodes_per_midplane_);
+  return midplane % shards_.size();
+}
+
+void ShardedEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl,
+                         ServeMetrics::Clock::time_point enq) {
+  Shard& s = *shards_[shard_of(rec.node_id)];
+  s.pending.push_back({rec.time_ms, rec.node_id, tmpl, enq});
+  if (s.pending.size() >= opt_.batch) flush_shard(s);
+}
+
+void ShardedEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
+  feed(rec, tmpl,
+       metrics_ ? ServeMetrics::Clock::now() : ServeMetrics::Clock::time_point{});
+}
+
+void ShardedEngine::flush() {
+  for (auto& s : shards_) flush_shard(*s);
+}
+
+void ShardedEngine::flush_shard(Shard& s) {
+  if (s.pending.empty()) return;
+  Batch batch;
+  batch.reserve(opt_.batch);
+  batch.swap(s.pending);
+  if (opt_.drop_on_overflow) {
+    const std::size_t n = batch.size();
+    if (s.queue.offer(std::move(batch)) == 0) {
+      dropped_records_.fetch_add(n, std::memory_order_relaxed);
+      if (metrics_) metrics_->on_drop(n);
+    }
+  } else {
+    s.queue.push(std::move(batch));
+  }
+}
+
+void ShardedEngine::worker_loop(Shard& s) {
+  simlog::LogRecord rec;  // only the fields the engine reads are filled
+  while (auto batch = s.queue.pop()) {
+    for (const Item& item : *batch) {
+      rec.time_ms = item.time_ms;
+      rec.node_id = item.node_id;
+      s.engine.feed(rec, item.tmpl);
+      if (metrics_) metrics_->on_processed(item.enq);
+      drain_shard(s, item.enq);
+    }
+  }
+}
+
+void ShardedEngine::drain_shard(Shard& s, ServeMetrics::Clock::time_point enq) {
+  const auto& preds = s.engine.predictions();
+  while (s.preds_streamed < preds.size()) {
+    const core::Prediction& p = preds[s.preds_streamed++];
+    if (metrics_) metrics_->on_prediction(enq);
+    if (sink_) sink_(p);
+  }
+  if (metrics_) {
+    const core::EngineStats& st = s.engine.stats();
+    if (st.duplicates_suppressed > s.dupes_reported) {
+      metrics_->on_dedupe(st.duplicates_suppressed - s.dupes_reported);
+      s.dupes_reported = st.duplicates_suppressed;
+    }
+    if (st.out_of_order > s.ooo_reported) {
+      metrics_->on_out_of_order(st.out_of_order - s.ooo_reported);
+      s.ooo_reported = st.out_of_order;
+    }
+  }
+}
+
+void ShardedEngine::finish(std::int64_t t_end_ms) {
+  if (finished_) return;
+  finished_ = true;
+
+  flush();
+  for (auto& s : shards_) s->queue.close();
+  for (auto& s : shards_)
+    if (s->worker.joinable()) s->worker.join();
+
+  // Closing trailing buckets can still emit predictions; workers are gone,
+  // so finish and drain serially here.
+  for (auto& s : shards_) {
+    s->engine.finish(t_end_ms);
+    drain_shard(*s, ServeMetrics::Clock::now());
+  }
+
+  // Deterministic merge.
+  merged_.clear();
+  for (const auto& s : shards_) {
+    const auto& preds = s->engine.predictions();
+    merged_.insert(merged_.end(), preds.begin(), preds.end());
+  }
+  std::stable_sort(merged_.begin(), merged_.end(), prediction_less);
+
+  // Aggregate statistics.
+  stats_ = core::EngineStats{};
+  std::vector<std::size_t> fires;
+  for (const auto& s : shards_) {
+    const core::EngineStats& st = s->engine.stats();
+    stats_.records += st.records;
+    stats_.buckets += st.buckets;
+    stats_.out_of_order += st.out_of_order;
+    stats_.outlier_onsets += st.outlier_onsets;
+    stats_.raw_triggers += st.raw_triggers;
+    stats_.predictions_emitted += st.predictions_emitted;
+    stats_.duplicates_suppressed += st.duplicates_suppressed;
+    stats_.analysis_window_ms.insert(stats_.analysis_window_ms.end(),
+                                     st.analysis_window_ms.begin(),
+                                     st.analysis_window_ms.end());
+    const auto& f = s->engine.chain_fires();
+    if (fires.size() < f.size()) fires.resize(f.size(), 0);
+    for (std::size_t c = 0; c < f.size(); ++c) fires[c] += f[c];
+  }
+  stats_.chains_used = static_cast<std::size_t>(
+      std::count_if(fires.begin(), fires.end(),
+                    [](std::size_t f) { return f > 0; }));
+}
+
+}  // namespace elsa::serve

@@ -1,0 +1,146 @@
+// Topology-sharded online prediction (the serving layer's scale-out core).
+//
+// The record stream is partitioned by physical location: every midplane of
+// the machine maps to one of N shards (flat clusters shard by rack — their
+// topology model collapses midplane onto rack), and each shard runs a
+// private `elsa::core::OnlineEngine` on its own worker thread, fed through
+// a bounded batch queue. System-scoped records (node_id < 0) ride on shard
+// 0.
+//
+// Why midplanes: the paper's location analysis (§V, Fig 7) shows fault
+// syndromes overwhelmingly stay inside one midplane, so a midplane is the
+// natural unit of stream locality — all the records a chain occurrence
+// needs end up in the same shard, in their original relative order.
+//
+// Determinism guarantee (tested): with the simulated analysis-cost model
+// zeroed (the serving default — real latency is *measured* by the metrics
+// layer, not simulated), the merged prediction stream of an N-shard run is
+// identical, field for field, to a single-engine run over the same
+// (record, template) stream, for location-confined chains — chains whose
+// learned scope is Midplane or tighter and whose signals' activity does not
+// straddle shards. Two properties make this hold: per-shard processing is
+// sequential FIFO (thread scheduling cannot reorder one shard's records),
+// and the merge orders predictions by a total key
+// (issue_time, chain_id, tmpl, trigger_time, predicted_time, nodes, shard).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "elsa/online.hpp"
+#include "serve/metrics.hpp"
+#include "serve/ring.hpp"
+
+namespace elsa::serve {
+
+struct ShardOptions {
+  std::size_t shards = 4;
+  /// Capacity of each shard's queue, in batches.
+  std::size_t queue_capacity = 256;
+  /// Records per batch handed to a shard in one queue operation. Batching
+  /// amortises the ring's mutex handshake; flush() bounds the latency it
+  /// can add.
+  std::size_t batch = 64;
+  /// On a full shard queue: true = shed the batch (counted), false = block
+  /// the dispatcher (backpressure, the default).
+  bool drop_on_overflow = false;
+};
+
+class ShardedEngine {
+ public:
+  /// Called from worker threads as alarms are issued (streaming view; the
+  /// canonical merged list is available after finish()). May be invoked
+  /// concurrently from different shards.
+  using PredictionSink = std::function<void(const core::Prediction&)>;
+
+  ShardedEngine(const topo::Topology& topo, std::vector<core::Chain> chains,
+                std::vector<core::SignalProfile> profiles,
+                core::EngineConfig engine_cfg, ShardOptions opt,
+                ServeMetrics* metrics = nullptr,
+                PredictionSink on_prediction = nullptr);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  std::size_t shards() const { return shards_.size(); }
+
+  /// Shard a record routes to: global midplane index modulo shard count.
+  std::size_t shard_of(std::int32_t node_id) const;
+
+  /// Route one classified record (single dispatcher thread only). `enq` is
+  /// the instant the record entered the service, for latency accounting.
+  void feed(const simlog::LogRecord& rec, std::uint32_t tmpl,
+            ServeMetrics::Clock::time_point enq);
+  void feed(const simlog::LogRecord& rec, std::uint32_t tmpl);
+
+  /// Hand every partially filled batch to its shard immediately. Call when
+  /// the input goes quiet so a trickle-rate feed never waits on a batch.
+  void flush();
+
+  /// Flush, drain, stop the workers, close trailing buckets through
+  /// `t_end_ms`, and build the merged prediction list. Idempotent.
+  void finish(std::int64_t t_end_ms);
+
+  /// Deterministically merged predictions (valid after finish()).
+  const std::vector<core::Prediction>& predictions() const { return merged_; }
+
+  /// Aggregated engine statistics across shards (valid after finish();
+  /// chains_used counts chains that fired in at least one shard).
+  const core::EngineStats& stats() const { return stats_; }
+
+  /// Records shed because a shard queue overflowed (drop_on_overflow mode).
+  std::uint64_t dropped_records() const {
+    return dropped_records_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-shard engine access for tests and diagnostics (do not call while
+  /// workers are running).
+  const core::OnlineEngine& shard_engine(std::size_t i) const {
+    return shards_[i]->engine;
+  }
+
+ private:
+  struct Item {
+    std::int64_t time_ms = 0;
+    std::int32_t node_id = -1;
+    std::uint32_t tmpl = 0;
+    ServeMetrics::Clock::time_point enq{};
+  };
+  using Batch = std::vector<Item>;
+
+  struct Shard {
+    Shard(std::size_t queue_capacity, core::OnlineEngine eng)
+        : queue(queue_capacity), engine(std::move(eng)) {}
+    Ring<Batch> queue;
+    core::OnlineEngine engine;
+    std::thread worker;
+    Batch pending;                    ///< dispatcher-side accumulation
+    std::size_t preds_streamed = 0;   ///< predictions already sunk
+    std::size_t dupes_reported = 0;   ///< dedupe hits already counted
+    std::size_t ooo_reported = 0;     ///< out-of-order already counted
+  };
+
+  void worker_loop(Shard& s);
+  void flush_shard(Shard& s);
+  /// Stream engine-side deltas (new predictions, dedupe, out-of-order) to
+  /// the sink/metrics. Runs on the shard's worker, or on the finishing
+  /// thread once workers have joined.
+  void drain_shard(Shard& s, ServeMetrics::Clock::time_point enq);
+
+  topo::Topology topo_;
+  ShardOptions opt_;
+  ServeMetrics* metrics_ = nullptr;
+  PredictionSink sink_;
+  std::int32_t nodes_per_midplane_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<core::Prediction> merged_;
+  core::EngineStats stats_;
+  std::atomic<std::uint64_t> dropped_records_{0};
+  bool finished_ = false;
+};
+
+}  // namespace elsa::serve

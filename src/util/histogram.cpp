@@ -22,6 +22,23 @@ void EdgeHistogram::add(double x, std::uint64_t weight) {
   total_ += weight;
 }
 
+double EdgeHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double below = 0.0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const double c = static_cast<double>(counts_[bin]);
+    if (below + c >= target && c > 0.0) {
+      if (bin + 1 >= edges_.size()) return edges_[bin];  // unbounded top bin
+      const double frac = c > 0.0 ? (target - below) / c : 0.0;
+      return edges_[bin] + frac * (edges_[bin + 1] - edges_[bin]);
+    }
+    below += c;
+  }
+  return edges_.back();
+}
+
 double EdgeHistogram::fraction(std::size_t bin) const {
   if (total_ == 0) return 0.0;
   return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);

@@ -27,6 +27,12 @@ class EdgeHistogram {
                     const std::string& unit = "") const;
   double lower_edge(std::size_t bin) const { return edges_.at(bin); }
 
+  /// Quantile estimate (q in [0, 1]) assuming mass is spread uniformly
+  /// within each bin. Mass in the unbounded top bin reports that bin's
+  /// lower edge — a deliberate under-estimate rather than a guess. 0 when
+  /// the histogram is empty.
+  double quantile(double q) const;
+
  private:
   std::vector<double> edges_;
   std::vector<std::uint64_t> counts_;

@@ -76,6 +76,21 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
   return sxy / std::sqrt(sxx * syy);
 }
 
+namespace {
+
+// std::lgamma writes the process-global `signgam` on glibc, which is a data
+// race when called from the thread pool (xcorr scans p-values in parallel).
+double lgamma_mt(double x) {
+#if defined(__GLIBC__) || defined(__linux__) || defined(__APPLE__)
+  int sign;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 double binomial_tail_pvalue(int n, int k, double p) {
   if (k <= 0) return 1.0;
   if (p <= 0.0) return k > 0 ? 0.0 : 1.0;
@@ -84,8 +99,8 @@ double binomial_tail_pvalue(int n, int k, double p) {
   // Sum P(X = i) for i in [k, n] in log space with lgamma.
   double tail = 0.0;
   for (int i = k; i <= n; ++i) {
-    const double logp = std::lgamma(n + 1.0) - std::lgamma(i + 1.0) -
-                        std::lgamma(n - i + 1.0) +
+    const double logp = lgamma_mt(n + 1.0) - lgamma_mt(i + 1.0) -
+                        lgamma_mt(n - i + 1.0) +
                         static_cast<double>(i) * std::log(p) +
                         static_cast<double>(n - i) * std::log1p(-p);
     tail += std::exp(logp);

@@ -52,6 +52,27 @@ TEST(EdgeHistogram, EmptyFractionIsZero) {
   EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
 }
 
+TEST(EdgeHistogram, QuantileInterpolatesWithinBins) {
+  EdgeHistogram h({0.0, 10.0, 20.0});
+  h.add(5.0, 50);   // bin [0, 10)
+  h.add(15.0, 50);  // bin [10, 20)
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(EdgeHistogram, QuantileTopBinReportsItsLowerEdge) {
+  EdgeHistogram h({0.0, 10.0, 20.0});
+  h.add(1e9, 10);  // everything in the unbounded top bin
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 20.0);
+}
+
+TEST(EdgeHistogram, QuantileOfEmptyIsZero) {
+  EdgeHistogram h({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
 TEST(CategoryHistogram, InsertionOrderAndCounts) {
   CategoryHistogram h;
   h.add("memory");

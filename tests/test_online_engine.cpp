@@ -241,4 +241,50 @@ TEST(OnlineEngine, UnknownTemplatesGetDefaultDetectors) {
   EXPECT_GE(eng.stats().outlier_onsets, 1u);  // treated as silent signal
 }
 
+TEST(OnlineEngine, OutOfOrderRecordClampedToOpenBucket) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, fast_config());
+  eng.feed(rec(25'000, 7), 0);  // opens bucket [20k, 30k)
+  // A straggler from a concurrent ingest path, nominally at 1 s: it joins
+  // the open bucket instead of being lost or corrupting closed history.
+  eng.feed(rec(1'000, 7), 0);
+  eng.finish(400'000);
+  EXPECT_EQ(eng.stats().out_of_order, 1u);
+  EXPECT_EQ(eng.stats().records, 2u);
+  // Both records land in one bucket of the same silent signal: one onset,
+  // one prediction — identical to the time-ordered arrival.
+  ASSERT_EQ(eng.predictions().size(), 1u);
+  EXPECT_EQ(eng.predictions()[0].trigger_time_ms, 30'000);
+  EXPECT_EQ(eng.stats().outlier_onsets, 1u);
+}
+
+TEST(OnlineEngine, SkewWithinOpenBucketIsNotOutOfOrder) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, fast_config());
+  eng.feed(rec(25'000, 7), 0);
+  eng.feed(rec(21'000, 7), 0);  // earlier, but still inside [20k, 30k)
+  eng.finish(400'000);
+  EXPECT_EQ(eng.stats().out_of_order, 0u);
+}
+
+TEST(OnlineEngine, RawModeClampsBackwardTime) {
+  auto cfg = fast_config();
+  cfg.raw_event_matching = true;
+  cfg.min_prefix_matches = 1;  // raw DM matching emits on any antecedent
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, cfg);
+  eng.feed(rec(50'000, 7), 0);
+  eng.feed(rec(10'000, 7), 0);  // behind the stream: clamped to 50 s
+  eng.finish(400'000);
+  EXPECT_EQ(eng.stats().out_of_order, 1u);
+  // The clamped trigger lands on the same sample as the first, so dedupe
+  // collapses it — the stale timestamp cannot fabricate an earlier alarm.
+  ASSERT_EQ(eng.predictions().size(), 1u);
+  EXPECT_EQ(eng.predictions()[0].trigger_time_ms, 50'000);
+  EXPECT_EQ(eng.stats().duplicates_suppressed, 1u);
+}
+
 }  // namespace

@@ -1,0 +1,292 @@
+// Serving subsystem: topology-sharded engine equivalence with the single
+// engine (the determinism guarantee), run-to-run determinism under real
+// threads, shard routing, the end-to-end PredictionService under
+// multi-producer load, and the trace replayer's pacing and windowing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "elsa/pipeline.hpp"
+#include "serve/replayer.hpp"
+#include "serve/service.hpp"
+#include "serve/sharded_engine.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+using namespace elsa;
+
+// ---------------------------------------------------------------------------
+// Shared fixture: the default BG/L-like campaign, trained once, with the
+// test-period stream pre-classified against the frozen model so every run
+// (single or sharded) sees the identical (record, template) sequence.
+
+struct Campaign {
+  simlog::Trace trace;
+  std::int64_t train_end = 0;
+  core::OfflineModel model;
+  std::vector<std::pair<const simlog::LogRecord*, std::uint32_t>> stream;
+  core::EngineConfig engine;
+};
+
+const Campaign& campaign() {
+  static const Campaign c = [] {
+    Campaign c;
+    auto sc = simlog::make_bluegene_scenario(2012, 8.0, 40);
+    c.trace = sc.generator.generate(sc.config);
+    c.train_end = c.trace.t_begin_ms +
+                  static_cast<std::int64_t>(4.0 * 86'400'000.0);
+    core::PipelineConfig cfg;
+    c.model = core::train_offline(c.trace, c.train_end, core::Method::Hybrid,
+                                  cfg);
+    const auto unknown = static_cast<std::uint32_t>(c.model.helo.size());
+    for (const auto& rec : c.trace.records) {
+      if (rec.time_ms < c.train_end) continue;
+      auto tid = c.model.helo.classify_const(rec.message);
+      if (tid == helo::TemplateMiner::kNoTemplate) tid = unknown;
+      c.stream.emplace_back(&rec, tid);
+    }
+    c.engine = cfg.engine;
+    c.engine.dt_ms = cfg.dt_ms;
+    c.engine.tolerance = cfg.grite.tolerance;
+    // Serving semantics: latency is measured, not simulated.
+    c.engine.cost = core::AnalysisCostModel{0.0, 0.0, 0.0};
+    return c;
+  }();
+  return c;
+}
+
+const std::vector<core::Prediction>& run_single() {
+  static const std::vector<core::Prediction> cached = [] {
+    const Campaign& c = campaign();
+    core::OnlineEngine eng(c.trace.topology, c.model.chains, c.model.profiles,
+                           c.engine);
+    for (const auto& [rec, tid] : c.stream) eng.feed(*rec, tid);
+    eng.finish(c.trace.t_end_ms);
+    auto preds = eng.predictions();
+    // The sharded merge orders by (issue, chain, tmpl, ...); apply the same
+    // order to the single run for a field-by-field comparison.
+    std::stable_sort(preds.begin(), preds.end(),
+                     [](const core::Prediction& a, const core::Prediction& b) {
+                       return std::tie(a.issue_time_ms, a.chain_id, a.tmpl) <
+                              std::tie(b.issue_time_ms, b.chain_id, b.tmpl);
+                     });
+    return preds;
+  }();
+  return cached;
+}
+
+std::pair<std::vector<core::Prediction>, core::EngineStats> run_sharded(
+    std::size_t shards) {
+  const Campaign& c = campaign();
+  serve::ShardOptions so;
+  so.shards = shards;
+  serve::ShardedEngine eng(c.trace.topology, c.model.chains, c.model.profiles,
+                           c.engine, so);
+  for (const auto& [rec, tid] : c.stream) eng.feed(*rec, tid);
+  eng.finish(c.trace.t_end_ms);
+  return {eng.predictions(), eng.stats()};
+}
+
+void expect_identical(const std::vector<core::Prediction>& a,
+                      const std::vector<core::Prediction>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].trigger_time_ms, b[i].trigger_time_ms);
+    EXPECT_EQ(a[i].issue_time_ms, b[i].issue_time_ms);
+    EXPECT_EQ(a[i].predicted_time_ms, b[i].predicted_time_ms);
+    EXPECT_EQ(a[i].tmpl, b[i].tmpl);
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+    EXPECT_EQ(a[i].scope, b[i].scope);
+    EXPECT_EQ(a[i].chain_id, b[i].chain_id);
+    EXPECT_DOUBLE_EQ(a[i].confidence, b[i].confidence);
+    EXPECT_EQ(a[i].lead_ms, b[i].lead_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+// The acceptance property: the 4-shard merged prediction stream is
+// identical, field for field, to the single-engine run on the default
+// BG/L-like scenario.
+TEST(ShardedEngine, FourShardsIdenticalToSingleEngine) {
+  const auto single = run_single();
+  ASSERT_FALSE(single.empty()) << "campaign produced no predictions";
+  const auto [sharded, stats] = run_sharded(4);
+  expect_identical(single, sharded);
+  EXPECT_EQ(stats.records, campaign().stream.size());
+}
+
+TEST(ShardedEngine, OtherShardCountsAgreeToo) {
+  const auto single = run_single();
+  for (const std::size_t n : {1u, 2u, 8u}) {
+    SCOPED_TRACE(n);
+    const auto [sharded, stats] = run_sharded(n);
+    expect_identical(single, sharded);
+  }
+}
+
+// Real threads, two runs, byte-identical output: per-shard FIFO plus the
+// total merge order make scheduling invisible. 3 shards exercises uneven
+// midplane distribution.
+TEST(ShardedEngine, DeterministicAcrossRuns) {
+  const auto [first, s1] = run_sharded(3);
+  const auto [second, s2] = run_sharded(3);
+  expect_identical(first, second);
+  EXPECT_EQ(s1.records, s2.records);
+  EXPECT_EQ(s1.buckets, s2.buckets);
+  EXPECT_EQ(s1.outlier_onsets, s2.outlier_onsets);
+  EXPECT_EQ(s1.duplicates_suppressed, s2.duplicates_suppressed);
+  EXPECT_EQ(s1.chains_used, s2.chains_used);
+}
+
+TEST(ShardedEngine, RoutesByMidplane) {
+  const auto topo = topo::Topology::bluegene(2, 2, 4, 8);  // 32 per midplane
+  serve::ShardOptions so;
+  so.shards = 3;
+  serve::ShardedEngine eng(topo, {}, {}, core::EngineConfig{}, so);
+  EXPECT_EQ(eng.shard_of(-1), 0u);  // system records ride on shard 0
+  EXPECT_EQ(eng.shard_of(0), 0u);
+  EXPECT_EQ(eng.shard_of(31), 0u);   // same midplane, same shard
+  EXPECT_EQ(eng.shard_of(32), 1u);   // next midplane
+  EXPECT_EQ(eng.shard_of(64), 2u);
+  EXPECT_EQ(eng.shard_of(96), 0u);   // wraps modulo shard count
+  eng.finish(0);
+}
+
+// ---------------------------------------------------------------------------
+// PredictionService end to end.
+
+// Four producer threads hammer the bounded ingest ring with blocking
+// submits; every record must come out of a shard engine exactly once.
+TEST(PredictionService, MultiProducerNoLoss) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5'000;
+  const auto topo = topo::Topology::bluegene(2, 2, 4, 8);
+  core::OfflineModel model;  // empty frozen model: everything is "unknown"
+  serve::ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.ingest_capacity = 256;  // small: force backpressure
+  serve::PredictionService service(topo, model, cfg);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&service, &topo, p] {
+      simlog::LogRecord rec;
+      rec.message = "stress record";
+      for (int i = 0; i < kPerProducer; ++i) {
+        rec.time_ms = static_cast<std::int64_t>(i) * 1'000 + p;
+        rec.node_id = (i * kProducers + p) % topo.total_nodes();
+        ASSERT_TRUE(service.submit(rec));
+      }
+    });
+  for (auto& t : producers) t.join();
+  service.finish(kPerProducer * 1'000);
+
+  const auto m = service.metrics();
+  EXPECT_EQ(m.records_in, static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(m.records_out, m.records_in);
+  EXPECT_EQ(m.dropped, 0u);
+  EXPECT_EQ(service.engine_stats().records,
+            static_cast<std::size_t>(kProducers) * kPerProducer);
+  // Interleaved producers necessarily deliver some records out of order;
+  // the engines must have absorbed them (clamped, counted), not lost them.
+  EXPECT_EQ(m.out_of_order, service.engine_stats().out_of_order);
+
+  // The service is closed now.
+  simlog::LogRecord late;
+  EXPECT_FALSE(service.submit(late));
+  EXPECT_FALSE(service.try_submit(late));
+  service.finish(0);  // idempotent
+}
+
+// The full service path (classify -> ingest ring -> dispatcher -> shards)
+// reproduces the single-engine predictions on the real campaign.
+TEST(PredictionService, EndToEndMatchesSingleEngine) {
+  const Campaign& c = campaign();
+  serve::ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.engine = c.engine;
+  serve::PredictionService service(c.trace.topology, c.model, cfg);
+
+  serve::ReplayOptions ro;  // as fast as possible
+  ro.from_ms = c.train_end;
+  const std::size_t accepted =
+      serve::TraceReplayer(c.trace, ro).replay_into(service);
+  service.finish(c.trace.t_end_ms);
+
+  EXPECT_EQ(accepted, c.stream.size());
+  expect_identical(run_single(), service.predictions());
+
+  const auto m = service.metrics();
+  EXPECT_EQ(m.records_in, c.stream.size());
+  EXPECT_EQ(m.records_out, c.stream.size());
+  EXPECT_EQ(m.predictions, service.predictions().size());
+  EXPECT_GT(m.records_per_sec, 0.0);
+
+  // Streaming view saw the same alarms (order may differ across shards).
+  std::vector<core::Prediction> streamed;
+  service.poll_alarms(streamed);
+  EXPECT_EQ(streamed.size(), service.predictions().size());
+}
+
+// ---------------------------------------------------------------------------
+// Replayer.
+
+simlog::Trace tiny_trace() {
+  simlog::Trace tr;
+  tr.topology = topo::Topology::cluster(4);
+  for (int i = 0; i < 10; ++i) {
+    simlog::LogRecord rec;
+    rec.time_ms = i * 100;
+    rec.node_id = i % 4;
+    tr.records.push_back(rec);
+  }
+  tr.t_begin_ms = 0;
+  tr.t_end_ms = 1'000;
+  return tr;
+}
+
+TEST(TraceReplayer, DeliversWindowInOrder) {
+  const auto tr = tiny_trace();
+  serve::ReplayOptions ro;
+  ro.from_ms = 200;
+  ro.until_ms = 700;
+  std::vector<std::int64_t> seen;
+  const std::size_t n = serve::TraceReplayer(tr, ro).replay(
+      [&](const simlog::LogRecord& rec) {
+        seen.push_back(rec.time_ms);
+        return true;
+      });
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{200, 300, 400, 500, 600}));
+}
+
+TEST(TraceReplayer, SinkAbortStopsReplay) {
+  const auto tr = tiny_trace();
+  std::size_t calls = 0;
+  const std::size_t n = serve::TraceReplayer(tr).replay(
+      [&](const simlog::LogRecord&) { return ++calls < 3; });
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(n, 2u);  // the aborting record is not counted as delivered
+}
+
+TEST(TraceReplayer, PacedReplayTakesWallTime) {
+  const auto tr = tiny_trace();  // spans 900 ms of trace time
+  serve::ReplayOptions ro;
+  ro.speedup = 10.0;  // -> at least 90 ms of wall time
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = serve::TraceReplayer(tr, ro).replay(
+      [](const simlog::LogRecord&) { return true; });
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_EQ(n, 10u);
+  EXPECT_GE(ms, 85.0);
+}
+
+}  // namespace

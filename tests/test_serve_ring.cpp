@@ -1,0 +1,180 @@
+// Serving-layer primitives under contention: FIFO and close semantics of
+// the bounded MPMC ring, no-loss/no-duplication under producer/consumer
+// hammering, the drop-with-counter overflow policy, and the lock-free
+// metrics recorders. This is the file CI additionally runs under
+// ASan/UBSan and ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/ring.hpp"
+
+namespace {
+
+using namespace elsa::serve;
+
+TEST(Ring, FifoSingleThread) {
+  Ring<int> ring(4);
+  EXPECT_EQ(ring.push(1), 1u);
+  EXPECT_EQ(ring.push(2), 2u);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.pop(), 1);
+  EXPECT_EQ(ring.pop(), 2);
+  EXPECT_EQ(ring.try_pop(), std::nullopt);
+}
+
+TEST(Ring, OfferDropsAndCountsOnOverflow) {
+  Ring<int> ring(8);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 100; ++i) accepted += ring.offer(i) != 0;
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(ring.dropped(), 92u);
+  // FIFO of the survivors.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ring.pop(), i);
+}
+
+TEST(Ring, CloseWakesConsumersAndDrains) {
+  Ring<int> ring(4);
+  ring.push(7);
+  ring.close();
+  EXPECT_EQ(ring.push(8), 0u);   // rejected after close
+  EXPECT_EQ(ring.offer(9), 0u);  // counted as a drop
+  EXPECT_EQ(ring.pop(), 7);      // queued items remain poppable
+  EXPECT_EQ(ring.pop(), std::nullopt);
+}
+
+TEST(Ring, CloseUnblocksWaitingConsumer) {
+  Ring<int> ring(2);
+  std::thread consumer([&] { EXPECT_EQ(ring.pop(), std::nullopt); });
+  ring.close();
+  consumer.join();
+}
+
+TEST(Ring, PopAllDrainsInOrder) {
+  Ring<int> ring(16);
+  for (int i = 0; i < 10; ++i) ring.push(i);
+  std::vector<int> out;
+  EXPECT_TRUE(ring.pop_all(out));
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  ring.close();
+  EXPECT_FALSE(ring.pop_all(out));
+}
+
+// The acceptance property for the ingest spine: under multi-producer,
+// multi-consumer hammering with blocking push, every item comes out exactly
+// once.
+TEST(RingStress, MpmcNoLossNoDuplication) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 20'000;
+  Ring<int> ring(64);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_GT(ring.push(p * kPerProducer + i), 0u);
+    });
+
+  std::vector<std::vector<int>> taken(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&ring, &taken, c] {
+      while (auto v = ring.pop()) taken[static_cast<std::size_t>(c)].push_back(*v);
+    });
+
+  for (auto& t : producers) t.join();
+  ring.close();
+  for (auto& t : consumers) t.join();
+
+  std::vector<char> seen(kProducers * kPerProducer, 0);
+  std::size_t total = 0;
+  for (const auto& v : taken)
+    for (const int x : v) {
+      ASSERT_GE(x, 0);
+      ASSERT_LT(x, kProducers * kPerProducer);
+      ASSERT_EQ(seen[static_cast<std::size_t>(x)], 0) << "duplicated item " << x;
+      seen[static_cast<std::size_t>(x)] = 1;
+      ++total;
+    }
+  EXPECT_EQ(total, static_cast<std::size_t>(kProducers) * kPerProducer);
+}
+
+// Shedding mode never blocks and never loses the accounting: accepted +
+// dropped adds up across racing producers.
+TEST(RingStress, OfferAccountingAddsUp) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 10'000;
+  Ring<int> ring(128);
+  std::atomic<std::uint64_t> accepted{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i)
+        if (ring.offer(i) != 0) accepted.fetch_add(1);
+    });
+  std::atomic<std::uint64_t> consumed{0};
+  std::thread consumer([&] {
+    while (ring.pop()) consumed.fetch_add(1);
+  });
+  for (auto& t : producers) t.join();
+  ring.close();
+  consumer.join();
+
+  EXPECT_EQ(accepted.load() + ring.dropped(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(consumed.load(), accepted.load());
+}
+
+TEST(AtomicHistogram, CountsAndSnapshots) {
+  AtomicHistogram h({0.0, 10.0, 100.0});
+  h.add(-5.0);  // clamped into the floor bin
+  h.add(3.0);
+  h.add(50.0);
+  h.add(1e9);  // unbounded top bin
+  EXPECT_EQ(h.total(), 4u);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count(0), 2u);
+  EXPECT_EQ(snap.count(1), 1u);
+  EXPECT_EQ(snap.count(2), 1u);
+}
+
+TEST(AtomicHistogram, ConcurrentAddsAllLand) {
+  AtomicHistogram h({0.0, 1.0, 2.0, 3.0});
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&h] {
+      for (int i = 0; i < 10'000; ++i) h.add(static_cast<double>(i % 4));
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.total(), 40'000u);
+}
+
+TEST(ServeMetrics, SnapshotReflectsHooks) {
+  ServeMetrics m;
+  m.on_ingest(3);
+  m.on_ingest(5);
+  m.on_drop(2);
+  m.on_processed(ServeMetrics::Clock::now());
+  m.on_prediction(ServeMetrics::Clock::now());
+  m.on_dedupe(4);
+  m.on_out_of_order(1);
+  m.stop();
+  const auto s = m.snapshot();
+  EXPECT_EQ(s.records_in, 2u);
+  EXPECT_EQ(s.records_out, 1u);
+  EXPECT_EQ(s.dropped, 2u);
+  EXPECT_EQ(s.predictions, 1u);
+  EXPECT_EQ(s.dedupe_hits, 4u);
+  EXPECT_EQ(s.out_of_order, 1u);
+  EXPECT_GT(s.wall_seconds, 0.0);
+  EXPECT_FALSE(m.text_report().empty());
+}
+
+}  // namespace

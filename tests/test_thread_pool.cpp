@@ -81,6 +81,35 @@ TEST(ParallelFor, ExceptionRethrown) {
                std::runtime_error);
 }
 
+TEST(ParallelFor, EveryChunkThrowingRethrowsExactlyOne) {
+  // All chunks throw concurrently; exactly one exception must surface on
+  // the calling thread (first wins), never std::terminate.
+  ThreadPool pool(4);
+  try {
+    parallel_for(pool, 0, 512,
+                 [](std::size_t i) {
+                   throw std::runtime_error("chunk " + std::to_string(i));
+                 },
+                 /*grain=*/8);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk"), std::string::npos);
+  }
+}
+
+TEST(ParallelFor, PoolRemainsUsableAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t) { throw std::logic_error("x"); },
+                            /*grain=*/4),
+               std::logic_error);
+  // Workers survived the throwing batch: both submission paths still work.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+  std::atomic<int> hits{0};
+  parallel_for(pool, 0, 1000, [&](std::size_t) { ++hits; }, /*grain=*/16);
+  EXPECT_EQ(hits.load(), 1000);
+}
+
 TEST(ParallelFor, SumMatchesSerial) {
   ThreadPool pool(3);
   std::vector<long> partial(4096, 0);

@@ -13,6 +13,14 @@
 //   elsa predict --system bluegene|mercury --log LOG --model MODEL
 //       Stream a RAS log through the online engine and print alarms.
 //
+//   elsa serve --system bluegene|mercury --log LOG --model MODEL
+//              [--shards N] [--speedup X] [--shed 1]
+//       Replay a RAS log through the multi-threaded sharded prediction
+//       service (bounded ingest queue, one engine per topology shard),
+//       print alarms as they are issued, and report serving metrics.
+//       --speedup X replays at X trace-seconds per wall-second; 0 (the
+//       default) replays as fast as possible.
+//
 // The --system flag supplies the machine topology (real deployments would
 // read it from the site's configuration database).
 
@@ -21,10 +29,16 @@
 #include <map>
 #include <string>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "elsa/model_io.hpp"
 #include "elsa/online.hpp"
 #include "elsa/pipeline.hpp"
 #include "elsa/report.hpp"
+#include "serve/replayer.hpp"
+#include "serve/service.hpp"
 #include "simlog/logio.hpp"
 #include "simlog/scenario.hpp"
 #include "util/ascii.hpp"
@@ -43,7 +57,9 @@ int usage() {
          "[--method hybrid|signal|dm] [--train-days N] --out MODEL\n"
          "  elsa inspect  --model MODEL\n"
          "  elsa predict  --system bluegene|mercury --log LOG --model MODEL "
-         "[--max-alarms N]\n";
+         "[--max-alarms N]\n"
+         "  elsa serve    --system bluegene|mercury --log LOG --model MODEL "
+         "[--shards N] [--speedup X] [--shed 1] [--max-alarms N]\n";
   return 2;
 }
 
@@ -198,6 +214,61 @@ int cmd_predict(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  const auto trace = trace_from_log(flags.at("log"), flags.at("system"));
+  const auto model = core::load_model_file(flags.at("model"));
+  const std::size_t max_alarms =
+      flags.count("max-alarms") ? std::stoul(flags.at("max-alarms")) : 50;
+
+  serve::ServiceConfig scfg;  // zero-cost model: latency is measured, not simulated
+  if (flags.count("shards")) scfg.shards = std::stoul(flags.at("shards"));
+  scfg.engine.use_location = model.method != core::Method::DataMining;
+  scfg.engine.raw_event_matching = model.method == core::Method::DataMining;
+  serve::PredictionService service(trace.topology, model, scfg);
+
+  serve::ReplayOptions ro;
+  if (flags.count("speedup")) ro.speedup = std::stod(flags.at("speedup"));
+  ro.shed = flags.count("shed") && flags.at("shed") != "0";
+  const serve::TraceReplayer replayer(trace, ro);
+
+  // Feed from a producer thread; stream alarms from this one.
+  std::atomic<bool> done{false};
+  std::size_t accepted = 0;
+  std::thread producer([&] {
+    accepted = replayer.replay_into(service);
+    done.store(true);
+  });
+
+  std::vector<core::Prediction> alarms;
+  std::size_t printed = 0;
+  const auto print_alarms = [&] {
+    service.poll_alarms(alarms);
+    for (const auto& p : alarms) {
+      if (printed >= max_alarms) break;
+      ++printed;
+      std::cout << p.issue_time_ms << "\tALARM\t"
+                << (p.nodes.empty() ? std::string("SYSTEM")
+                                    : trace.topology.code(p.nodes.front()))
+                << "\t+" << p.lead_ms / 1000 << "s\t"
+                << model.helo.at(p.tmpl).text() << "\n";
+    }
+    alarms.clear();
+  };
+  while (!done.load()) {
+    print_alarms();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  producer.join();
+  service.finish(trace.t_end_ms);
+  print_alarms();
+  std::cerr << accepted << " records accepted\n";
+
+  std::cerr << service.metrics_report();
+  std::cerr << service.predictions().size() << " alarms total across "
+            << service.shards() << " shards\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,6 +280,7 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(flags);
     if (cmd == "inspect") return cmd_inspect(flags);
     if (cmd == "predict") return cmd_predict(flags);
+    if (cmd == "serve") return cmd_serve(flags);
   } catch (const std::out_of_range&) {
     std::cerr << "missing required flag for '" << cmd << "'\n";
     return usage();
