@@ -39,12 +39,16 @@ void AtomicHistogram::add(double x) {
   if (x < edges_.front()) x = edges_.front();
   const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
   const std::size_t bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  // relaxed: bins are independent counters; no reader orders other memory
+  // against a bin value, and snapshot() tolerates in-flight adds.
   counts_[bin].fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t AtomicHistogram::total() const {
   std::uint64_t t = 0;
   for (std::size_t i = 0; i < edges_.size(); ++i)
+    // relaxed: monitoring sum; a concurrent add may or may not be counted,
+    // which is the documented contract.
     t += counts_[i].load(std::memory_order_relaxed);
   return t;
 }
@@ -52,6 +56,8 @@ std::uint64_t AtomicHistogram::total() const {
 util::EdgeHistogram AtomicHistogram::snapshot() const {
   util::EdgeHistogram h(edges_);
   for (std::size_t i = 0; i < edges_.size(); ++i) {
+    // relaxed: same contract as total() — each bin is internally exact,
+    // the cross-bin cut need not be simultaneous.
     const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
     if (c > 0) h.add(edges_[i], c);
   }
@@ -64,60 +70,81 @@ ServeMetrics::ServeMetrics()
       depth_(depth_edges()),
       started_(Clock::now()) {}
 
+// relaxed (all on_* hooks): each counter is a standalone monotonic
+// statistic incremented on the hot path; nothing reads a counter to order
+// other memory, and snapshot() documents a consistent-enough (not
+// linearizable) view. Sequential consistency here would buy nothing and
+// cost a fence per record.
 void ServeMetrics::on_ingest(std::size_t queue_depth) {
+  // relaxed: see block comment above.
   records_in_.fetch_add(1, std::memory_order_relaxed);
   depth_.add(static_cast<double>(queue_depth));
 }
 
 void ServeMetrics::on_drop(std::uint64_t records) {
+  // relaxed: see block comment above.
   dropped_.fetch_add(records, std::memory_order_relaxed);
 }
 
 void ServeMetrics::on_processed(Clock::time_point enqueued_at) {
+  // relaxed: see block comment above.
   records_out_.fetch_add(1, std::memory_order_relaxed);
   ingest_lat_.add(us_since(enqueued_at));
 }
 
 void ServeMetrics::on_prediction(Clock::time_point enqueued_at) {
+  // relaxed: see block comment above.
   predictions_.fetch_add(1, std::memory_order_relaxed);
   predict_lat_.add(us_since(enqueued_at));
 }
 
 void ServeMetrics::on_dedupe(std::uint64_t hits) {
+  // relaxed: see block comment above.
   dedupe_hits_.fetch_add(hits, std::memory_order_relaxed);
 }
 
 void ServeMetrics::on_out_of_order(std::uint64_t records) {
+  // relaxed: see block comment above.
   out_of_order_.fetch_add(records, std::memory_order_relaxed);
 }
 
 void ServeMetrics::start() {
+  util::MutexLock lk(clock_mu_);
   started_ = Clock::now();
-  stopped_ns_.store(-1, std::memory_order_relaxed);
+  stopped_ns_ = -1;
 }
 
 void ServeMetrics::stop() {
-  const auto up = Clock::now() - started_;
-  stopped_ns_.store(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(up).count(),
-      std::memory_order_relaxed);
+  util::MutexLock lk(clock_mu_);
+  stopped_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - started_)
+                    .count();
+}
+
+double ServeMetrics::uptime_seconds() const {
+  util::MutexLock lk(clock_mu_);
+  const auto up =
+      stopped_ns_ >= 0
+          ? std::chrono::nanoseconds(stopped_ns_)
+          : std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 started_);
+  return std::chrono::duration<double>(up).count();
 }
 
 MetricsSnapshot ServeMetrics::snapshot() const {
   MetricsSnapshot s;
+  // relaxed: monitoring reads of independent counters — the snapshot is
+  // consistent-enough by contract, not a linearizable cut (all six loads).
   s.records_in = records_in_.load(std::memory_order_relaxed);
   s.records_out = records_out_.load(std::memory_order_relaxed);
+  // relaxed: as above.
   s.dropped = dropped_.load(std::memory_order_relaxed);
   s.predictions = predictions_.load(std::memory_order_relaxed);
   s.dedupe_hits = dedupe_hits_.load(std::memory_order_relaxed);
+  // relaxed: as above.
   s.out_of_order = out_of_order_.load(std::memory_order_relaxed);
 
-  const std::int64_t frozen = stopped_ns_.load(std::memory_order_relaxed);
-  const auto up = frozen >= 0 ? std::chrono::nanoseconds(frozen)
-                              : std::chrono::duration_cast<
-                                    std::chrono::nanoseconds>(Clock::now() -
-                                                              started_);
-  s.wall_seconds = std::chrono::duration<double>(up).count();
+  s.wall_seconds = uptime_seconds();
   s.records_per_sec =
       s.wall_seconds > 0.0
           ? static_cast<double>(s.records_out) / s.wall_seconds

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "util/histogram.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace elsa::serve {
 
@@ -76,12 +77,12 @@ class ServeMetrics {
 
   // -- lifecycle -----------------------------------------------------------
   /// Restart the uptime clock (the constructor already starts it).
-  void start();
+  void start() ELSA_EXCLUDES(clock_mu_);
   /// Freeze the uptime clock; later snapshots report the frozen span.
-  void stop();
+  void stop() ELSA_EXCLUDES(clock_mu_);
 
   // -- reporting -----------------------------------------------------------
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const ELSA_EXCLUDES(clock_mu_);
   /// Multi-line human-readable report (counters + latency percentiles).
   std::string text_report() const;
   util::EdgeHistogram ingest_latency_us() const { return ingest_lat_.snapshot(); }
@@ -91,6 +92,13 @@ class ServeMetrics {
   util::EdgeHistogram queue_depth() const { return depth_.snapshot(); }
 
  private:
+  /// Frozen (stop()) or live uptime, in seconds; takes clock_mu_.
+  double uptime_seconds() const ELSA_EXCLUDES(clock_mu_);
+
+  // Hot-path state: independent monotonic counters. All accesses are
+  // relaxed — each counter is a standalone statistic, nothing orders
+  // against it, and snapshot() is documented as consistent-enough rather
+  // than a linearizable cut (see the relaxed: comments in metrics.cpp).
   std::atomic<std::uint64_t> records_in_{0};
   std::atomic<std::uint64_t> records_out_{0};
   std::atomic<std::uint64_t> dropped_{0};
@@ -100,8 +108,15 @@ class ServeMetrics {
   AtomicHistogram ingest_lat_;   ///< microseconds
   AtomicHistogram predict_lat_;  ///< microseconds
   AtomicHistogram depth_;        ///< ingest ring depth
-  Clock::time_point started_;
-  std::atomic<std::int64_t> stopped_ns_{-1};  ///< uptime at stop(), ns
+
+  // Cold lifecycle state: start()/stop() may race with snapshot() callers
+  // on other threads, and a time_point store is not atomic — so the clock
+  // pair lives under a (never-contended-in-the-hot-path) mutex. Before PR 3
+  // `started_` was a bare time_point: start() concurrent with snapshot()
+  // was a genuine data race, found by the annotation audit.
+  mutable util::Mutex clock_mu_;
+  Clock::time_point started_ ELSA_GUARDED_BY(clock_mu_);
+  std::int64_t stopped_ns_ ELSA_GUARDED_BY(clock_mu_) = -1;  ///< uptime at stop(), ns; -1 = running
 };
 
 }  // namespace elsa::serve

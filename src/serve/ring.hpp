@@ -16,54 +16,62 @@
 // consumers use pop_all() which swaps out every queued item under one lock
 // acquisition, amortising synchronisation to well under the cost of the
 // mutex handshake per item.
+//
+// Lock discipline is machine-checked: every mutable field is
+// ELSA_GUARDED_BY(mu_) and `clang++ -Wthread-safety` rejects any access
+// outside a MutexLock scope (see util/thread_annotations.hpp). Condition
+// waits are explicit `while` loops — a predicate lambda would be analysed
+// as a separate function and defeat the proof.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace elsa::serve {
 
 template <class T>
 class Ring {
  public:
-  explicit Ring(std::size_t capacity) : buf_(capacity) {
+  explicit Ring(std::size_t capacity) : cap_(capacity), buf_(capacity) {
     if (capacity == 0) throw std::invalid_argument("Ring: zero capacity");
   }
 
   Ring(const Ring&) = delete;
   Ring& operator=(const Ring&) = delete;
 
-  std::size_t capacity() const { return buf_.size(); }
+  std::size_t capacity() const { return cap_; }
 
   /// Items currently queued (racy by nature; for monitoring).
-  std::size_t size() const {
-    std::lock_guard lk(mu_);
+  std::size_t size() const ELSA_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
     return count_;
   }
 
   /// Records silently shed by offer() on overflow.
   std::uint64_t dropped() const {
+    // relaxed: standalone monotonic counter read for monitoring; no other
+    // memory depends on its value.
     return dropped_.load(std::memory_order_relaxed);
   }
 
-  bool closed() const {
-    std::lock_guard lk(mu_);
+  bool closed() const ELSA_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
     return closed_;
   }
 
   /// Blocking push. Returns the queue depth after insertion (>= 1), or 0 if
   /// the ring was closed while waiting — the item was not enqueued.
-  std::size_t push(T item) {
-    std::unique_lock lk(mu_);
-    not_full_.wait(lk, [&] { return count_ < buf_.size() || closed_; });
+  std::size_t push(T item) ELSA_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    while (count_ >= cap_ && !closed_) not_full_.wait(mu_);
     if (closed_) return 0;
-    buf_[(head_ + count_) % buf_.size()] = std::move(item);
+    buf_[(head_ + count_) % cap_] = std::move(item);
     const std::size_t depth = ++count_;
     lk.unlock();
     not_empty_.notify_one();
@@ -72,28 +80,30 @@ class Ring {
 
   /// Non-blocking push. On a full (or closed) ring the item is dropped and
   /// counted; returns the depth after insertion, or 0 on drop.
-  std::size_t offer(T item) {
+  std::size_t offer(T item) ELSA_EXCLUDES(mu_) {
     {
-      std::unique_lock lk(mu_);
-      if (!closed_ && count_ < buf_.size()) {
-        buf_[(head_ + count_) % buf_.size()] = std::move(item);
+      util::MutexLock lk(mu_);
+      if (!closed_ && count_ < cap_) {
+        buf_[(head_ + count_) % cap_] = std::move(item);
         const std::size_t depth = ++count_;
         lk.unlock();
         not_empty_.notify_one();
         return depth;
       }
     }
+    // relaxed: monotonic shed counter; readers only ever sum it, never
+    // order other accesses against it.
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return 0;
   }
 
   /// Blocking pop; nullopt once the ring is closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return count_ > 0 || closed_; });
+  std::optional<T> pop() ELSA_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    while (count_ == 0 && !closed_) not_empty_.wait(mu_);
     if (count_ == 0) return std::nullopt;
     T item = std::move(buf_[head_]);
-    head_ = (head_ + 1) % buf_.size();
+    head_ = (head_ + 1) % cap_;
     --count_;
     lk.unlock();
     not_full_.notify_one();
@@ -101,11 +111,11 @@ class Ring {
   }
 
   /// Non-blocking pop.
-  std::optional<T> try_pop() {
-    std::unique_lock lk(mu_);
+  std::optional<T> try_pop() ELSA_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
     if (count_ == 0) return std::nullopt;
     T item = std::move(buf_[head_]);
-    head_ = (head_ + 1) % buf_.size();
+    head_ = (head_ + 1) % cap_;
     --count_;
     lk.unlock();
     not_full_.notify_one();
@@ -115,14 +125,14 @@ class Ring {
   /// Drain everything currently queued into `out` (appended, FIFO order)
   /// under one lock acquisition; blocks until at least one item is
   /// available. Returns false once the ring is closed and fully drained.
-  bool pop_all(std::vector<T>& out) {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return count_ > 0 || closed_; });
+  bool pop_all(std::vector<T>& out) ELSA_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    while (count_ == 0 && !closed_) not_empty_.wait(mu_);
     if (count_ == 0) return false;
     out.reserve(out.size() + count_);
     while (count_ > 0) {
       out.push_back(std::move(buf_[head_]));
-      head_ = (head_ + 1) % buf_.size();
+      head_ = (head_ + 1) % cap_;
       --count_;
     }
     lk.unlock();
@@ -132,9 +142,9 @@ class Ring {
 
   /// Stop accepting items and wake every blocked producer and consumer.
   /// Idempotent. Items already queued remain poppable.
-  void close() {
+  void close() ELSA_EXCLUDES(mu_) {
     {
-      std::lock_guard lk(mu_);
+      util::MutexLock lk(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -142,13 +152,14 @@ class Ring {
   }
 
  private:
-  std::vector<T> buf_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::size_t head_ = 0;
-  std::size_t count_ = 0;
-  bool closed_ = false;
+  const std::size_t cap_;  ///< immutable after construction; lock-free reads
+  mutable util::Mutex mu_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::vector<T> buf_ ELSA_GUARDED_BY(mu_);
+  std::size_t head_ ELSA_GUARDED_BY(mu_) = 0;
+  std::size_t count_ ELSA_GUARDED_BY(mu_) = 0;
+  bool closed_ ELSA_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> dropped_{0};
 };
 

@@ -111,6 +111,12 @@ class PredictionService {
 
   void dispatcher_loop();
 
+  // Thread roles: `classifier_` and `unknown_tmpl_` are immutable while
+  // serving (frozen model); `metrics_`, `ingest_` and `alarms_` are
+  // internally synchronized (annotated Mutex / relaxed atomics); the
+  // ShardedEngine is fed only by the dispatcher thread. `finished_` is
+  // control-plane state: finish() must be called from one controlling
+  // thread (it joins the dispatcher), matching the destructor's contract.
   const helo::TemplateMiner* classifier_;
   std::uint32_t unknown_tmpl_;
   ServeMetrics metrics_;
@@ -118,7 +124,7 @@ class PredictionService {
   Ring<core::Prediction> alarms_;
   std::unique_ptr<ShardedEngine> sharded_;
   std::thread dispatcher_;
-  bool finished_ = false;
+  bool finished_ = false;  ///< controlling thread only
 };
 
 }  // namespace elsa::serve

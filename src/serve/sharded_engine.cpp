@@ -84,6 +84,7 @@ void ShardedEngine::flush_shard(Shard& s) {
   if (opt_.drop_on_overflow) {
     const std::size_t n = batch.size();
     if (s.queue.offer(std::move(batch)) == 0) {
+      // relaxed: monotonic shed counter, monitoring only (see header).
       dropped_records_.fetch_add(n, std::memory_order_relaxed);
       if (metrics_) metrics_->on_drop(n);
     }

@@ -94,6 +94,8 @@ class ShardedEngine {
 
   /// Records shed because a shard queue overflowed (drop_on_overflow mode).
   std::uint64_t dropped_records() const {
+    // relaxed: standalone monotonic counter read for monitoring; nothing
+    // orders against it.
     return dropped_records_.load(std::memory_order_relaxed);
   }
 
@@ -112,6 +114,13 @@ class ShardedEngine {
   };
   using Batch = std::vector<Item>;
 
+  // Thread roles (confinement, not locks — the annotated Ring is the only
+  // cross-thread handoff):
+  //   * `queue` is the sole dispatcher->worker channel (internally locked);
+  //   * `pending` is touched only by the dispatcher thread (feed/flush);
+  //   * `engine`, `preds_streamed`, `dupes_reported`, `ooo_reported` are
+  //     touched only by the shard's worker until finish() joins it, after
+  //     which the finishing thread owns them (join = synchronization).
   struct Shard {
     Shard(std::size_t queue_capacity, core::OnlineEngine eng)
         : queue(queue_capacity), engine(std::move(eng)) {}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_annotations.hpp"
+
 namespace elsa::util {
 
 double mean(std::span<const double> xs) {
@@ -76,20 +78,23 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
   return sxy / std::sqrt(sxx * syy);
 }
 
-namespace {
-
-// std::lgamma writes the process-global `signgam` on glibc, which is a data
-// race when called from the thread pool (xcorr scans p-values in parallel).
 double lgamma_mt(double x) {
 #if defined(__GLIBC__) || defined(__linux__) || defined(__APPLE__)
+  // The reentrant variant takes the sign out-parameter instead of writing
+  // the global `signgam`.
   int sign;
   return ::lgamma_r(x, &sign);
 #else
+  // No lgamma_r on this libc: serialize the call so the shared `signgam`
+  // write cannot race. Cold path — only exotic toolchains land here, and
+  // p-value scans on them simply queue on this lock.
+  static Mutex mu;
+  MutexLock lk(mu);
+  // elsa-lint: allow(banned-call): the one audited std::lgamma site, made
+  // safe by the serialization above; everything else goes through lgamma_mt.
   return std::lgamma(x);
 #endif
 }
-
-}  // namespace
 
 double binomial_tail_pvalue(int n, int k, double p) {
   if (k <= 0) return 1.0;

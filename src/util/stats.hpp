@@ -34,6 +34,13 @@ double percentile(std::span<const double> xs, double p);
 /// Pearson correlation coefficient; 0 when either side is constant.
 double pearson(std::span<const double> xs, std::span<const double> ys);
 
+/// Thread-safe log-gamma. glibc's lgamma(3) writes the process-global
+/// `signgam` on every call — a data race whenever two pool workers compute
+/// p-values concurrently (a real TSan hit in binomial_tail_pvalue, PR 1).
+/// This is the project's only sanctioned log-gamma entry point; elsa-lint's
+/// `banned-call` rule rejects direct std::lgamma use anywhere else.
+double lgamma_mt(double x);
+
 /// Exact binomial upper-tail p-value P(X >= k) for X ~ Binomial(n, p),
 /// computed in log space. Used to judge whether an alignment count could
 /// be coincidence given the chance hit probability.

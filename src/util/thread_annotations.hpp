@@ -1,0 +1,135 @@
+// Clang thread-safety annotations and the annotated lock types built on
+// them — the project's only sanctioned mutex surface (elsa-lint's
+// `raw-mutex` rule bans `std::mutex` and friends everywhere else).
+//
+// Under `clang++ -Wthread-safety` every `ELSA_GUARDED_BY` field, every
+// `ELSA_REQUIRES` contract and every `MutexLock` scope is checked at
+// compile time: reading guarded state without the lock, releasing a lock
+// twice, or forgetting a lock on one branch is a build error, not a TSan
+// lottery ticket. Under gcc (which has no such analysis) the macros expand
+// to nothing and the types degrade to thin zero-cost wrappers over the
+// standard primitives, so the g++ -Werror build is unaffected.
+//
+// Conventions (see DESIGN.md §9):
+//   * shared state guarded by a lock is declared `T x_ ELSA_GUARDED_BY(mu_);`
+//   * public entry points that take the lock internally are `ELSA_EXCLUDES(mu_)`
+//   * private helpers that expect the lock held are `ELSA_REQUIRES(mu_)`
+//   * condition waits use explicit `while (!pred) cv_.wait(mu_);` loops —
+//     predicate lambdas defeat the analysis (a lambda body is analysed as
+//     a separate function that does not know the lock is held)
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define ELSA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ELSA_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define ELSA_CAPABILITY(x) ELSA_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define ELSA_SCOPED_CAPABILITY ELSA_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be touched while holding the given capability.
+#define ELSA_GUARDED_BY(x) ELSA_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be touched while holding the given capability.
+#define ELSA_PT_GUARDED_BY(x) ELSA_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function acquires the capability (not held on entry, held on exit).
+#define ELSA_ACQUIRE(...) ELSA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not held on exit).
+#define ELSA_RELEASE(...) ELSA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function attempts acquisition; first arg is the success return value.
+#define ELSA_TRY_ACQUIRE(...) \
+  ELSA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Caller must hold the capability for the duration of the call.
+#define ELSA_REQUIRES(...) ELSA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (deadlock prevention).
+#define ELSA_EXCLUDES(...) ELSA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define ELSA_ASSERT_CAPABILITY(x) ELSA_THREAD_ANNOTATION(assert_capability(x))
+/// Escape hatch: skip analysis of this function's body. Use only inside the
+/// annotated primitives themselves, with a comment saying why.
+#define ELSA_NO_THREAD_SAFETY_ANALYSIS \
+  ELSA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace elsa::util {
+
+class CondVar;
+
+/// Annotated standard mutex. Non-recursive, non-timed — the only flavour
+/// the codebase needs, and the analysis keeps it that way.
+class ELSA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ELSA_ACQUIRE() { mu_.lock(); }
+  void unlock() ELSA_RELEASE() { mu_.unlock(); }
+  bool try_lock() ELSA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() needs the native handle to suspend on
+  std::mutex mu_;
+};
+
+/// RAII lock with optional early release (so a caller can drop the lock
+/// before notifying a condition variable). The analysis tracks the scope:
+/// touching guarded state after `unlock()` is a compile error.
+class ELSA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ELSA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release before scope end. Must not be called twice; the analysis
+  /// enforces that at every call site.
+  // Body analysis skipped: the held_ flag is this object's own bookkeeping,
+  // invisible to the capability model.
+  void unlock() ELSA_RELEASE() ELSA_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  // Body analysis skipped: conditional release on held_ is correct by
+  // construction but outside what the analysis can prove.
+  ~MutexLock() ELSA_RELEASE() ELSA_NO_THREAD_SAFETY_ANALYSIS {
+    if (held_) mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to the annotated Mutex. wait() demands the
+/// lock via ELSA_REQUIRES, so a wait outside the critical section — the
+/// classic lost-wakeup bug — no longer compiles under clang.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, and reacquire before returning.
+  /// Spurious wakeups happen; always call in a `while (!pred)` loop.
+  void wait(Mutex& mu) ELSA_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait and
+    // release() it back so the unique_lock destructor leaves it locked —
+    // ownership stays with the caller's MutexLock throughout.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace elsa::util

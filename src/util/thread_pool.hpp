@@ -2,16 +2,20 @@
 // helper. Used by the parallel variant of the gradual-itemset miner
 // (the paper's future-work PGP-mc direction) and by the bulk signal
 // extraction in the offline phase.
+//
+// The queue and stop flag are ELSA_GUARDED_BY(mu_); clang's thread-safety
+// analysis proves every access happens under a MutexLock (see
+// util/thread_annotations.hpp and DESIGN.md §9).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace elsa::util {
 
@@ -28,12 +32,12 @@ class ThreadPool {
 
   /// Enqueue a task; the future resolves with its result (or exception).
   template <class F>
-  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+  std::future<std::invoke_result_t<F>> submit(F&& f) ELSA_EXCLUDES(mu_) {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       queue_.emplace([task] { (*task)(); });
     }
@@ -42,13 +46,13 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop() ELSA_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ ELSA_GUARDED_BY(mu_);
+  bool stopping_ ELSA_GUARDED_BY(mu_) = false;
 };
 
 /// Statically-chunked parallel loop over [begin, end). `body(i)` must be

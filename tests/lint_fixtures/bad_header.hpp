@@ -1,0 +1,6 @@
+// Fixture: a header that forgets #pragma once and leaks a namespace.
+#include <vector>
+
+using namespace std;
+
+inline int fixture_answer() { return 42; }

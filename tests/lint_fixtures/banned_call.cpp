@@ -1,0 +1,19 @@
+// Fixture: every banned non-reentrant call must fire, including one whose
+// allow() lacks the mandatory reason (suppression must NOT apply).
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+double bad_gamma(double x) { return std::lgamma(x); }
+
+int bad_rand() { return rand(); }
+
+char* bad_tok(char* s) { return strtok(s, ","); }
+
+std::tm* bad_local(const std::time_t* t) { return localtime(t); }
+
+std::tm* bad_gm(const std::time_t* t) { return gmtime(t); }
+
+// elsa-lint: allow(banned-call)
+int reasonless_suppression() { return rand(); }

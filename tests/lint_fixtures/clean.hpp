@@ -1,0 +1,31 @@
+#pragma once
+
+// Fixture: a header exercising every rule's *quiet* path — banned names in
+// comments and strings, a reentrant lgamma_r call, a justified
+// suppression, a documented relaxed ordering — must produce zero findings.
+#include <atomic>
+#include <cmath>
+
+namespace fixture {
+
+// Comments may mention std::lgamma, rand(), strtok, localtime, gmtime and
+// std::mutex freely; the scanner strips them before matching.
+inline const char* note() { return "never call std::rand() or strtok()"; }
+
+inline double reentrant_gamma(double x) {
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+}
+
+inline double justified_gamma(double x) {
+  // elsa-lint: allow(banned-call): fixture exercising a suppression that
+  // carries the mandatory reason.
+  return std::lgamma(x);
+}
+
+inline void bump(std::atomic<int>& c) {
+  // relaxed: fixture counter with no ordering requirements.
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fixture

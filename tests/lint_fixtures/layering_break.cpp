@@ -1,0 +1,6 @@
+// Fixture: linted under the virtual path src/simlog/layering_break.cpp —
+// a mid-layer module reaching up into serve/ must fire; util/ is fine.
+#include "serve/service.hpp"
+#include "util/stats.hpp"
+
+int fixture_layering() { return 0; }

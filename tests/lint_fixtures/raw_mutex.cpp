@@ -1,0 +1,11 @@
+// Fixture: raw standard synchronization primitives outside the annotated
+// wrapper must fire once per token occurrence.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_mu;
+std::condition_variable g_cv;
+
+void critical() {
+  std::lock_guard<std::mutex> lk(g_mu);
+}

@@ -1,0 +1,14 @@
+// Fixture: a memory_order_relaxed without a justifying comment fires; one
+// with a nearby "relaxed:" comment stays quiet.
+#include <atomic>
+
+std::atomic<int> g_counter{0};
+
+void bump_undocumented() {
+  g_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void bump_documented() {
+  // relaxed: fixture counter with no ordering requirements.
+  g_counter.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,141 @@
+// elsa-lint's own test suite: every rule must both fire on a deliberate
+// violation (fixture files under tests/lint_fixtures/) and stay quiet on
+// clean code — capped by the real gate: zero findings on the live src/
+// tree, the same invariant the `elsa_lint_src` ctest gate and CI enforce.
+#include "lint_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using elsa::lint::Finding;
+using elsa::lint::lint_file;
+using elsa::lint::lint_tree;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(ELSA_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::size_t count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(ElsaLint, BannedCallsFire) {
+  const auto fs =
+      lint_file("src/util/banned_call.cpp", read_fixture("banned_call.cpp"));
+  // lgamma, rand, strtok, localtime, gmtime, plus the rand whose allow()
+  // lacks a reason and therefore must not suppress.
+  EXPECT_EQ(count_rule(fs, "banned-call"), 6u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), count_rule(fs, "banned-call"));
+}
+
+TEST(ElsaLint, RawMutexFires) {
+  const auto fs =
+      lint_file("src/util/raw_mutex.cpp", read_fixture("raw_mutex.cpp"));
+  // std::mutex decl, std::condition_variable decl, and the lock_guard line
+  // contributes two tokens (std::lock_guard + std::mutex).
+  EXPECT_EQ(count_rule(fs, "raw-mutex"), 4u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, RelaxedWithoutCommentFires) {
+  const auto fs = lint_file("src/util/relaxed_no_comment.cpp",
+                            read_fixture("relaxed_no_comment.cpp"));
+  ASSERT_EQ(fs.size(), 1u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs[0].rule, "relaxed-comment");
+  EXPECT_EQ(fs[0].line, 8u);  // the undocumented fetch_add, not the documented one
+}
+
+TEST(ElsaLint, LayeringBreakFires) {
+  const auto contents = read_fixture("layering_break.cpp");
+  const auto fs = lint_file("src/simlog/layering_break.cpp", contents);
+  ASSERT_EQ(fs.size(), 1u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs[0].rule, "layering");
+  EXPECT_NE(fs[0].message.find("serve"), std::string::npos);
+
+  // The same include set is legal one layer up: serve may consume simlog.
+  const auto up = lint_file("src/serve/layering_break.cpp", contents);
+  EXPECT_EQ(count_rule(up, "layering"), 0u) << elsa::lint::format(up);
+
+  // signalkit is as confined as simlog.
+  const auto sk = lint_file("src/signalkit/layering_break.cpp", contents);
+  EXPECT_EQ(count_rule(sk, "layering"), 1u) << elsa::lint::format(sk);
+}
+
+TEST(ElsaLint, HeaderHygieneFires) {
+  const auto fs =
+      lint_file("src/util/bad_header.hpp", read_fixture("bad_header.hpp"));
+  EXPECT_EQ(count_rule(fs, "header-pragma"), 1u) << elsa::lint::format(fs);
+  EXPECT_EQ(count_rule(fs, "header-using"), 1u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, CleanFixtureIsQuiet) {
+  const auto fs = lint_file("src/util/clean.hpp", read_fixture("clean.hpp"));
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, MemberAndNamespaceQualifiedCallsAreNotBanned) {
+  const std::string code =
+      "#pragma once\n"
+      "double f(Dist d) { return d.rand(); }\n"
+      "double g() { return mystats::rand(); }\n"
+      "double h(Dist* d) { return d->rand(); }\n"
+      "double k(double x) { int s; return ::lgamma_r(x, &s); }\n";
+  const auto fs = lint_file("src/util/ok.hpp", code);
+  EXPECT_EQ(count_rule(fs, "banned-call"), 0u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, GlobalQualifiedBannedCallFires) {
+  const auto fs = lint_file("src/util/g.cpp",
+                            "double f(double x) { return ::lgamma(x); }\n");
+  EXPECT_EQ(count_rule(fs, "banned-call"), 1u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, PragmaOnceAfterLeadingCommentIsFine) {
+  const std::string code =
+      "// A documented header.\n"
+      "/* block comment too */\n"
+      "#pragma once\n"
+      "inline int v() { return 1; }\n";
+  const auto fs = lint_file("src/util/doc.hpp", code);
+  EXPECT_EQ(count_rule(fs, "header-pragma"), 0u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, SuppressionNeedsMatchingRule) {
+  // An allow() for a different rule must not silence a banned call.
+  const std::string code =
+      "// elsa-lint: allow(raw-mutex): wrong rule on purpose.\n"
+      "double f(double x) { return std::lgamma(x); }\n";
+  const auto fs = lint_file("src/util/wrong.cpp", code);
+  EXPECT_EQ(count_rule(fs, "banned-call"), 1u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, FormatIsFileLineRule) {
+  const auto fs = lint_file("src/util/g.cpp",
+                            "double f(double x) { return ::lgamma(x); }\n");
+  ASSERT_EQ(fs.size(), 1u);
+  const std::string line = elsa::lint::format(fs);
+  EXPECT_NE(line.find("src/util/g.cpp:1: [banned-call]"), std::string::npos)
+      << line;
+}
+
+// The real gate: the live source tree carries zero findings. CI and the
+// `elsa_lint_src` ctest entry enforce the same invariant via the binary.
+TEST(ElsaLint, SourceTreeIsClean) {
+  const auto fs = lint_tree(ELSA_SRC_DIR);
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+}  // namespace

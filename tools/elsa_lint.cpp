@@ -1,0 +1,32 @@
+// elsa-lint driver: lints one or more directories (default: src) and exits
+// non-zero when any finding survives suppression. Wired as a ctest gate
+// (`elsa_lint_src`), the `lint` convenience target, and a CI job, so every
+// future PR is checked against the project's concurrency conventions.
+//
+// Usage: elsa_lint [dir ...]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_rules.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) roots.emplace_back("src");
+
+  std::vector<elsa::lint::Finding> findings;
+  for (const std::string& root : roots) {
+    auto fs = elsa::lint::lint_tree(root);
+    findings.insert(findings.end(), fs.begin(), fs.end());
+  }
+
+  if (findings.empty()) {
+    std::printf("elsa-lint: clean (%zu director%s checked)\n", roots.size(),
+                roots.size() == 1 ? "y" : "ies");
+    return 0;
+  }
+  std::fputs(elsa::lint::format(findings).c_str(), stderr);
+  std::fprintf(stderr, "elsa-lint: %zu finding(s)\n", findings.size());
+  return 1;
+}

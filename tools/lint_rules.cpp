@@ -1,0 +1,458 @@
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace elsa::lint {
+
+namespace {
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Copy of `contents` with comments and string/char-literal interiors
+/// blanked to spaces (newlines preserved), so token rules never fire on
+/// documentation or test strings. Handles //, /*...*/, "...", '...' and
+/// R"delim(...)delim"; digit separators (1'000'000) stay untouched.
+std::string strip_code(const std::string& in) {
+  enum class St { Normal, Line, Block, Str, Chr, Raw };
+  St st = St::Normal;
+  std::string out;
+  out.reserve(in.size());
+  std::string raw_close;  // ")delim\"" for the current raw string
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::Normal:
+        if (c == '/' && n == '/') {
+          st = St::Line;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::Block;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && n == '"' && (i == 0 || !is_word(in[i - 1]))) {
+          // Raw string: find the delimiter between " and (.
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < in.size() && in[p] != '(') delim += in[p++];
+          raw_close = ")" + delim + "\"";
+          st = St::Raw;
+          out += ' ';
+          out += ' ';
+          for (std::size_t k = i + 2; k <= p && k < in.size(); ++k)
+            out += in[k] == '\n' ? '\n' : ' ';
+          i = p;  // consumed through '('
+        } else if (c == '"') {
+          st = St::Str;
+          out += ' ';
+        } else if (c == '\'' && (i == 0 || !is_word(in[i - 1]))) {
+          st = St::Chr;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case St::Line:
+        if (c == '\n') {
+          st = St::Normal;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case St::Block:
+        if (c == '*' && n == '/') {
+          st = St::Normal;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::Str:
+        if (c == '\\' && n != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = St::Normal;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::Chr:
+        if (c == '\\' && n != '\0') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          st = St::Normal;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case St::Raw:
+        if (in.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = 0; k < raw_close.size(); ++k) out += ' ';
+          i += raw_close.size() - 1;
+          st = St::Normal;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool ends_with(const std::string& s, const std::string& suf) {
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Module layering
+
+/// Allowed cross-module includes, lowest layer first. A module may always
+/// include itself; anything else must be listed here. simlog/signalkit and
+/// the other mid-layers can never see serve/, which keeps the serving tier
+/// a pure consumer of the analysis core.
+const std::map<std::string, std::set<std::string>>& layer_deps() {
+  static const std::map<std::string, std::set<std::string>> deps = {
+      {"util", {}},
+      {"topology", {"util"}},
+      {"simlog", {"util", "topology"}},
+      {"helo", {"util"}},
+      {"signalkit", {"util"}},
+      {"ckpt", {"util"}},
+      {"elsa", {"util", "topology", "simlog", "helo", "signalkit", "ckpt"}},
+      {"serve",
+       {"util", "topology", "simlog", "helo", "signalkit", "ckpt", "elsa"}},
+  };
+  return deps;
+}
+
+/// Module a path belongs to: the component after "src", else the first
+/// component — empty when the path maps to no known module.
+std::string module_of(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  const auto& deps = layer_deps();
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i] == "src" && deps.count(parts[i + 1])) return parts[i + 1];
+  }
+  if (parts.size() >= 2 && deps.count(parts.front())) return parts.front();
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Suppression:  // elsa-lint: allow(<rule>): <reason>
+
+struct Suppression {
+  std::string rule;
+  bool has_reason = false;
+};
+
+std::vector<Suppression> suppressions_on(const std::string& raw_line) {
+  std::vector<Suppression> out;
+  const std::string marker = "elsa-lint:";
+  std::size_t pos = 0;
+  while ((pos = raw_line.find(marker, pos)) != std::string::npos) {
+    std::size_t p = pos + marker.size();
+    while (p < raw_line.size() && raw_line[p] == ' ') ++p;
+    const std::string allow = "allow(";
+    if (raw_line.compare(p, allow.size(), allow) == 0) {
+      p += allow.size();
+      const std::size_t close = raw_line.find(')', p);
+      if (close != std::string::npos) {
+        Suppression s;
+        s.rule = raw_line.substr(p, close - p);
+        std::size_t q = close + 1;
+        while (q < raw_line.size() && (raw_line[q] == ' ' || raw_line[q] == ':'))
+          ++q;
+        s.has_reason = raw_line.find(':', close) != std::string::npos &&
+                       q < raw_line.size() && !trim(raw_line.substr(q)).empty();
+        out.push_back(s);
+      }
+    }
+    pos += marker.size();
+  }
+  return out;
+}
+
+/// True if line `idx` (0-based) or the 3 lines above carry a matching
+/// allow() with a reason.
+bool is_suppressed(const std::vector<std::string>& raw, std::size_t idx,
+                   const std::string& rule) {
+  const std::size_t lo = idx >= 3 ? idx - 3 : 0;
+  for (std::size_t i = lo; i <= idx; ++i) {
+    for (const Suppression& s : suppressions_on(raw[i])) {
+      if (s.rule == rule && s.has_reason) return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Token scanning helpers
+
+/// Find calls of `name` (optionally std:: or :: qualified, nothing else)
+/// in a comment-stripped line; returns byte offsets of the identifier.
+std::vector<std::size_t> find_banned_calls(const std::string& code,
+                                           const std::string& name) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    const std::size_t end = pos + name.size();
+    pos = end;
+    if (end < code.size() && is_word(code[end])) continue;  // lgamma_r etc.
+    // Must be a call: next non-space is '('.
+    std::size_t p = end;
+    while (p < code.size() && (code[p] == ' ' || code[p] == '\t')) ++p;
+    if (p >= code.size() || code[p] != '(') continue;
+    // Inspect the qualifier. Bare, std:: and global :: are the libc
+    // entry points; any other qualifier (obj., other_ns::, ->) is a
+    // different function and legal.
+    if (start == 0) {
+      hits.push_back(start);
+      continue;
+    }
+    const char prev = code[start - 1];
+    if (is_word(prev) || prev == '.') continue;  // member/part of identifier
+    if (prev == '>') continue;                   // ptr->rand()
+    if (prev == ':') {
+      if (start < 2 || code[start - 2] != ':') continue;  // lone ':' — label?
+      std::size_t q = start - 2;  // points at first ':' of "::"
+      // Walk the qualifier identifier before "::".
+      std::size_t qe = q;
+      while (qe > 0 && is_word(code[qe - 1])) --qe;
+      const std::string qual = code.substr(qe, q - qe);
+      if (!qual.empty() && qual != "std") continue;  // other namespace
+    }
+    hits.push_back(start);
+  }
+  return hits;
+}
+
+/// Occurrences of `token` with word boundaries on both sides.
+std::vector<std::size_t> find_token(const std::string& code,
+                                    const std::string& token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    const std::size_t end = pos + token.size();
+    pos = end;
+    if (start > 0 && is_word(code[start - 1])) continue;
+    if (end < code.size() && is_word(code[end])) continue;
+    hits.push_back(start);
+  }
+  return hits;
+}
+
+std::string include_target(const std::string& raw_line) {
+  std::size_t p = raw_line.find_first_not_of(" \t");
+  if (p == std::string::npos || raw_line[p] != '#') return "";
+  ++p;
+  while (p < raw_line.size() && (raw_line[p] == ' ' || raw_line[p] == '\t')) ++p;
+  const std::string kw = "include";
+  if (raw_line.compare(p, kw.size(), kw) != 0) return "";
+  p += kw.size();
+  while (p < raw_line.size() && (raw_line[p] == ' ' || raw_line[p] == '\t')) ++p;
+  if (p >= raw_line.size() || raw_line[p] != '"') return "";
+  const std::size_t close = raw_line.find('"', p + 1);
+  if (close == std::string::npos) return "";
+  return raw_line.substr(p + 1, close - p - 1);
+}
+
+}  // namespace
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& contents) {
+  std::vector<Finding> findings;
+  const bool is_header = ends_with(path, ".hpp") || ends_with(path, ".h");
+  const bool is_wrapper = ends_with(path, "util/thread_annotations.hpp");
+  const std::string module = module_of(path);
+
+  const std::vector<std::string> raw = split_lines(contents);
+  const std::vector<std::string> code = split_lines(strip_code(contents));
+
+  auto report = [&](std::size_t idx, const std::string& rule,
+                    const std::string& message) {
+    if (is_suppressed(raw, idx, rule)) return;
+    findings.push_back({path, idx + 1, rule, message});
+  };
+
+  // -- banned-call ----------------------------------------------------------
+  static const std::array<std::pair<const char*, const char*>, 5> kBanned = {{
+      {"lgamma", "writes the process-global signgam; use util::lgamma_mt"},
+      {"rand", "hidden global PRNG state; use util::Rng"},
+      {"strtok", "static tokenizer state; use util::split or strtok_r"},
+      {"localtime", "returns a shared static tm; use localtime_r"},
+      {"gmtime", "returns a shared static tm; use gmtime_r"},
+  }};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const auto& [name, why] : kBanned) {
+      for (std::size_t off : find_banned_calls(code[i], name)) {
+        (void)off;
+        report(i, "banned-call",
+               std::string("call to non-reentrant `") + name + "` (" + why +
+                   ")");
+      }
+    }
+  }
+
+  // -- raw-mutex ------------------------------------------------------------
+  if (!is_wrapper) {
+    static const std::array<const char*, 11> kRawSync = {
+        "std::mutex",          "std::timed_mutex",
+        "std::recursive_mutex", "std::recursive_timed_mutex",
+        "std::shared_mutex",    "std::shared_timed_mutex",
+        "std::condition_variable", "std::condition_variable_any",
+        "std::lock_guard",      "std::unique_lock",
+        "std::scoped_lock"};
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      for (const char* tok : kRawSync) {
+        for (std::size_t off : find_token(code[i], tok)) {
+          (void)off;
+          report(i, "raw-mutex",
+                 std::string("`") + tok +
+                     "` outside util/thread_annotations.hpp — use the "
+                     "annotated util::Mutex/MutexLock/CondVar so "
+                     "-Wthread-safety can check the lock discipline");
+        }
+      }
+    }
+  }
+
+  // -- relaxed-comment ------------------------------------------------------
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (find_token(code[i], "memory_order_relaxed").empty()) continue;
+    bool justified = false;
+    const std::size_t lo = i >= 3 ? i - 3 : 0;
+    for (std::size_t j = lo; j <= i && !justified; ++j) {
+      justified = raw[j].find("relaxed:") != std::string::npos;
+    }
+    if (!justified) {
+      report(i, "relaxed-comment",
+             "memory_order_relaxed without a justifying `// relaxed: ...` "
+             "comment on this line or the three above");
+    }
+  }
+
+  // -- header hygiene -------------------------------------------------------
+  if (is_header) {
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const std::string t = trim(code[i]);
+      if (t.empty()) continue;
+      if (t.rfind("#pragma once", 0) != 0) {
+        report(i, "header-pragma",
+               "header's first directive must be #pragma once");
+      }
+      break;  // only the first non-blank, non-comment line matters
+    }
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (!find_token(code[i], "using namespace").empty() ||
+          trim(code[i]).rfind("using namespace", 0) == 0) {
+        report(i, "header-using",
+               "`using namespace` in a header leaks into every includer");
+      }
+    }
+  }
+
+  // -- layering -------------------------------------------------------------
+  if (!module.empty()) {
+    const auto& deps = layer_deps();
+    const std::set<std::string>& allowed = deps.at(module);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const std::string inc = include_target(raw[i]);
+      if (inc.empty()) continue;
+      const std::size_t slash = inc.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string inc_mod = inc.substr(0, slash);
+      if (!deps.count(inc_mod)) continue;  // not a project module
+      if (inc_mod == module || allowed.count(inc_mod)) continue;
+      report(i, "layering",
+             "module `" + module + "` must not include `" + inc_mod +
+                 "/` (dependency DAG: see DESIGN.md §9)");
+    }
+  }
+
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string rel = fs::relative(p, root).generic_string();
+    auto file_findings = lint_file(rel, ss.str());
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+  return findings;
+}
+
+std::string format(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace elsa::lint

@@ -1,0 +1,49 @@
+// elsa-lint: project-specific static checks that clang-tidy and
+// -Wthread-safety cannot express, run as a ctest gate and a CI job.
+//
+// Rules (stable ids; DESIGN.md §9 documents each with its rationale):
+//   banned-call     — non-reentrant/global-state libc calls (std::lgamma,
+//                     rand, strtok, localtime, gmtime); use the audited
+//                     wrappers (util::lgamma_mt, util::Rng, chrono).
+//   raw-mutex       — std::mutex & friends outside the annotated wrapper
+//                     (util/thread_annotations.hpp), which is the only
+//                     surface -Wthread-safety can prove things about.
+//   relaxed-comment — every memory_order_relaxed needs a nearby
+//                     "// relaxed: <why>" justification.
+//   header-pragma   — headers start with #pragma once.
+//   header-using    — no `using namespace` in headers.
+//   layering        — module includes must follow the dependency DAG
+//                     (e.g. simlog/signalkit must never include serve/).
+//
+// A finding is suppressed by a comment on the same line or within the
+// three lines above:  // elsa-lint: allow(<rule>): <reason>
+// The reason is mandatory; an allow() without one does not suppress.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace elsa::lint {
+
+struct Finding {
+  std::string file;     ///< path as reported (relative to the lint root)
+  std::size_t line = 0; ///< 1-based
+  std::string rule;     ///< stable rule id, e.g. "banned-call"
+  std::string message;
+};
+
+/// Lint one file's contents. `path` supplies the extension (header rules)
+/// and the module for layering — pass a src-rooted path such as
+/// "src/serve/ring.hpp" or a src-relative one such as "serve/ring.hpp".
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& contents);
+
+/// Recursively lint every *.hpp / *.cpp under `root` (normally src/).
+/// Findings carry paths relative to `root`; order is deterministic.
+std::vector<Finding> lint_tree(const std::string& root);
+
+/// Render as "file:line: [rule] message" lines.
+std::string format(const std::vector<Finding>& findings);
+
+}  // namespace elsa::lint
