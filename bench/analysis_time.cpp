@@ -8,12 +8,21 @@
 // (2012-era toolchain costs; what the evaluation uses for prediction
 // lateness) and the real measured wall-clock throughput of this C++
 // implementation.
+// --json PATH additionally emits a BENCH_analysis.json document (schema
+// elsa-bench-v1, one "analysis_time/<regime>" entry per replay regime;
+// items_per_sec is measured wall-clock throughput, the percentiles are the
+// modelled analysis-window distribution) for the CI bench-regression gate.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "elsa/online.hpp"
 #include "elsa/report.hpp"
 #include "util/ascii.hpp"
@@ -40,7 +49,18 @@ struct Replay {
   double wall_s = 0.0;
   double msgs_per_s_in = 0.0;
   std::size_t records = 0;
+  double window_p50_ms = 0.0;  ///< modelled analysis-window percentiles
+  double window_p99_ms = 0.0;
 };
+
+double percentile(const std::vector<float>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> xs(samples.begin(), samples.end());
+  std::sort(xs.begin(), xs.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
 
 Replay replay(const core::OfflineModel& model, const simlog::Trace& trace,
               bool signal_only) {
@@ -60,6 +80,8 @@ Replay replay(const core::OfflineModel& model, const simlog::Trace& trace,
   r.wall_s = std::chrono::duration<double>(stop - start).count();
   r.msgs_per_s_in = trace.message_rate();
   r.records = trace.records.size();
+  r.window_p50_ms = percentile(engine.stats().analysis_window_ms, 0.50);
+  r.window_p99_ms = percentile(engine.stats().analysis_window_ms, 0.99);
   return r;
 }
 
@@ -75,7 +97,7 @@ void print_row(util::AsciiTable& table, const char* regime, const Replay& r) {
            " M msg/s"});
 }
 
-void print_analysis() {
+void print_analysis(benchjson::BenchMap& bench_out) {
   std::cout << "=== §VI.A: analysis window across traffic regimes ===\n"
             << "(modelled columns use the calibrated 2012-era cost model;\n"
             << " the last column is this implementation's real throughput)\n\n";
@@ -92,14 +114,23 @@ void print_analysis() {
 
   util::AsciiTable table({"regime", "msg/s", "mean window", "p95 window",
                           "max window", "measured thruput"});
-  print_row(table, "BG/L normal (hybrid)",
-            replay(bgl.model, benchx::bgl_trace(), false));
-  print_row(table, "BG/L @ paper-average rate (hybrid)",
-            replay(bgl.model, avg_trace, false));
-  print_row(table, "Mercury w/ NFS storms (hybrid)",
-            replay(mer.model, benchx::mercury_trace(), false));
-  print_row(table, "Mercury w/ NFS storms (signal-only)",
-            replay(mer_sig.model, benchx::mercury_trace(), true));
+  const auto run = [&](const char* regime, const char* bench_name,
+                       const core::OfflineModel& model,
+                       const simlog::Trace& trace, bool signal_only) {
+    const Replay r = replay(model, trace, signal_only);
+    print_row(table, regime, r);
+    bench_out[std::string("analysis_time/") + bench_name] = {
+        static_cast<double>(r.records) / std::max(r.wall_s, 1e-9),
+        r.window_p50_ms * 1000.0, r.window_p99_ms * 1000.0};
+  };
+  run("BG/L normal (hybrid)", "bgl_normal", bgl.model, benchx::bgl_trace(),
+      false);
+  run("BG/L @ paper-average rate (hybrid)", "bgl_avg_rate", bgl.model,
+      avg_trace, false);
+  run("Mercury w/ NFS storms (hybrid)", "mercury_storms", mer.model,
+      benchx::mercury_trace(), false);
+  run("Mercury w/ NFS storms (signal-only)", "mercury_storms_signal",
+      mer_sig.model, benchx::mercury_trace(), true);
   table.print(std::cout);
 
   std::cout << "\n(paper: negligible at the 5 msg/s average; ~2.5 s during "
@@ -128,8 +159,28 @@ BENCHMARK(BM_online_feed)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_analysis();
+  // Strip --json before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  elsa::benchjson::BenchMap bench_out;
+  print_analysis(bench_out);
   std::cout << "\n";
+  if (!json_path.empty()) {
+    if (!elsa::benchjson::write_file(json_path, bench_out)) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n\n";
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,6 +7,7 @@
 
 #include "elsa/pipeline.hpp"
 #include "simlog/scenario.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace elsa::benchx {
 
@@ -28,29 +29,45 @@ inline const simlog::Trace& mercury_trace() {
   return trace;
 }
 
+/// Mutex-guarded memo of experiment runs keyed by method. Benchmarks run
+/// multi-threaded repetitions, so the memo must be safe to hit from any
+/// bench thread. Before PR 4 this was a bare function-local
+/// `static std::map` mutated outside the (thread-safe) initializer — a
+/// data race the moment two threads missed the cache together; the
+/// `static-mutable` lint rule now rejects that pattern outright.
+/// Returning `const&` is safe: std::map never invalidates element
+/// references on insert.
+class ExperimentCache {
+ public:
+  explicit ExperimentCache(const simlog::Trace& (*trace)()) : trace_(trace) {}
+
+  const core::ExperimentResult& get(core::Method m) ELSA_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    const int key = static_cast<int>(m);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      core::PipelineConfig cfg;
+      it = cache_.emplace(key, core::run_experiment(trace_(), kTrainDays, m,
+                                                    cfg)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  const simlog::Trace& (*trace_)();
+  util::Mutex mu_;
+  std::map<int, core::ExperimentResult> cache_ ELSA_GUARDED_BY(mu_);
+};
+
 /// Cached full experiment on the BG/L campaign.
 inline const core::ExperimentResult& bgl_experiment(core::Method m) {
-  static std::map<int, core::ExperimentResult> cache;
-  const int key = static_cast<int>(m);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    core::PipelineConfig cfg;
-    it = cache.emplace(key, core::run_experiment(bgl_trace(), kTrainDays, m,
-                                                 cfg)).first;
-  }
-  return it->second;
+  static ExperimentCache cache(&bgl_trace);
+  return cache.get(m);
 }
 
 inline const core::ExperimentResult& mercury_experiment(core::Method m) {
-  static std::map<int, core::ExperimentResult> cache;
-  const int key = static_cast<int>(m);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    core::PipelineConfig cfg;
-    it = cache.emplace(key, core::run_experiment(mercury_trace(), kTrainDays,
-                                                 m, cfg)).first;
-  }
-  return it->second;
+  static ExperimentCache cache(&mercury_trace);
+  return cache.get(m);
 }
 
 }  // namespace elsa::benchx

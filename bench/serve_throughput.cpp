@@ -10,7 +10,11 @@
 // macro-run (~1M records end to end), so a single timed pass per shard
 // count is the measurement.
 //
-//   ./build/bench/serve_throughput [days] [shard counts...]
+//   ./build/bench/serve_throughput [days] [shard counts...] [--json PATH]
+//
+// --json PATH additionally emits the results as a BENCH_serve.json
+// document (schema elsa-bench-v1, one "serve_throughput/shards=N" entry
+// per configuration) for the CI bench-regression gate.
 //
 // NOTE: shard scaling needs cores. On a single-core container every
 // configuration multiplexes onto one CPU and the sharded runs can only tie
@@ -19,9 +23,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "elsa/pipeline.hpp"
 #include "serve/replayer.hpp"
 #include "serve/service.hpp"
@@ -67,12 +74,22 @@ RunResult run_once(const simlog::Trace& trace, const core::OfflineModel& model,
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
   // ~43k records/day -> 28 days comfortably clears 1M records replayed
   // over the post-training period.
-  const double days = argc > 1 ? std::atof(argv[1]) : 28.0;
+  const double days = !positional.empty() ? std::atof(positional[0]) : 28.0;
   std::vector<std::size_t> shard_counts;
-  for (int i = 2; i < argc; ++i)
-    shard_counts.push_back(std::strtoul(argv[i], nullptr, 10));
+  for (std::size_t i = 1; i < positional.size(); ++i)
+    shard_counts.push_back(std::strtoul(positional[i], nullptr, 10));
   if (shard_counts.empty()) shard_counts = {1, 2, 4, 8};
 
   std::printf("generating %.0f-day BG/L-like campaign...\n", days);
@@ -98,6 +115,7 @@ int main(int argc, char** argv) {
       "records/s", "p50 us", "p99 us", "pred p50", "pred p99", "alarms");
 
   double base_rps = 0.0;
+  benchjson::BenchMap bench_out;
   for (const std::size_t shards : shard_counts) {
     const RunResult r = run_once(trace, model, train_end, shards);
     const double rps =
@@ -108,6 +126,15 @@ int main(int argc, char** argv) {
                 r.m.predict_p50_us, r.m.predict_p99_us,
                 static_cast<unsigned long long>(r.m.predictions),
                 base_rps > 0 ? rps / base_rps : 0.0);
+    bench_out["serve_throughput/shards=" + std::to_string(shards)] = {
+        rps, r.m.ingest_p50_us, r.m.ingest_p99_us};
+  }
+  if (!json_path.empty()) {
+    if (!benchjson::write_file(json_path, bench_out)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
   return 0;
 }

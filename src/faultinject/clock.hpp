@@ -1,0 +1,60 @@
+// FaultClock: the time authority the watchdog reads, made injectable so
+// tests and chaos runs can bend it. Two modes:
+//
+//   * real (default)  — steady_clock plus a signed, atomically adjustable
+//     offset. `advance()` with a negative delta produces a NON-monotone
+//     reading, which is precisely the fault the serve path must survive
+//     (the paper's systems see clock skew across service nodes; our
+//     watchdog must clamp, not underflow or false-trip).
+//   * manual          — starts at the epoch and moves only when advanced;
+//     deterministic deadline tests drive it by hand instead of sleeping.
+//
+// `now()` is const and lock-free; any thread may read while another
+// advances.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace elsa::faultinject {
+
+class FaultClock {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using time_point = Clock::time_point;
+
+  /// Real mode: tracks steady_clock until advanced.
+  FaultClock() = default;
+
+  /// Manual mode: starts at the epoch, moves only via advance().
+  static FaultClock manual() { return FaultClock(true); }
+
+  FaultClock(const FaultClock&) = delete;
+  FaultClock& operator=(const FaultClock&) = delete;
+
+  bool is_manual() const { return manual_; }
+
+  time_point now() const {
+    // relaxed: the offset is a standalone value; readers tolerate seeing
+    // an adjustment late (the watchdog re-samples every interval anyway).
+    const auto off =
+        std::chrono::nanoseconds(offset_ns_.load(std::memory_order_relaxed));
+    return manual_ ? time_point{} + off : Clock::now() + off;
+  }
+
+  /// Shift the clock by `d`. Negative deltas are allowed and meaningful:
+  /// they make now() jump backwards (a skewed/non-monotone clock fault).
+  void advance(std::chrono::nanoseconds d) {
+    // relaxed: see now().
+    offset_ns_.fetch_add(d.count(), std::memory_order_relaxed);
+  }
+
+ private:
+  explicit FaultClock(bool manual) : manual_(manual) {}
+
+  bool manual_ = false;
+  std::atomic<std::int64_t> offset_ns_{0};
+};
+
+}  // namespace elsa::faultinject

@@ -1,0 +1,115 @@
+#include "faultinject/injector.hpp"
+
+#include <limits>
+
+namespace elsa::faultinject {
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(&plan), rng_(plan.seed() ^ 0xF4017B17ULL) {
+  for (const FaultSpec& s : plan.specs()) {
+    switch (s.kind) {
+      case FaultKind::kDrop: drop_rate_ += s.rate; break;
+      case FaultKind::kDuplicate: dup_rate_ += s.rate; break;
+      case FaultKind::kCorrupt: corrupt_rate_ += s.rate; break;
+      case FaultKind::kReorder:
+        reorder_rate_ += s.rate;
+        reorder_depth_ = s.depth;
+        break;
+      case FaultKind::kSkew:
+        skew_rate_ += s.rate;
+        skew_ms_ = s.skew_ms;
+        break;
+      case FaultKind::kStallShard:
+      case FaultKind::kFailWorker:
+        break;  // serve-side: consulted by the worker loops, not here
+    }
+  }
+}
+
+void FaultInjector::release_due(std::vector<simlog::LogRecord>& out) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (held_[i].release_at <= stats_.seen) {
+      out.push_back(std::move(held_[i].rec));
+      ++stats_.delivered;
+    } else {
+      // Guard against self-move: a string self-move-assignment may clear
+      // the record's message.
+      if (kept != i) held_[kept] = std::move(held_[i]);
+      ++kept;
+    }
+  }
+  held_.resize(kept);
+}
+
+void FaultInjector::corrupt(simlog::LogRecord& rec) {
+  // Three structural mangles, all of which the service validator must
+  // quarantine: an impossible node id, a negative timestamp, and a node id
+  // below the system-scope sentinel. Chosen by the seeded stream so the
+  // mix is deterministic.
+  switch (rng_.below(3)) {
+    case 0:
+      rec.node_id = std::numeric_limits<std::int32_t>::max();
+      break;
+    case 1:
+      rec.time_ms = -1 - static_cast<std::int64_t>(rng_.below(1'000'000));
+      break;
+    default:
+      rec.node_id = -2;
+      break;
+  }
+}
+
+void FaultInjector::ingest(const simlog::LogRecord& rec,
+                           std::vector<simlog::LogRecord>& out) {
+  ++stats_.seen;
+  release_due(out);
+
+  if (plan_->empty()) {  // strict pass-through: byte-identical downstream
+    out.push_back(rec);
+    ++stats_.delivered;
+    return;
+  }
+
+  // Decision order is fixed (drop, skew, corrupt, reorder, duplicate) and
+  // each configured kind consumes exactly one draw per record, so the
+  // schedule depends only on (seed, arrival ordinal).
+  if (drop_rate_ > 0.0 && rng_.bernoulli(drop_rate_)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  simlog::LogRecord copy = rec;
+  if (skew_rate_ > 0.0 && rng_.bernoulli(skew_rate_)) {
+    copy.time_ms += rng_.range(-skew_ms_, skew_ms_);
+    ++stats_.skewed;
+  }
+  if (corrupt_rate_ > 0.0 && rng_.bernoulli(corrupt_rate_)) {
+    corrupt(copy);
+    ++stats_.corrupted;
+  }
+
+  const bool dup = dup_rate_ > 0.0 && rng_.bernoulli(dup_rate_);
+  if (reorder_rate_ > 0.0 && rng_.bernoulli(reorder_rate_)) {
+    ++stats_.reordered;
+    held_.push_back({std::move(copy), stats_.seen + reorder_depth_});
+  } else {
+    out.push_back(copy);
+    ++stats_.delivered;
+    if (dup) {
+      out.push_back(std::move(copy));
+      ++stats_.delivered;
+      ++stats_.duplicated;
+    }
+  }
+}
+
+void FaultInjector::flush(std::vector<simlog::LogRecord>& out) {
+  for (Held& h : held_) {
+    out.push_back(std::move(h.rec));
+    ++stats_.delivered;
+  }
+  held_.clear();
+}
+
+}  // namespace elsa::faultinject

@@ -1,0 +1,83 @@
+// FaultInjector: applies a FaultPlan's record-path faults to an ingest
+// stream. Sits between a producer (trace replayer, syslog tap) and the
+// PredictionService, transforming each arriving record into zero, one or
+// more delivered records:
+//
+//   drop      — the record vanishes (counted);
+//   duplicate — the record is delivered twice;
+//   corrupt   — the record is delivered structurally mangled (out-of-range
+//               node, negative timestamp) so the service's validator must
+//               quarantine it rather than crash;
+//   reorder   — the record is held back and released `depth` arrivals
+//               later (flush() drains stragglers at end of stream);
+//   skew      — the record's timestamp is perturbed by up to ±skew_ms,
+//               exercising the engine's out-of-order clamping.
+//
+// Every decision draws from a private Rng seeded from the plan, keyed only
+// to arrival order — two injectors built from the same plan emit identical
+// streams for identical inputs (tested), which is what makes a chaos run a
+// reproducible bug report. Not thread-safe: one injector per producer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faultinject/plan.hpp"
+#include "simlog/record.hpp"
+#include "util/rng.hpp"
+
+namespace elsa::faultinject {
+
+/// Injector-side accounting. After flush():
+///   seen + duplicated == delivered + dropped   (conservation at the tap).
+struct InjectStats {
+  std::uint64_t seen = 0;        ///< records offered to ingest()
+  std::uint64_t delivered = 0;   ///< records emitted downstream
+  std::uint64_t dropped = 0;     ///< vanished by kDrop
+  std::uint64_t duplicated = 0;  ///< extra copies emitted by kDuplicate
+  std::uint64_t corrupted = 0;   ///< structurally mangled by kCorrupt
+  std::uint64_t reordered = 0;   ///< held back by kReorder
+  std::uint64_t skewed = 0;      ///< timestamps perturbed by kSkew
+};
+
+class FaultInjector {
+ public:
+  /// The plan must outlive the injector.
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Transform one arriving record; deliverable records (possibly none,
+  /// possibly several — duplicates and released held-back records) are
+  /// appended to `out`.
+  void ingest(const simlog::LogRecord& rec,
+              std::vector<simlog::LogRecord>& out);
+
+  /// End of stream: release every held-back record, in hold order.
+  void flush(std::vector<simlog::LogRecord>& out);
+
+  const InjectStats& stats() const { return stats_; }
+
+ private:
+  struct Held {
+    simlog::LogRecord rec;
+    std::uint64_t release_at = 0;  ///< stats_.seen value that frees it
+  };
+
+  void corrupt(simlog::LogRecord& rec);
+  void release_due(std::vector<simlog::LogRecord>& out);
+
+  const FaultPlan* plan_;
+  util::Rng rng_;
+  std::vector<Held> held_;
+  InjectStats stats_;
+
+  // Flattened per-kind parameters (0 rate = kind absent from the plan).
+  double drop_rate_ = 0.0;
+  double dup_rate_ = 0.0;
+  double corrupt_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
+  double skew_rate_ = 0.0;
+  std::int64_t skew_ms_ = 0;
+  std::size_t reorder_depth_ = 8;
+};
+
+}  // namespace elsa::faultinject

@@ -1,0 +1,208 @@
+#include "faultinject/plan.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace elsa::faultinject {
+
+namespace {
+
+/// One clause of the plan grammar, split on ','.
+std::vector<std::string> split_clauses(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+[[noreturn]] void bad(const std::string& clause, const char* why) {
+  throw std::runtime_error("fault plan clause '" + clause + "': " + why +
+                           "\n" + FaultPlan::grammar());
+}
+
+double parse_rate(const std::string& clause, const std::string& s) {
+  try {
+    const double r = std::stod(s);
+    if (r < 0.0 || r > 1.0) bad(clause, "rate must be in [0, 1]");
+    return r;
+  } catch (const std::runtime_error&) {
+    throw;  // bad() above — already a well-formed plan error
+  } catch (const std::exception&) {
+    bad(clause, "expected a rate");
+  }
+}
+
+std::int64_t parse_i64(const std::string& clause, const std::string& s) {
+  try {
+    return std::stoll(s);
+  } catch (const std::exception&) {
+    bad(clause, "expected an integer");
+  }
+}
+
+/// The canonical every-kind mix that `--plan all` expands to: light record
+/// corruption on every path, one mid-run stall and one worker kill.
+std::vector<FaultSpec> all_kinds() {
+  std::vector<FaultSpec> specs;
+  specs.push_back({FaultKind::kDrop, 0.01, 0, 8, 0, 0, 0});
+  specs.push_back({FaultKind::kDuplicate, 0.01, 0, 8, 0, 0, 0});
+  specs.push_back({FaultKind::kCorrupt, 0.01, 0, 8, 0, 0, 0});
+  specs.push_back({FaultKind::kReorder, 0.02, 0, 6, 0, 0, 0});
+  specs.push_back({FaultKind::kSkew, 0.02, 120'000, 8, 0, 0, 0});
+  specs.push_back({FaultKind::kStallShard, 0.0, 0, 8, 0, 2'000, 150});
+  specs.push_back({FaultKind::kFailWorker, 0.0, 0, 8, 1, 3'000, 0});
+  return specs;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kSkew: return "skew";
+    case FaultKind::kStallShard: return "stall";
+    case FaultKind::kFailWorker: return "failworker";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs)
+    : seed_(seed), specs_(std::move(specs)) {}
+
+const char* FaultPlan::grammar() {
+  return "plan   := \"all\" | fault (\",\" fault)*\n"
+         "fault  := drop=RATE | dup=RATE | corrupt=RATE\n"
+         "        | reorder=RATE[:DEPTH]      (hold back DEPTH arrivals)\n"
+         "        | skew=RATE:MAX_MS          (timestamp +/- up to MAX_MS)\n"
+         "        | stall=SHARD@RECORD:MS     (sleep MS in that worker)\n"
+         "        | failworker=SHARD@RECORD   (kill that worker thread)";
+}
+
+FaultPlan FaultPlan::parse(const std::string& text, std::uint64_t seed) {
+  if (text.empty() || text == "none") return FaultPlan(seed, {});
+  if (text == "all") return FaultPlan(seed, all_kinds());
+
+  std::vector<FaultSpec> specs;
+  for (const std::string& clause : split_clauses(text)) {
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos) bad(clause, "expected name=value");
+    const std::string name = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+
+    FaultSpec spec;
+    if (name == "drop" || name == "dup" || name == "corrupt") {
+      spec.kind = name == "drop"  ? FaultKind::kDrop
+                  : name == "dup" ? FaultKind::kDuplicate
+                                  : FaultKind::kCorrupt;
+      spec.rate = parse_rate(clause, value);
+    } else if (name == "reorder") {
+      spec.kind = FaultKind::kReorder;
+      const std::size_t colon = value.find(':');
+      spec.rate = parse_rate(clause, value.substr(0, colon));
+      if (colon != std::string::npos) {
+        const std::int64_t d = parse_i64(clause, value.substr(colon + 1));
+        if (d <= 0) bad(clause, "reorder depth must be positive");
+        spec.depth = static_cast<std::size_t>(d);
+      }
+    } else if (name == "skew") {
+      spec.kind = FaultKind::kSkew;
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) bad(clause, "skew needs RATE:MAX_MS");
+      spec.rate = parse_rate(clause, value.substr(0, colon));
+      spec.skew_ms = parse_i64(clause, value.substr(colon + 1));
+      if (spec.skew_ms <= 0) bad(clause, "skew magnitude must be positive");
+    } else if (name == "stall" || name == "failworker") {
+      spec.kind = name == "stall" ? FaultKind::kStallShard
+                                  : FaultKind::kFailWorker;
+      const std::size_t at = value.find('@');
+      if (at == std::string::npos) bad(clause, "expected SHARD@RECORD");
+      const std::int64_t shard = parse_i64(clause, value.substr(0, at));
+      if (shard < 0) bad(clause, "shard must be >= 0");
+      spec.shard = static_cast<std::size_t>(shard);
+      std::string rest = value.substr(at + 1);
+      if (spec.kind == FaultKind::kStallShard) {
+        const std::size_t colon = rest.find(':');
+        if (colon == std::string::npos) bad(clause, "stall needs @RECORD:MS");
+        spec.stall_ms = parse_i64(clause, rest.substr(colon + 1));
+        if (spec.stall_ms <= 0) bad(clause, "stall duration must be positive");
+        rest = rest.substr(0, colon);
+      }
+      const std::int64_t rec = parse_i64(clause, rest);
+      if (rec <= 0) bad(clause, "trigger record must be >= 1");
+      spec.at_record = static_cast<std::uint64_t>(rec);
+    } else {
+      bad(clause, "unknown fault kind");
+    }
+    specs.push_back(spec);
+  }
+  return FaultPlan(seed, std::move(specs));
+}
+
+std::int64_t FaultPlan::stall_ms_at(std::size_t shard,
+                                    std::uint64_t processed) const {
+  std::int64_t total = 0;
+  for (const FaultSpec& s : specs_) {
+    if (s.kind == FaultKind::kStallShard && s.shard == shard &&
+        s.at_record == processed)
+      total += s.stall_ms;
+  }
+  return total;
+}
+
+bool FaultPlan::worker_fails_at(std::size_t shard,
+                                std::uint64_t processed) const {
+  for (const FaultSpec& s : specs_) {
+    if (s.kind == FaultKind::kFailWorker && s.shard == shard &&
+        s.at_record == processed)
+      return true;
+  }
+  return false;
+}
+
+std::string FaultPlan::to_string() const {
+  if (specs_.empty()) return "<empty>";
+  std::string out;
+  char buf[96];
+  for (const FaultSpec& s : specs_) {
+    if (!out.empty()) out += ',';
+    switch (s.kind) {
+      case FaultKind::kDrop:
+      case FaultKind::kDuplicate:
+      case FaultKind::kCorrupt:
+        std::snprintf(buf, sizeof buf, "%s=%g", faultinject::to_string(s.kind),
+                      s.rate);
+        break;
+      case FaultKind::kReorder:
+        std::snprintf(buf, sizeof buf, "reorder=%g:%zu", s.rate, s.depth);
+        break;
+      case FaultKind::kSkew:
+        std::snprintf(buf, sizeof buf, "skew=%g:%lld", s.rate,
+                      static_cast<long long>(s.skew_ms));
+        break;
+      case FaultKind::kStallShard:
+        std::snprintf(buf, sizeof buf, "stall=%zu@%llu:%lld", s.shard,
+                      static_cast<unsigned long long>(s.at_record),
+                      static_cast<long long>(s.stall_ms));
+        break;
+      case FaultKind::kFailWorker:
+        std::snprintf(buf, sizeof buf, "failworker=%zu@%llu", s.shard,
+                      static_cast<unsigned long long>(s.at_record));
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace elsa::faultinject

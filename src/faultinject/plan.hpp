@@ -1,0 +1,84 @@
+// Deterministic fault plans: the schedule of injected failures a chaos run
+// replays against the serving layer. A plan is (seed, specs); every
+// stochastic decision an injector or a serve-side hook makes is derived
+// from that pair plus a monotone record ordinal, so the same plan always
+// produces the same fault schedule — chaos runs are reproducible bug
+// reports, not dice rolls.
+//
+// Two families of faults:
+//   * record-path faults (drop / duplicate / corrupt / reorder / skew) are
+//     applied by `FaultInjector` to the ingest stream before it reaches the
+//     service — they model a lossy, misbehaving transport;
+//   * serve-side faults (stall a shard, fail a worker thread) are consulted
+//     by the sharded engine's worker loops at exact per-shard record counts
+//     — they model a sick analysis tier, and are what the watchdog and the
+//     restart path are proven against.
+//
+// The text grammar (see `FaultPlan::grammar()`) is what `elsa chaos --plan`
+// parses; the CI chaos-soak job drives every kind with fixed seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elsa::faultinject {
+
+enum class FaultKind : std::uint8_t {
+  kDrop,        ///< silently lose a record (rate)
+  kDuplicate,   ///< deliver a record twice (rate)
+  kCorrupt,     ///< structurally mangle a record (rate)
+  kReorder,     ///< hold a record back `depth` arrivals (rate, depth)
+  kSkew,        ///< perturb a record's timestamp by up to ±skew_ms (rate)
+  kStallShard,  ///< sleep `stall_ms` in shard `shard` after record `at_record`
+  kFailWorker,  ///< kill shard `shard`'s worker after record `at_record`
+};
+
+const char* to_string(FaultKind k);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDrop;
+  double rate = 0.0;            ///< per-record probability (record faults)
+  std::int64_t skew_ms = 0;     ///< max |timestamp perturbation| (kSkew)
+  std::size_t depth = 8;        ///< hold-back distance in records (kReorder)
+  std::size_t shard = 0;        ///< target shard (kStallShard / kFailWorker)
+  std::uint64_t at_record = 0;  ///< shard-local processed count that triggers
+  std::int64_t stall_ms = 0;    ///< stall duration (kStallShard)
+};
+
+class FaultPlan {
+ public:
+  /// The empty plan: no faults, and every consumer treats it as a strict
+  /// pass-through (the byte-identical-output guarantee).
+  FaultPlan() = default;
+  FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs);
+
+  /// Parse the `elsa chaos --plan` grammar; throws std::runtime_error with
+  /// a pointer at the offending clause on malformed input. The word "all"
+  /// expands to a canonical mix of every fault kind.
+  static FaultPlan parse(const std::string& text, std::uint64_t seed);
+  static const char* grammar();
+
+  bool empty() const { return specs_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+  // -- serve-side hooks (const, callable from any worker thread) -----------
+  /// Milliseconds shard `shard` must stall immediately after processing its
+  /// `processed`-th record (exact match, so the stall fires exactly once);
+  /// 0 when nothing is scheduled there.
+  std::int64_t stall_ms_at(std::size_t shard, std::uint64_t processed) const;
+  /// True when shard `shard`'s worker must die immediately after processing
+  /// its `processed`-th record. Exact match: a restarted worker's counter
+  /// has moved past the trigger, so the fault cannot re-fire in a loop.
+  bool worker_fails_at(std::size_t shard, std::uint64_t processed) const;
+
+  /// Canonical textual form (re-parseable); "<empty>" for the empty plan.
+  std::string to_string() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace elsa::faultinject

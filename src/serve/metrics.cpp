@@ -75,15 +75,35 @@ ServeMetrics::ServeMetrics()
 // other memory, and snapshot() documents a consistent-enough (not
 // linearizable) view. Sequential consistency here would buy nothing and
 // cost a fence per record.
+void ServeMetrics::on_submit(std::uint64_t records) {
+  // relaxed: see block comment above.
+  ingested_.fetch_add(records, std::memory_order_relaxed);
+}
+
 void ServeMetrics::on_ingest(std::size_t queue_depth) {
   // relaxed: see block comment above.
   records_in_.fetch_add(1, std::memory_order_relaxed);
   depth_.add(static_cast<double>(queue_depth));
 }
 
-void ServeMetrics::on_drop(std::uint64_t records) {
+void ServeMetrics::on_quarantine(std::uint64_t records) {
   // relaxed: see block comment above.
-  dropped_.fetch_add(records, std::memory_order_relaxed);
+  quarantined_.fetch_add(records, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_shed(std::uint64_t records) {
+  // relaxed: see block comment above.
+  shed_.fetch_add(records, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_retry(std::uint64_t records) {
+  // relaxed: see block comment above.
+  retries_.fetch_add(records, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_watchdog_trip() {
+  // relaxed: see block comment above.
+  watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServeMetrics::on_processed(Clock::time_point enqueued_at) {
@@ -106,6 +126,25 @@ void ServeMetrics::on_dedupe(std::uint64_t hits) {
 void ServeMetrics::on_out_of_order(std::uint64_t records) {
   // relaxed: see block comment above.
   out_of_order_.fetch_add(records, std::memory_order_relaxed);
+}
+
+void ServeMetrics::set_degraded(bool on) {
+  util::MutexLock lk(clock_mu_);
+  if (on == degraded_) return;
+  const auto now = Clock::now();
+  if (on) {
+    degraded_since_ = now;
+  } else {
+    degraded_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        now - degraded_since_)
+                        .count();
+  }
+  degraded_ = on;
+}
+
+bool ServeMetrics::degraded() const {
+  util::MutexLock lk(clock_mu_);
+  return degraded_;
 }
 
 void ServeMetrics::start() {
@@ -135,14 +174,31 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   MetricsSnapshot s;
   // relaxed: monitoring reads of independent counters — the snapshot is
   // consistent-enough by contract, not a linearizable cut (all six loads).
+  s.ingested = ingested_.load(std::memory_order_relaxed);
   s.records_in = records_in_.load(std::memory_order_relaxed);
+  // relaxed: as above.
   s.records_out = records_out_.load(std::memory_order_relaxed);
   // relaxed: as above.
-  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  // relaxed: as above.
+  s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
   s.predictions = predictions_.load(std::memory_order_relaxed);
   s.dedupe_hits = dedupe_hits_.load(std::memory_order_relaxed);
   // relaxed: as above.
   s.out_of_order = out_of_order_.load(std::memory_order_relaxed);
+
+  {
+    util::MutexLock lk(clock_mu_);
+    s.degraded = degraded_;
+    auto ns = degraded_ns_;
+    if (degraded_)
+      ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - degraded_since_)
+                .count();
+    s.degraded_seconds = static_cast<double>(ns) * 1e-9;
+  }
 
   s.wall_seconds = uptime_seconds();
   s.records_per_sec =
@@ -164,21 +220,28 @@ MetricsSnapshot ServeMetrics::snapshot() const {
 
 std::string ServeMetrics::text_report() const {
   const MetricsSnapshot s = snapshot();
-  char buf[1024];
+  char buf[2048];
   std::snprintf(
       buf, sizeof buf,
-      "serve metrics (%.2f s uptime)\n"
-      "  records    in %llu, out %llu, dropped %llu, out-of-order %llu\n"
+      "serve metrics (%.2f s uptime%s)\n"
+      "  records    ingested %llu, in %llu, out %llu, out-of-order %llu\n"
+      "  faults     quarantined %llu, shed %llu, retries %llu, "
+      "watchdog trips %llu, degraded %.2f s\n"
       "  throughput %.0f records/s\n"
       "  alarms     %llu issued, %llu duplicates suppressed\n"
       "  ingest     p50 %.0f us, p99 %.0f us (enqueue -> processed)\n"
       "  prediction p50 %.0f us, p99 %.0f us (enqueue -> alarm)\n"
       "  queue depth p50 %.0f, p99 %.0f\n",
-      s.wall_seconds, static_cast<unsigned long long>(s.records_in),
+      s.wall_seconds, s.degraded ? ", DEGRADED" : "",
+      static_cast<unsigned long long>(s.ingested),
+      static_cast<unsigned long long>(s.records_in),
       static_cast<unsigned long long>(s.records_out),
-      static_cast<unsigned long long>(s.dropped),
-      static_cast<unsigned long long>(s.out_of_order), s.records_per_sec,
-      static_cast<unsigned long long>(s.predictions),
+      static_cast<unsigned long long>(s.out_of_order),
+      static_cast<unsigned long long>(s.quarantined),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.watchdog_trips), s.degraded_seconds,
+      s.records_per_sec, static_cast<unsigned long long>(s.predictions),
       static_cast<unsigned long long>(s.dedupe_hits), s.ingest_p50_us,
       s.ingest_p99_us, s.predict_p50_us, s.predict_p99_us, s.queue_depth_p50,
       s.queue_depth_p99);

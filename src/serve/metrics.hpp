@@ -45,12 +45,19 @@ class AtomicHistogram {
 
 /// One consistent-enough view of the service, cheap to take at any time.
 struct MetricsSnapshot {
+  std::uint64_t ingested = 0;     ///< submit attempts the service received
   std::uint64_t records_in = 0;   ///< accepted into the ingest queue
   std::uint64_t records_out = 0;  ///< fully processed by a shard engine
-  std::uint64_t dropped = 0;      ///< shed on overflow (try_submit path)
+  std::uint64_t quarantined = 0;  ///< malformed records set aside, not crashed on
+  std::uint64_t shed = 0;         ///< lost to overflow: door-shed, drop-oldest
+                                  ///< evictions, shard-queue drops
+  std::uint64_t retries = 0;        ///< producer re-submissions after a shed
+  std::uint64_t watchdog_trips = 0; ///< shard deadline misses + worker restarts
   std::uint64_t predictions = 0;
   std::uint64_t dedupe_hits = 0;   ///< duplicate alarms suppressed
   std::uint64_t out_of_order = 0;  ///< records clamped onto an open bucket
+  bool degraded = false;           ///< a shard is currently unhealthy
+  double degraded_seconds = 0.0;   ///< cumulative time spent degraded
   double wall_seconds = 0.0;       ///< service uptime (start -> stop/now)
   double records_per_sec = 0.0;    ///< records_out / wall_seconds
   double ingest_p50_us = 0.0;      ///< enqueue -> processed latency
@@ -59,6 +66,13 @@ struct MetricsSnapshot {
   double predict_p99_us = 0.0;
   double queue_depth_p50 = 0.0;  ///< ingest ring depth observed at enqueue
   double queue_depth_p99 = 0.0;
+
+  /// Conservation of records, the chaos invariant: every submit attempt is
+  /// accounted as processed, quarantined or shed. Meaningful after
+  /// finish() has drained the pipeline; mid-flight records make it false.
+  bool records_conserved() const {
+    return ingested == records_out + quarantined + shed;
+  }
 };
 
 class ServeMetrics {
@@ -68,12 +82,23 @@ class ServeMetrics {
   ServeMetrics();
 
   // -- hot-path hooks ------------------------------------------------------
+  void on_submit(std::uint64_t records = 1);  ///< every non-closed attempt
   void on_ingest(std::size_t queue_depth);
-  void on_drop(std::uint64_t records = 1);
+  void on_quarantine(std::uint64_t records = 1);
+  void on_shed(std::uint64_t records = 1);
+  void on_retry(std::uint64_t records = 1);
   void on_processed(Clock::time_point enqueued_at);
   void on_prediction(Clock::time_point enqueued_at);
   void on_dedupe(std::uint64_t hits);
   void on_out_of_order(std::uint64_t records);
+  void on_watchdog_trip();
+
+  /// Degraded-mode flag, driven by the watchdog: set(true) on the first
+  /// unhealthy shard, set(false) once every shard is making progress
+  /// again. Cumulative degraded time is tracked for degraded_seconds.
+  /// Idempotent in both directions.
+  void set_degraded(bool on) ELSA_EXCLUDES(clock_mu_);
+  bool degraded() const ELSA_EXCLUDES(clock_mu_);
 
   // -- lifecycle -----------------------------------------------------------
   /// Restart the uptime clock (the constructor already starts it).
@@ -99,9 +124,13 @@ class ServeMetrics {
   // relaxed — each counter is a standalone statistic, nothing orders
   // against it, and snapshot() is documented as consistent-enough rather
   // than a linearizable cut (see the relaxed: comments in metrics.cpp).
+  std::atomic<std::uint64_t> ingested_{0};
   std::atomic<std::uint64_t> records_in_{0};
   std::atomic<std::uint64_t> records_out_{0};
-  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> watchdog_trips_{0};
   std::atomic<std::uint64_t> predictions_{0};
   std::atomic<std::uint64_t> dedupe_hits_{0};
   std::atomic<std::uint64_t> out_of_order_{0};
@@ -117,6 +146,9 @@ class ServeMetrics {
   mutable util::Mutex clock_mu_;
   Clock::time_point started_ ELSA_GUARDED_BY(clock_mu_);
   std::int64_t stopped_ns_ ELSA_GUARDED_BY(clock_mu_) = -1;  ///< uptime at stop(), ns; -1 = running
+  bool degraded_ ELSA_GUARDED_BY(clock_mu_) = false;
+  Clock::time_point degraded_since_ ELSA_GUARDED_BY(clock_mu_);
+  std::int64_t degraded_ns_ ELSA_GUARDED_BY(clock_mu_) = 0;  ///< closed degraded spans
 };
 
 }  // namespace elsa::serve

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "faultinject/injector.hpp"
 #include "serve/service.hpp"
 
 namespace elsa::serve {
@@ -36,18 +37,55 @@ std::size_t TraceReplayer::replay(
   return delivered;
 }
 
-std::size_t TraceReplayer::replay_into(PredictionService& service) const {
+std::size_t TraceReplayer::replay_into(
+    PredictionService& service, faultinject::FaultInjector* inject) const {
   std::size_t accepted = 0;
-  const bool shed = opt_.shed;
-  replay([&](const simlog::LogRecord& rec) {
-    if (shed) {
-      if (service.try_submit(rec)) ++accepted;
-      return true;  // shedding never aborts the feed
+  bool closed = false;
+
+  // Deliver one record, honouring the shed/backpressure choice and the
+  // bounded retry loop. Returns false only when the service has closed.
+  const auto deliver = [&](const simlog::LogRecord& rec) {
+    if (!opt_.shed) {
+      const SubmitResult r = service.submit_result(rec, /*blocking=*/true);
+      if (r == SubmitResult::kClosed) return false;
+      if (r == SubmitResult::kQueued) ++accepted;
+      return true;
     }
-    if (!service.submit(rec)) return false;  // service finished
-    ++accepted;
+    SubmitResult r = service.submit_result(rec, /*blocking=*/false);
+    std::int64_t backoff_ms = opt_.retry_backoff_ms;
+    for (int attempt = 0; r == SubmitResult::kShed && attempt < opt_.max_retries;
+         ++attempt) {
+      service.note_retry();
+      if (backoff_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+      r = service.submit_result(rec, /*blocking=*/false);
+    }
+    if (r == SubmitResult::kClosed) return false;
+    if (r == SubmitResult::kQueued) ++accepted;
+    return true;  // shed (even after retries) never aborts the feed
+  };
+
+  std::vector<simlog::LogRecord> scratch;
+  replay([&](const simlog::LogRecord& rec) {
+    if (!inject) return deliver(rec);
+    scratch.clear();
+    inject->ingest(rec, scratch);
+    for (const simlog::LogRecord& r : scratch)
+      if (!deliver(r)) {
+        closed = true;
+        return false;
+      }
     return true;
   });
+
+  if (inject && !closed) {
+    // End of stream: release every record the reorder fault held back.
+    scratch.clear();
+    inject->flush(scratch);
+    for (const simlog::LogRecord& r : scratch)
+      if (!deliver(r)) break;
+  }
   return accepted;
 }
 

@@ -14,6 +14,10 @@
 
 #include "simlog/record.hpp"
 
+namespace elsa::faultinject {
+class FaultInjector;
+}
+
 namespace elsa::serve {
 
 class PredictionService;
@@ -28,6 +32,12 @@ struct ReplayOptions {
   /// Use the shedding submit path (try_submit) instead of blocking
   /// backpressure when driving a PredictionService.
   bool shed = false;
+  /// On a shed result, re-submit up to this many times with doubling
+  /// backoff (starting at retry_backoff_ms) before giving the record up.
+  /// Each re-submission is counted in ServeMetrics::retries. 0 = give up
+  /// immediately (the pre-PR-4 behaviour).
+  int max_retries = 0;
+  std::int64_t retry_backoff_ms = 1;
 };
 
 class TraceReplayer {
@@ -43,8 +53,12 @@ class TraceReplayer {
       const std::function<bool(const simlog::LogRecord&)>& sink) const;
 
   /// Convenience: stream into a PredictionService (submit or try_submit
-  /// per `opt.shed`). Returns records accepted by the service.
-  std::size_t replay_into(PredictionService& service) const;
+  /// per `opt.shed`; sheds retried per `opt.max_retries`). When `inject`
+  /// is non-null every replayed record first passes through the fault
+  /// injector, which may drop, duplicate, corrupt, reorder or skew it —
+  /// the chaos-soak ingress path. Returns records accepted by the service.
+  std::size_t replay_into(PredictionService& service,
+                          faultinject::FaultInjector* inject = nullptr) const;
 
  private:
   const simlog::Trace* trace_;

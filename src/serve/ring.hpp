@@ -5,11 +5,15 @@
 // concurrently. Two overflow policies are exposed and the *caller* picks
 // per call site:
 //
-//   * push()  — block until space frees up (backpressure: a slow analysis
-//     tier throttles the syslog tap instead of silently losing records);
-//   * offer() — never block; on a full ring the item is dropped and the
-//     ring's drop counter incremented (load-shedding: a live feed that
-//     must not stall prefers losing a record to losing the feed).
+//   * push()       — block until space frees up (backpressure: a slow
+//     analysis tier throttles the syslog tap instead of silently losing
+//     records);
+//   * offer()      — never block; on a full ring the item is dropped and
+//     the ring's drop counter incremented (load-shedding: a live feed that
+//     must not stall prefers losing a record to losing the feed);
+//   * push_evict() — never block and never reject; on a full ring the
+//     OLDEST queued item is evicted (counted) to make room (freshness: a
+//     monitoring feed prefers current data over a complete backlog).
 //
 // close() wakes every waiter; consumers then drain the remaining items and
 // pop() returns nullopt once the ring is empty. Throughput-sensitive
@@ -60,6 +64,13 @@ class Ring {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Queued items displaced by push_evict() on overflow.
+  std::uint64_t evicted() const {
+    // relaxed: standalone monotonic counter read for monitoring; no other
+    // memory depends on its value.
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
   bool closed() const ELSA_EXCLUDES(mu_) {
     util::MutexLock lk(mu_);
     return closed_;
@@ -95,6 +106,40 @@ class Ring {
     // order other accesses against it.
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return 0;
+  }
+
+  /// Non-blocking push that never rejects on overflow: a full ring evicts
+  /// its oldest queued item (counted; `*evicted_out` set when it happens)
+  /// to make room. Returns the depth after insertion, or 0 iff the ring is
+  /// closed — only then was the item not enqueued.
+  std::size_t push_evict(T item, bool* evicted_out = nullptr)
+      ELSA_EXCLUDES(mu_) {
+    bool kicked = false;
+    std::size_t depth = 0;
+    {
+      util::MutexLock lk(mu_);
+      if (closed_) {
+        if (evicted_out) *evicted_out = false;
+        return 0;
+      }
+      if (count_ >= cap_) {
+        buf_[head_] = T{};  // release the displaced item's resources now
+        head_ = (head_ + 1) % cap_;
+        --count_;
+        kicked = true;
+      }
+      buf_[(head_ + count_) % cap_] = std::move(item);
+      depth = ++count_;
+      lk.unlock();
+      not_empty_.notify_one();
+    }
+    if (kicked) {
+      // relaxed: monotonic eviction counter; readers only ever sum it,
+      // never order other accesses against it.
+      evicted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (evicted_out) *evicted_out = kicked;
+    return depth;
   }
 
   /// Blocking pop; nullopt once the ring is closed and drained.
@@ -161,6 +206,7 @@ class Ring {
   std::size_t count_ ELSA_GUARDED_BY(mu_) = 0;
   bool closed_ ELSA_GUARDED_BY(mu_) = false;
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> evicted_{0};
 };
 
 }  // namespace elsa::serve

@@ -8,6 +8,9 @@ PredictionService::PredictionService(const topo::Topology& topo,
     : classifier_(&model.helo),
       unknown_tmpl_(static_cast<std::uint32_t>(
           std::max(model.helo.size(), model.profiles.size()))),
+      total_nodes_(topo.total_nodes()),
+      overflow_(cfg.overflow),
+      validate_(cfg.validate),
       ingest_(cfg.ingest_capacity),
       alarms_(cfg.alarm_capacity) {
   ShardOptions so;
@@ -15,6 +18,10 @@ PredictionService::PredictionService(const topo::Topology& topo,
   so.queue_capacity = cfg.shard_queue_capacity;
   so.batch = cfg.batch;
   so.drop_on_overflow = cfg.drop_on_overflow;
+  so.watchdog_interval_ms = cfg.watchdog_interval_ms;
+  so.watchdog_deadline_ms = cfg.watchdog_deadline_ms;
+  so.faults = cfg.faults;
+  so.clock = cfg.clock;
   sharded_ = std::make_unique<ShardedEngine>(
       topo, model.chains, model.profiles, cfg.engine, so, &metrics_,
       [this](const core::Prediction& p) {
@@ -35,25 +42,84 @@ std::uint32_t PredictionService::classify(std::string_view message) const {
   return tid == helo::TemplateMiner::kNoTemplate ? unknown_tmpl_ : tid;
 }
 
-bool PredictionService::submit(const simlog::LogRecord& rec) {
+bool PredictionService::valid(const simlog::LogRecord& rec) const {
+  return rec.node_id >= -1 && rec.node_id < total_nodes_ && rec.time_ms >= 0;
+}
+
+SubmitResult PredictionService::submit_result(const simlog::LogRecord& rec,
+                                              bool blocking) {
+  if (validate_ && !valid(rec)) {
+    metrics_.on_submit();
+    metrics_.on_quarantine();
+    {
+      util::MutexLock lk(q_mu_);
+      if (quarantine_.size() < kQuarantineSample) {
+        quarantine_.push_back(rec);
+      } else {
+        quarantine_[q_next_] = rec;
+        q_next_ = (q_next_ + 1) % kQuarantineSample;
+      }
+    }
+    return SubmitResult::kQuarantined;
+  }
+
   const Item item{rec.time_ms, rec.node_id, classify(rec.message),
                   ServeMetrics::Clock::now()};
-  const std::size_t depth = ingest_.push(item);
-  if (depth == 0) return false;  // closed
+  std::size_t depth = 0;
+  if (blocking) {
+    switch (overflow_) {
+      case OverflowPolicy::kBlock:
+        depth = ingest_.push(item);
+        if (depth == 0) return SubmitResult::kClosed;
+        break;
+      case OverflowPolicy::kDropOldest: {
+        bool evicted = false;
+        depth = ingest_.push_evict(item, &evicted);
+        if (depth == 0) return SubmitResult::kClosed;
+        if (evicted) {
+          // The displaced record was already counted ingested + in; it is
+          // now a shed record, keeping conservation exact.
+          metrics_.on_shed();
+        }
+        break;
+      }
+      case OverflowPolicy::kShed:
+        depth = ingest_.offer(item);
+        break;
+    }
+  } else {
+    depth = ingest_.offer(item);
+  }
+  if (depth == 0) {
+    // offer() cannot say whether it refused for "full" or "closed"; ask.
+    // A closed service never counts the attempt (nothing downstream will
+    // balance it); a full ring is a shed.
+    if (ingest_.closed()) return SubmitResult::kClosed;
+    metrics_.on_submit();
+    metrics_.on_shed();
+    return SubmitResult::kShed;
+  }
+  metrics_.on_submit();
   metrics_.on_ingest(depth);
-  return true;
+  return SubmitResult::kQueued;
+}
+
+bool PredictionService::submit(const simlog::LogRecord& rec) {
+  return submit_result(rec, /*blocking=*/true) != SubmitResult::kClosed;
 }
 
 bool PredictionService::try_submit(const simlog::LogRecord& rec) {
-  const Item item{rec.time_ms, rec.node_id, classify(rec.message),
-                  ServeMetrics::Clock::now()};
-  const std::size_t depth = ingest_.offer(item);
-  if (depth == 0) {
-    metrics_.on_drop();
-    return false;
-  }
-  metrics_.on_ingest(depth);
-  return true;
+  return submit_result(rec, /*blocking=*/false) == SubmitResult::kQueued;
+}
+
+std::vector<simlog::LogRecord> PredictionService::quarantined_sample() const {
+  util::MutexLock lk(q_mu_);
+  std::vector<simlog::LogRecord> out;
+  out.reserve(quarantine_.size());
+  // Oldest-first: the ring overwrites at q_next_, so that slot is oldest.
+  for (std::size_t i = 0; i < quarantine_.size(); ++i)
+    out.push_back(quarantine_[(q_next_ + i) % quarantine_.size()]);
+  return out;
 }
 
 void PredictionService::dispatcher_loop() {

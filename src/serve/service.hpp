@@ -32,6 +32,24 @@
 
 namespace elsa::serve {
 
+/// What a blocking submit does when the ingest ring is full. try_submit
+/// always sheds (that is its contract); submit consults this policy.
+enum class OverflowPolicy {
+  kBlock,       ///< wait for space (backpressure onto the producer)
+  kDropOldest,  ///< evict the oldest queued record to admit the new one
+  kShed,        ///< refuse the new record, counted in metrics
+};
+
+/// Fate of one submit attempt. Conservation: every attempt except kClosed
+/// increments `ingested` and exactly one of the queued/quarantined/shed
+/// legs; kClosed attempts are invisible to the metrics.
+enum class SubmitResult {
+  kQueued,       ///< accepted into the ingest ring
+  kQuarantined,  ///< malformed record set aside (validator rejected it)
+  kShed,         ///< lost to overflow under kShed / non-blocking submit
+  kClosed,       ///< service already finished; nothing counted
+};
+
 struct ServiceConfig {
   std::size_t shards = 4;
   /// Ingest ring capacity, in records.
@@ -40,9 +58,24 @@ struct ServiceConfig {
   std::size_t shard_queue_capacity = 256;
   std::size_t batch = 64;
   /// Shed batches instead of applying backpressure when a shard queue
-  /// fills (the ingest ring's policy is chosen per call: submit blocks,
-  /// try_submit sheds).
+  /// fills (the ingest ring's policy is `overflow` for submit, always
+  /// shed for try_submit).
   bool drop_on_overflow = false;
+  /// Backpressure policy for blocking submit() on a full ingest ring.
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Reject malformed records (node id outside the topology, negative
+  /// timestamp) into quarantine instead of feeding them to the engines.
+  /// The serving default; chaos tests rely on it to survive kCorrupt.
+  bool validate = true;
+  /// Watchdog scan interval for the sharded engine; 0 disables it.
+  std::int64_t watchdog_interval_ms = 100;
+  /// No-progress deadline before a shard counts as unhealthy.
+  std::int64_t watchdog_deadline_ms = 2000;
+  /// Injected serve-side faults (stall / worker kill); null = none. Must
+  /// outlive the service.
+  const faultinject::FaultPlan* faults = nullptr;
+  /// Watchdog time source override (tests / chaos); null = real time.
+  const faultinject::FaultClock* clock = nullptr;
   /// Streaming alarm ring capacity; overflowing alarms are dropped from
   /// the *streaming view only* (the merged list after finish() is always
   /// complete).
@@ -67,13 +100,29 @@ class PredictionService {
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
 
-  /// Classify and enqueue one record; blocks while the ingest ring is full
-  /// (backpressure). Thread-safe. False once the service is finished.
+  /// Classify and enqueue one record; a full ingest ring is handled per the
+  /// configured OverflowPolicy (default: block for backpressure).
+  /// Thread-safe. False once the service is finished.
   bool submit(const simlog::LogRecord& rec);
 
   /// Classify and enqueue one record; sheds it (counted in the metrics)
-  /// when the ingest ring is full. Thread-safe. False if shed or finished.
+  /// when the ingest ring is full. Thread-safe. False if shed, quarantined
+  /// or finished.
   bool try_submit(const simlog::LogRecord& rec);
+
+  /// Full-fidelity submit: says *which* fate the record met. `blocking`
+  /// selects between submit()'s policy path and try_submit()'s shed path.
+  /// Thread-safe.
+  SubmitResult submit_result(const simlog::LogRecord& rec, bool blocking);
+
+  /// Count one producer-side re-submission after a kShed result (the
+  /// replayer's bounded retry loop reports through this).
+  void note_retry() { metrics_.on_retry(); }
+
+  /// The most recent quarantined records (bounded sample, newest last).
+  /// For diagnostics: what kind of malformed input is arriving?
+  std::vector<simlog::LogRecord> quarantined_sample() const
+      ELSA_EXCLUDES(q_mu_);
 
   /// Stop intake, drain everything, close trailing buckets through
   /// `t_end_ms`, freeze the metrics clock. Idempotent.
@@ -111,6 +160,10 @@ class PredictionService {
 
   void dispatcher_loop();
 
+  /// Structural sanity of one record: node id inside the topology (or the
+  /// system-scope sentinel -1), non-negative timestamp.
+  bool valid(const simlog::LogRecord& rec) const;
+
   // Thread roles: `classifier_` and `unknown_tmpl_` are immutable while
   // serving (frozen model); `metrics_`, `ingest_` and `alarms_` are
   // internally synchronized (annotated Mutex / relaxed atomics); the
@@ -119,12 +172,21 @@ class PredictionService {
   // thread (it joins the dispatcher), matching the destructor's contract.
   const helo::TemplateMiner* classifier_;
   std::uint32_t unknown_tmpl_;
+  std::int32_t total_nodes_ = 0;
+  OverflowPolicy overflow_ = OverflowPolicy::kBlock;
+  bool validate_ = true;
   ServeMetrics metrics_;
   Ring<Item> ingest_;
   Ring<core::Prediction> alarms_;
   std::unique_ptr<ShardedEngine> sharded_;
   std::thread dispatcher_;
   bool finished_ = false;  ///< controlling thread only
+
+  /// Bounded ring of the newest quarantined records (multi-producer).
+  static constexpr std::size_t kQuarantineSample = 32;
+  mutable util::Mutex q_mu_;
+  std::vector<simlog::LogRecord> quarantine_ ELSA_GUARDED_BY(q_mu_);
+  std::size_t q_next_ ELSA_GUARDED_BY(q_mu_) = 0;
 };
 
 }  // namespace elsa::serve

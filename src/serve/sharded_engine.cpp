@@ -1,6 +1,7 @@
 #include "serve/sharded_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <tuple>
 
 namespace elsa::serve {
@@ -42,11 +43,17 @@ ShardedEngine::ShardedEngine(const topo::Topology& topo,
         core::OnlineEngine(topo, chains, profiles, engine_cfg)));
     shards_.back()->pending.reserve(opt_.batch);
   }
-  for (auto& s : shards_)
-    s->worker = std::thread([this, sp = s.get()] { worker_loop(*sp); });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard* sp = shards_[i].get();
+    sp->worker = std::thread([this, sp, i] { worker_loop(*sp, i); });
+  }
+  clock_ = opt_.clock ? opt_.clock : &own_clock_;
+  if (opt_.watchdog_interval_ms > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 ShardedEngine::~ShardedEngine() {
+  stop_watchdog();
   for (auto& s : shards_) s->queue.close();
   for (auto& s : shards_)
     if (s->worker.joinable()) s->worker.join();
@@ -86,24 +93,133 @@ void ShardedEngine::flush_shard(Shard& s) {
     if (s.queue.offer(std::move(batch)) == 0) {
       // relaxed: monotonic shed counter, monitoring only (see header).
       dropped_records_.fetch_add(n, std::memory_order_relaxed);
-      if (metrics_) metrics_->on_drop(n);
+      if (metrics_) metrics_->on_shed(n);
     }
   } else {
     s.queue.push(std::move(batch));
   }
 }
 
-void ShardedEngine::worker_loop(Shard& s) {
+bool ShardedEngine::process_batch(Shard& s, std::size_t idx, Batch& batch) {
   simlog::LogRecord rec;  // only the fields the engine reads are filled
-  while (auto batch = s.queue.pop()) {
-    for (const Item& item : *batch) {
-      rec.time_ms = item.time_ms;
-      rec.node_id = item.node_id;
-      s.engine.feed(rec, item.tmpl);
-      if (metrics_) metrics_->on_processed(item.enq);
-      drain_shard(s, item.enq);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Item& item = batch[i];
+    rec.time_ms = item.time_ms;
+    rec.node_id = item.node_id;
+    s.engine.feed(rec, item.tmpl);
+    // relaxed: monotonic progress counter; the watchdog only compares
+    // successive samples, nothing orders against it.
+    const std::uint64_t done =
+        s.processed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (metrics_) metrics_->on_processed(item.enq);
+    drain_shard(s, item.enq);
+    if (opt_.faults) {
+      if (opt_.faults->worker_fails_at(idx, done)) {
+        // Injected worker death: park the unprocessed tail for whoever
+        // resumes this shard (restarted worker or the finishing thread),
+        // then vanish. `busy` stays true — the shard still owes work.
+        s.carryover.assign(batch.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                           batch.end());
+        s.alive.store(false, std::memory_order_release);
+        return false;
+      }
+      const std::int64_t stall = opt_.faults->stall_ms_at(idx, done);
+      if (stall > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall));
     }
   }
+  return true;
+}
+
+void ShardedEngine::worker_loop(Shard& s, std::size_t idx) {
+  s.alive.store(true, std::memory_order_release);
+  if (!s.carryover.empty()) {
+    // Resume the batch a previous incarnation abandoned mid-flight.
+    Batch b;
+    b.swap(s.carryover);
+    if (!process_batch(s, idx, b)) return;
+    // relaxed: advisory liveness hint the watchdog samples.
+    s.busy.store(false, std::memory_order_relaxed);
+  }
+  while (auto batch = s.queue.pop()) {
+    // relaxed: (all busy stores) advisory liveness hint the watchdog
+    // samples; batch data is handed off through the ring's own
+    // synchronization.
+    s.busy.store(true, std::memory_order_relaxed);
+    if (!process_batch(s, idx, *batch)) return;
+    // relaxed: as above.
+    s.busy.store(false, std::memory_order_relaxed);
+  }
+}
+
+void ShardedEngine::watchdog_loop() {
+  const auto interval = std::chrono::milliseconds(opt_.watchdog_interval_ms);
+  const auto deadline = std::chrono::milliseconds(opt_.watchdog_deadline_ms);
+  const std::size_t n = shards_.size();
+  std::vector<std::uint64_t> last(n, 0);
+  std::vector<faultinject::FaultClock::time_point> since(n, clock_->now());
+  std::vector<bool> tripped(n, false);
+  for (std::size_t i = 0; i < n; ++i)
+    // relaxed: sampling an advisory progress counter; scans re-sample.
+    last[i] = shards_[i]->processed.load(std::memory_order_relaxed);
+
+  util::MutexLock lk(wd_mu_);
+  while (!wd_stop_) {
+    wd_cv_.wait_for(wd_mu_, interval);
+    if (wd_stop_) break;
+    bool any_tripped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      Shard& s = *shards_[i];
+      // relaxed: sampling advisory progress/liveness counters; exactness
+      // per scan is not required, the next scan re-samples.
+      const std::uint64_t p = s.processed.load(std::memory_order_relaxed);
+      // relaxed: as above.
+      const bool pending =
+          s.queue.size() > 0 || s.busy.load(std::memory_order_relaxed);
+      const auto now = clock_->now();
+      if (p != last[i] || !pending) {
+        // Progress, or nothing owed: healthy. Re-anchor the deadline.
+        last[i] = p;
+        since[i] = now;
+        tripped[i] = false;
+        continue;
+      }
+      if (s.alive.load(std::memory_order_acquire)) {
+        if (now < since[i]) {
+          // Non-monotone clock (skew fault): re-anchor rather than
+          // underflow or false-trip.
+          since[i] = now;
+        } else if (now - since[i] >= deadline && !tripped[i]) {
+          tripped[i] = true;
+          if (metrics_) metrics_->on_watchdog_trip();
+        }
+      } else {
+        // Dead worker with work owed: revive it. The join synchronises the
+        // dead incarnation's carryover with the new one.
+        if (s.worker.joinable()) s.worker.join();
+        // relaxed: monotonic restart counter, monitoring only.
+        restarts_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_) metrics_->on_watchdog_trip();
+        tripped[i] = true;  // count this scan as unhealthy...
+        Shard* sp = &s;
+        sp->worker = std::thread([this, sp, i] { worker_loop(*sp, i); });
+        since[i] = now;  // ...but give the revived worker a fresh deadline
+      }
+      if (tripped[i]) any_tripped = true;
+    }
+    if (metrics_) metrics_->set_degraded(any_tripped);
+  }
+}
+
+void ShardedEngine::stop_watchdog() {
+  if (!watchdog_.joinable()) return;
+  {
+    util::MutexLock lk(wd_mu_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  watchdog_.join();
+  if (metrics_) metrics_->set_degraded(false);
 }
 
 void ShardedEngine::drain_shard(Shard& s, ServeMetrics::Clock::time_point enq) {
@@ -130,10 +246,49 @@ void ShardedEngine::finish(std::int64_t t_end_ms) {
   if (finished_) return;
   finished_ = true;
 
-  flush();
+  // The watchdog joins/respawns workers; stop it before we touch them.
+  stop_watchdog();
+
+  // Deliberately no flush() here: flush_shard's blocking push() would
+  // deadlock against a fault-killed worker that left its queue full. Close
+  // and join first; `pending` is drained directly below.
   for (auto& s : shards_) s->queue.close();
   for (auto& s : shards_)
     if (s->worker.joinable()) s->worker.join();
+
+  // A worker killed by an injected fault (and not revived — watchdog off or
+  // stopped) leaves a parked carryover tail and possibly queued batches
+  // behind, and every shard may hold a partial dispatcher-side `pending`
+  // batch. Conservation demands every accepted record reach an engine:
+  // drain them serially here, in original per-shard FIFO order (carryover
+  // precedes the queue, which precedes pending), where this thread owns
+  // everything (workers joined, dispatcher quiesced by the caller).
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    simlog::LogRecord rec;
+    const auto drain_batch = [&](Batch& b) {
+      for (const Item& item : b) {
+        rec.time_ms = item.time_ms;
+        rec.node_id = item.node_id;
+        s.engine.feed(rec, item.tmpl);
+        // relaxed: monotonic progress counter, monitoring only.
+        s.processed.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_) metrics_->on_processed(item.enq);
+        drain_shard(s, item.enq);
+      }
+    };
+    if (!s.carryover.empty()) {
+      Batch b;
+      b.swap(s.carryover);
+      drain_batch(b);
+    }
+    while (auto batch = s.queue.try_pop()) drain_batch(*batch);
+    if (!s.pending.empty()) {
+      Batch b;
+      b.swap(s.pending);
+      drain_batch(b);
+    }
+  }
 
   // Closing trailing buckets can still emit predictions; workers are gone,
   // so finish and drain serially here.

@@ -24,6 +24,7 @@
 // (issue_time, chain_id, tmpl, trigger_time, predicted_time, nodes, shard).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -31,8 +32,11 @@
 #include <vector>
 
 #include "elsa/online.hpp"
+#include "faultinject/clock.hpp"
+#include "faultinject/plan.hpp"
 #include "serve/metrics.hpp"
 #include "serve/ring.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace elsa::serve {
 
@@ -47,6 +51,23 @@ struct ShardOptions {
   /// On a full shard queue: true = shed the batch (counted), false = block
   /// the dispatcher (backpressure, the default).
   bool drop_on_overflow = false;
+  /// Watchdog scan interval; 0 disables the watchdog thread entirely. The
+  /// watchdog restarts dead shard workers, counts deadline trips, and
+  /// drives the degraded flag in ServeMetrics. It only observes the data
+  /// path, so enabling it cannot change the merged prediction stream.
+  std::int64_t watchdog_interval_ms = 100;
+  /// A shard with queued/in-flight work but no progress for this long is
+  /// unhealthy: one watchdog trip per stall episode, degraded mode while
+  /// any shard stays unhealthy.
+  std::int64_t watchdog_deadline_ms = 2000;
+  /// Injected serve-side faults (stall / worker kill); null = none. Must
+  /// outlive the engine.
+  const faultinject::FaultPlan* faults = nullptr;
+  /// Time source for watchdog deadlines; null = a private real clock.
+  /// Tests inject a manual FaultClock to trip deadlines deterministically;
+  /// chaos runs inject a skewed one to prove trips survive non-monotone
+  /// time. Must outlive the engine.
+  const faultinject::FaultClock* clock = nullptr;
 };
 
 class ShardedEngine {
@@ -99,6 +120,13 @@ class ShardedEngine {
     return dropped_records_.load(std::memory_order_relaxed);
   }
 
+  /// Dead shard workers revived by the watchdog (kFailWorker recovery).
+  std::uint64_t worker_restarts() const {
+    // relaxed: standalone monotonic counter read for monitoring; nothing
+    // orders against it.
+    return restarts_.load(std::memory_order_relaxed);
+  }
+
   /// Per-shard engine access for tests and diagnostics (do not call while
   /// workers are running).
   const core::OnlineEngine& shard_engine(std::size_t i) const {
@@ -120,7 +148,10 @@ class ShardedEngine {
   //   * `pending` is touched only by the dispatcher thread (feed/flush);
   //   * `engine`, `preds_streamed`, `dupes_reported`, `ooo_reported` are
   //     touched only by the shard's worker until finish() joins it, after
-  //     which the finishing thread owns them (join = synchronization).
+  //     which the finishing thread owns them (join = synchronization);
+  //   * `carryover` is written by a dying worker and read by its restarted
+  //     successor or the finishing thread — both sequenced by thread join;
+  //   * `processed` / `busy` / `alive` are atomics the watchdog samples.
   struct Shard {
     Shard(std::size_t queue_capacity, core::OnlineEngine eng)
         : queue(queue_capacity), engine(std::move(eng)) {}
@@ -128,12 +159,22 @@ class ShardedEngine {
     core::OnlineEngine engine;
     std::thread worker;
     Batch pending;                    ///< dispatcher-side accumulation
+    Batch carryover;                  ///< unprocessed tail of a dead worker's batch
     std::size_t preds_streamed = 0;   ///< predictions already sunk
     std::size_t dupes_reported = 0;   ///< dedupe hits already counted
     std::size_t ooo_reported = 0;     ///< out-of-order already counted
+    std::atomic<std::uint64_t> processed{0};  ///< records fed to the engine
+    std::atomic<bool> busy{false};    ///< worker holds an unfinished batch
+    std::atomic<bool> alive{false};   ///< worker thread is running
   };
 
-  void worker_loop(Shard& s);
+  void worker_loop(Shard& s, std::size_t idx);
+  /// Feed every item of `batch` to the shard engine; false when an injected
+  /// kFailWorker fault killed the worker mid-batch (the unprocessed tail is
+  /// parked in `carryover` for the restarted worker).
+  bool process_batch(Shard& s, std::size_t idx, Batch& batch);
+  void watchdog_loop();
+  void stop_watchdog();
   void flush_shard(Shard& s);
   /// Stream engine-side deltas (new predictions, dedupe, out-of-order) to
   /// the sink/metrics. Runs on the shard's worker, or on the finishing
@@ -149,7 +190,18 @@ class ShardedEngine {
   std::vector<core::Prediction> merged_;
   core::EngineStats stats_;
   std::atomic<std::uint64_t> dropped_records_{0};
+  std::atomic<std::uint64_t> restarts_{0};
   bool finished_ = false;
+
+  // Watchdog machinery. The watchdog is the only thread that joins and
+  // respawns shard workers while the engine runs; finish() and the
+  // destructor stop it before touching the workers themselves.
+  faultinject::FaultClock own_clock_;  ///< real time, used when opt.clock null
+  const faultinject::FaultClock* clock_ = nullptr;
+  std::thread watchdog_;
+  util::Mutex wd_mu_;
+  util::CondVar wd_cv_;
+  bool wd_stop_ ELSA_GUARDED_BY(wd_mu_) = false;
 };
 
 }  // namespace elsa::serve

@@ -19,6 +19,7 @@
 //     a separate function that does not know the lock is held)
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -122,6 +123,17 @@ class CondVar {
     // ownership stays with the caller's MutexLock throughout.
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
+    native.release();
+  }
+
+  /// Timed wait: release `mu`, sleep at most `d`, reacquire. Returns after
+  /// a notify, the timeout, or a spurious wakeup — always recheck the
+  /// predicate. The serve watchdog's pacing wait is the canonical user.
+  template <class Rep, class Period>
+  void wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      ELSA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait_for(native, d);
     native.release();
   }
 

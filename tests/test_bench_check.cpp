@@ -1,0 +1,109 @@
+// The bench-regression gate's own tests: BENCH_*.json round-trips through
+// the emitter and parser, and compare() fails on exactly the conditions CI
+// gates on (throughput below tolerance, benches that vanished) while only
+// warning on the noisy ones (latency drift, brand-new benches).
+#include "bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using elsa::benchjson::BenchMap;
+using elsa::benchjson::compare;
+using elsa::benchjson::parse;
+using elsa::benchjson::to_json;
+
+BenchMap sample() {
+  BenchMap m;
+  m["serve_throughput/shards=1"] = {250000.0, 12.0, 830.0};
+  m["serve_throughput/shards=4"] = {410000.0, 9.5, 612.0};
+  m["analysis_time/bgl_normal"] = {1.2e6, 150.0, 2400.0};
+  return m;
+}
+
+TEST(BenchJson, RoundTrip) {
+  const BenchMap in = sample();
+  const BenchMap out = parse(to_json(in));
+  ASSERT_EQ(out.size(), in.size());
+  for (const auto& [name, pt] : in) {
+    ASSERT_TRUE(out.count(name)) << name;
+    EXPECT_DOUBLE_EQ(out.at(name).items_per_sec, pt.items_per_sec);
+    EXPECT_DOUBLE_EQ(out.at(name).p50_us, pt.p50_us);
+    EXPECT_DOUBLE_EQ(out.at(name).p99_us, pt.p99_us);
+  }
+}
+
+TEST(BenchJson, ParseToleratesWhitespaceAndUnknownKeys) {
+  const std::string doc = R"({
+    "schema": "elsa-bench-v1",
+    "generator": "nightly",
+    "benches": {
+      "b": { "p99_us": 2, "items_per_sec": 100, "iterations": 5, "p50_us": 1 }
+    }
+  })";
+  const BenchMap m = parse(doc);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.at("b").items_per_sec, 100.0);
+  EXPECT_DOUBLE_EQ(m.at("b").p50_us, 1.0);
+  EXPECT_DOUBLE_EQ(m.at("b").p99_us, 2.0);
+}
+
+TEST(BenchJson, ParseRejectsWrongOrMissingSchema) {
+  EXPECT_THROW(parse(R"({"schema": "v999", "benches": {}})"),
+               std::runtime_error);
+  EXPECT_THROW(parse(R"({"benches": {}})"), std::runtime_error);
+  EXPECT_THROW(parse("not json at all"), std::runtime_error);
+  EXPECT_THROW(parse(R"({"schema": "elsa-bench-v1", "benches": {)"),
+               std::runtime_error);
+}
+
+TEST(BenchCheck, IdenticalRunsPass) {
+  const auto rep = compare(sample(), sample(), 0.15);
+  EXPECT_TRUE(rep.ok()) << elsa::benchjson::format(rep);
+  EXPECT_TRUE(rep.warnings.empty());
+}
+
+TEST(BenchCheck, RegressionBeyondToleranceFails) {
+  BenchMap cur = sample();
+  cur["serve_throughput/shards=1"].items_per_sec = 250000.0 * 0.80;  // -20%
+  const auto rep = compare(sample(), cur, 0.15);
+  ASSERT_EQ(rep.failures.size(), 1u) << elsa::benchjson::format(rep);
+  EXPECT_NE(rep.failures[0].find("serve_throughput/shards=1"),
+            std::string::npos);
+}
+
+TEST(BenchCheck, RegressionWithinToleranceIsFine) {
+  BenchMap cur = sample();
+  cur["serve_throughput/shards=1"].items_per_sec = 250000.0 * 0.90;  // -10%
+  EXPECT_TRUE(compare(sample(), cur, 0.15).ok());
+}
+
+TEST(BenchCheck, MissingBenchFails) {
+  BenchMap cur = sample();
+  cur.erase("analysis_time/bgl_normal");
+  const auto rep = compare(sample(), cur, 0.15);
+  ASSERT_EQ(rep.failures.size(), 1u) << elsa::benchjson::format(rep);
+  EXPECT_NE(rep.failures[0].find("missing bench"), std::string::npos);
+}
+
+TEST(BenchCheck, LatencyDriftOnlyWarns) {
+  BenchMap cur = sample();
+  cur["serve_throughput/shards=4"].p99_us *= 3.0;
+  const auto rep = compare(sample(), cur, 0.15);
+  EXPECT_TRUE(rep.ok()) << elsa::benchjson::format(rep);
+  ASSERT_EQ(rep.warnings.size(), 1u);
+  EXPECT_NE(rep.warnings[0].find("p99"), std::string::npos);
+}
+
+TEST(BenchCheck, NewBenchOnlyWarns) {
+  BenchMap cur = sample();
+  cur["serve_throughput/shards=8"] = {500000.0, 9.0, 500.0};
+  const auto rep = compare(sample(), cur, 0.15);
+  EXPECT_TRUE(rep.ok()) << elsa::benchjson::format(rep);
+  ASSERT_EQ(rep.warnings.size(), 1u);
+  EXPECT_NE(rep.warnings[0].find("no baseline yet"), std::string::npos);
+}
+
+}  // namespace

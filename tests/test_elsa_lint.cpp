@@ -81,6 +81,27 @@ TEST(ElsaLint, HeaderHygieneFires) {
   EXPECT_EQ(count_rule(fs, "header-using"), 1u) << elsa::lint::format(fs);
 }
 
+TEST(ElsaLint, StaticMutableContainerFires) {
+  const auto fs =
+      lint_file("src/util/static_cache.cpp", read_fixture("static_cache.cpp"));
+  // Exactly the two mutable magic-statics; the const table, the static
+  // member function, the static int and the non-static local stay quiet.
+  EXPECT_EQ(count_rule(fs, "static-mutable"), 2u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), count_rule(fs, "static-mutable"))
+      << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, StaticMutableSuppressible) {
+  const std::string code =
+      "int f(int k) {\n"
+      "  // elsa-lint: allow(static-mutable): guarded by caller's lock.\n"
+      "  static std::map<int, int> cache;\n"
+      "  return cache[k];\n"
+      "}\n";
+  const auto fs = lint_file("src/util/sup.cpp", code);
+  EXPECT_EQ(count_rule(fs, "static-mutable"), 0u) << elsa::lint::format(fs);
+}
+
 TEST(ElsaLint, CleanFixtureIsQuiet) {
   const auto fs = lint_file("src/util/clean.hpp", read_fixture("clean.hpp"));
   EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
@@ -132,9 +153,20 @@ TEST(ElsaLint, FormatIsFileLineRule) {
 }
 
 // The real gate: the live source tree carries zero findings. CI and the
-// `elsa_lint_src` ctest entry enforce the same invariant via the binary.
+// `elsa_lint_src` ctest entry enforce the same invariant via the binary,
+// over the same three trees (the static-mutable bug lived in bench/).
 TEST(ElsaLint, SourceTreeIsClean) {
   const auto fs = lint_tree(ELSA_SRC_DIR);
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, BenchTreeIsClean) {
+  const auto fs = lint_tree(ELSA_BENCH_DIR);
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, ToolsTreeIsClean) {
+  const auto fs = lint_tree(ELSA_TOOLS_DIR);
   EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
 }
 

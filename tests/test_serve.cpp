@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "elsa/pipeline.hpp"
+#include "faultinject/injector.hpp"
+#include "faultinject/plan.hpp"
 #include "serve/replayer.hpp"
 #include "serve/service.hpp"
 #include "serve/sharded_engine.hpp"
@@ -190,7 +192,8 @@ TEST(PredictionService, MultiProducerNoLoss) {
   const auto m = service.metrics();
   EXPECT_EQ(m.records_in, static_cast<std::uint64_t>(kProducers) * kPerProducer);
   EXPECT_EQ(m.records_out, m.records_in);
-  EXPECT_EQ(m.dropped, 0u);
+  EXPECT_EQ(m.shed, 0u);
+  EXPECT_TRUE(m.records_conserved());
   EXPECT_EQ(service.engine_stats().records,
             static_cast<std::size_t>(kProducers) * kPerProducer);
   // Interleaved producers necessarily deliver some records out of order;
@@ -232,6 +235,251 @@ TEST(PredictionService, EndToEndMatchesSingleEngine) {
   std::vector<core::Prediction> streamed;
   service.poll_alarms(streamed);
   EXPECT_EQ(streamed.size(), service.predictions().size());
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation under injected faults. The chaos invariant in every
+// scenario: the service finishes, and every submit attempt is accounted —
+// ingested == processed + quarantined + shed.
+
+simlog::LogRecord synth_record(int i, std::int32_t nodes) {
+  simlog::LogRecord rec;
+  rec.time_ms = 1'000 + static_cast<std::int64_t>(i) * 50;
+  rec.node_id = static_cast<std::int32_t>(i) % nodes;
+  rec.message = "chaos record " + std::to_string(i % 5);
+  return rec;
+}
+
+TEST(PredictionService, ValidatorQuarantinesMalformed) {
+  const auto topo = topo::Topology::cluster(8);
+  core::OfflineModel model;
+  serve::ServiceConfig cfg;
+  cfg.shards = 2;
+  serve::PredictionService service(topo, model, cfg);
+
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(service.submit(synth_record(i, 8)));
+  simlog::LogRecord bad;
+  bad.node_id = 999;  // outside the 8-node topology
+  EXPECT_FALSE(service.try_submit(bad));
+  bad.node_id = -2;  // below the system-scope sentinel
+  EXPECT_EQ(service.submit_result(bad, true), serve::SubmitResult::kQuarantined);
+  bad.node_id = 0;
+  bad.time_ms = -5;
+  EXPECT_EQ(service.submit_result(bad, true), serve::SubmitResult::kQuarantined);
+  service.finish(10'000);
+
+  const auto m = service.metrics();
+  EXPECT_EQ(m.ingested, 23u);
+  EXPECT_EQ(m.quarantined, 3u);
+  EXPECT_EQ(m.records_out, 20u);
+  EXPECT_TRUE(m.records_conserved());
+  // The engines never saw the malformed records...
+  EXPECT_EQ(service.engine_stats().records, 20u);
+  // ...but the diagnostic sample kept them.
+  const auto sample = service.quarantined_sample();
+  ASSERT_EQ(sample.size(), 3u);
+  EXPECT_EQ(sample[0].node_id, 999);
+  EXPECT_EQ(sample[2].time_ms, -5);
+}
+
+// Conservation holds under every record-path fault kind, one at a time and
+// all together.
+TEST(PredictionService, ConservationUnderEachFaultKind) {
+  for (const char* plan_text :
+       {"drop=0.2", "dup=0.2", "corrupt=0.2", "reorder=0.5:8",
+        "skew=0.5:60000", "all"}) {
+    SCOPED_TRACE(plan_text);
+    const auto plan = faultinject::FaultPlan::parse(plan_text, 2012);
+    faultinject::FaultInjector injector(plan);
+
+    const auto topo = topo::Topology::cluster(8);
+    core::OfflineModel model;
+    serve::ServiceConfig cfg;
+    cfg.shards = 2;
+    cfg.faults = &plan;
+    serve::PredictionService service(topo, model, cfg);
+
+    std::vector<simlog::LogRecord> delivery;
+    for (int i = 0; i < 2'000; ++i) {
+      delivery.clear();
+      injector.ingest(synth_record(i, 8), delivery);
+      for (const auto& rec : delivery) service.submit(rec);
+    }
+    delivery.clear();
+    injector.flush(delivery);
+    for (const auto& rec : delivery) service.submit(rec);
+    service.finish(1'000'000);
+
+    const auto& is = injector.stats();
+    EXPECT_EQ(is.seen + is.duplicated, is.delivered + is.dropped);
+    const auto m = service.metrics();
+    EXPECT_EQ(m.ingested, is.delivered);
+    EXPECT_TRUE(m.records_conserved())
+        << "ingested=" << m.ingested << " out=" << m.records_out
+        << " quarantined=" << m.quarantined << " shed=" << m.shed;
+    EXPECT_EQ(m.records_out, service.engine_stats().records);
+  }
+}
+
+// The acceptance property for the whole layer: with an *empty* fault plan
+// wired in everywhere (injector, serve-side hooks, watchdog running), the
+// output is byte-identical to the plain single-engine run.
+TEST(PredictionService, EmptyPlanIsByteIdentical) {
+  const Campaign& c = campaign();
+  const faultinject::FaultPlan plan;  // empty
+  faultinject::FaultInjector injector(plan);
+
+  serve::ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.engine = c.engine;
+  cfg.faults = &plan;
+  serve::PredictionService service(c.trace.topology, c.model, cfg);
+
+  serve::ReplayOptions ro;
+  ro.from_ms = c.train_end;
+  const std::size_t accepted =
+      serve::TraceReplayer(c.trace, ro).replay_into(service, &injector);
+  service.finish(c.trace.t_end_ms);
+
+  EXPECT_EQ(accepted, c.stream.size());
+  expect_identical(run_single(), service.predictions());
+  const auto m = service.metrics();
+  EXPECT_EQ(m.quarantined, 0u);
+  EXPECT_EQ(m.shed, 0u);
+  EXPECT_TRUE(m.records_conserved());
+}
+
+// Drop-oldest backpressure: wedge the (single) shard with an injected
+// stall so the ingest ring fills, and verify overflow evicts instead of
+// blocking and the evictions are accounted as shed.
+TEST(PredictionService, DropOldestEvictsUnderOverflow) {
+  const auto plan = faultinject::FaultPlan::parse("stall=0@1:400", 7);
+  const auto topo = topo::Topology::cluster(4);
+  core::OfflineModel model;
+  serve::ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.ingest_capacity = 8;
+  cfg.shard_queue_capacity = 2;
+  cfg.batch = 4;
+  cfg.overflow = serve::OverflowPolicy::kDropOldest;
+  cfg.faults = &plan;
+  serve::PredictionService service(topo, model, cfg);
+
+  // 500 immediate submits while the worker sleeps 400 ms after record 1:
+  // the shard queue (2 batches of 4) and ingest ring (8) fill long before
+  // the stall ends, so later submits must displace older queued records.
+  for (int i = 0; i < 500; ++i) {
+    const auto r = service.submit_result(synth_record(i, 4), true);
+    ASSERT_NE(r, serve::SubmitResult::kClosed);
+    ASSERT_NE(r, serve::SubmitResult::kShed);  // drop-oldest never refuses
+  }
+  service.finish(1'000'000);
+
+  const auto m = service.metrics();
+  EXPECT_EQ(m.ingested, 500u);
+  EXPECT_GT(m.shed, 0u);  // evictions happened and were counted
+  EXPECT_LT(m.records_out, 500u);
+  EXPECT_TRUE(m.records_conserved());
+}
+
+// Shed policy with the replayer's bounded retry loop: overflow refuses
+// records, the producer retries with backoff, and however the race falls
+// the accounting still closes.
+TEST(PredictionService, ShedPolicyRetriesAndConserves) {
+  const auto plan = faultinject::FaultPlan::parse("stall=0@1:300", 7);
+  simlog::Trace tr;
+  tr.topology = topo::Topology::cluster(4);
+  for (int i = 0; i < 400; ++i) tr.records.push_back(synth_record(i, 4));
+  tr.t_begin_ms = 0;
+  tr.t_end_ms = tr.records.back().time_ms + 1;
+
+  core::OfflineModel model;
+  serve::ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.ingest_capacity = 4;
+  cfg.shard_queue_capacity = 2;
+  cfg.batch = 4;
+  cfg.overflow = serve::OverflowPolicy::kShed;
+  cfg.faults = &plan;
+  serve::PredictionService service(tr.topology, model, cfg);
+
+  serve::ReplayOptions ro;
+  ro.shed = true;
+  ro.max_retries = 2;
+  const std::size_t accepted =
+      serve::TraceReplayer(tr, ro).replay_into(service);
+  service.finish(1'000'000);
+
+  const auto m = service.metrics();
+  EXPECT_GT(m.shed, 0u);
+  EXPECT_GT(m.retries, 0u);
+  EXPECT_EQ(m.records_out, accepted);
+  EXPECT_TRUE(m.records_conserved());
+}
+
+// The watchdog notices a stalled shard (one trip per episode) and clears
+// degraded mode once the shard recovers; no records are lost.
+TEST(ShardedEngine, WatchdogTripsOnStallThenRecovers) {
+  const auto plan = faultinject::FaultPlan::parse("stall=0@10:600", 7);
+  const auto topo = topo::Topology::cluster(4);
+  serve::ServeMetrics metrics;
+  serve::ShardOptions so;
+  so.shards = 1;
+  so.batch = 1;
+  so.watchdog_interval_ms = 20;
+  so.watchdog_deadline_ms = 100;
+  so.faults = &plan;
+  serve::ShardedEngine eng(topo, {}, {}, core::EngineConfig{}, so, &metrics);
+
+  simlog::LogRecord rec;
+  for (int i = 0; i < 50; ++i) {
+    rec.time_ms = i * 100;
+    rec.node_id = i % 4;
+    eng.feed(rec, 0);
+  }
+  // finish() stops the watchdog, so let it observe the stall first: the
+  // trip lands ~deadline after the worker wedges (~120 ms into the 600 ms
+  // stall).
+  for (int spins = 0; metrics.snapshot().watchdog_trips == 0 && spins < 400;
+       ++spins)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(metrics.snapshot().watchdog_trips, 1u);
+  eng.finish(10'000);
+
+  EXPECT_EQ(eng.stats().records, 50u);
+  // stop_watchdog cleared the flag on the way out of finish().
+  EXPECT_FALSE(metrics.degraded());
+}
+
+// A worker killed by kFailWorker is revived by the watchdog; the parked
+// batch tail and everything still queued are processed exactly once.
+TEST(ShardedEngine, FailedWorkerRestartedNothingLost) {
+  const auto plan = faultinject::FaultPlan::parse("failworker=0@50", 7);
+  const auto topo = topo::Topology::cluster(4);
+  serve::ServeMetrics metrics;
+  serve::ShardOptions so;
+  so.shards = 1;
+  so.batch = 8;
+  so.watchdog_interval_ms = 10;
+  so.watchdog_deadline_ms = 200;
+  so.faults = &plan;
+  serve::ShardedEngine eng(topo, {}, {}, core::EngineConfig{}, so, &metrics);
+
+  simlog::LogRecord rec;
+  for (int i = 0; i < 300; ++i) {
+    rec.time_ms = i * 100;
+    rec.node_id = i % 4;
+    eng.feed(rec, 0);
+  }
+  eng.flush();
+  // Wait for the kill + restart cycle (records keep flowing after it).
+  for (int spins = 0; eng.worker_restarts() == 0 && spins < 500; ++spins)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(eng.worker_restarts(), 1u);
+  eng.finish(100'000);
+
+  EXPECT_EQ(eng.stats().records, 300u);  // nothing lost, nothing doubled
+  EXPECT_GE(metrics.snapshot().watchdog_trips, 1u);
 }
 
 // ---------------------------------------------------------------------------

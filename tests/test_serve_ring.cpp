@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -63,6 +64,34 @@ TEST(Ring, PopAllDrainsInOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
   ring.close();
   EXPECT_FALSE(ring.pop_all(out));
+}
+
+// The drop-oldest overflow policy: a full ring evicts its head to admit
+// the newcomer, reporting the eviction so the caller can account it shed.
+TEST(Ring, PushEvictDisplacesOldest) {
+  Ring<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_GT(ring.push_evict(i), 0u);
+  EXPECT_EQ(ring.evicted(), 0u);
+
+  bool kicked = false;
+  EXPECT_GT(ring.push_evict(4, &kicked), 0u);  // displaces 0
+  EXPECT_TRUE(kicked);
+  EXPECT_GT(ring.push_evict(5, &kicked), 0u);  // displaces 1
+  EXPECT_TRUE(kicked);
+  EXPECT_EQ(ring.evicted(), 2u);
+  EXPECT_EQ(ring.size(), 4u);
+
+  // The freshest window survives, still FIFO.
+  for (int i = 2; i < 6; ++i) EXPECT_EQ(ring.pop(), i);
+
+  kicked = true;
+  EXPECT_GT(ring.push_evict(9, &kicked), 0u);  // room again: no eviction
+  EXPECT_FALSE(kicked);
+
+  ring.close();
+  EXPECT_EQ(ring.push_evict(10, &kicked), 0u);  // only closed rejects
+  EXPECT_FALSE(kicked);
+  EXPECT_EQ(ring.evicted(), 2u);
 }
 
 // The acceptance property for the ingest spine: under multi-producer,
@@ -158,23 +187,49 @@ TEST(AtomicHistogram, ConcurrentAddsAllLand) {
 
 TEST(ServeMetrics, SnapshotReflectsHooks) {
   ServeMetrics m;
+  m.on_submit(4);
   m.on_ingest(3);
   m.on_ingest(5);
-  m.on_drop(2);
+  m.on_quarantine(1);
+  m.on_shed(2);
+  m.on_retry(3);
+  m.on_watchdog_trip();
   m.on_processed(ServeMetrics::Clock::now());
   m.on_prediction(ServeMetrics::Clock::now());
   m.on_dedupe(4);
   m.on_out_of_order(1);
   m.stop();
   const auto s = m.snapshot();
+  EXPECT_EQ(s.ingested, 4u);
   EXPECT_EQ(s.records_in, 2u);
   EXPECT_EQ(s.records_out, 1u);
-  EXPECT_EQ(s.dropped, 2u);
+  EXPECT_EQ(s.quarantined, 1u);
+  EXPECT_EQ(s.shed, 2u);
+  EXPECT_EQ(s.retries, 3u);
+  EXPECT_EQ(s.watchdog_trips, 1u);
   EXPECT_EQ(s.predictions, 1u);
   EXPECT_EQ(s.dedupe_hits, 4u);
   EXPECT_EQ(s.out_of_order, 1u);
   EXPECT_GT(s.wall_seconds, 0.0);
+  // 4 ingested == 1 out + 1 quarantined + 2 shed.
+  EXPECT_TRUE(s.records_conserved());
   EXPECT_FALSE(m.text_report().empty());
+}
+
+TEST(ServeMetrics, DegradedModeAccumulatesTime) {
+  ServeMetrics m;
+  EXPECT_FALSE(m.degraded());
+  m.set_degraded(true);
+  m.set_degraded(true);  // idempotent
+  EXPECT_TRUE(m.degraded());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  m.set_degraded(false);
+  EXPECT_FALSE(m.degraded());
+  const auto s = m.snapshot();
+  EXPECT_FALSE(s.degraded);
+  EXPECT_GT(s.degraded_seconds, 0.0);
+  // Conservation trivially holds with no traffic.
+  EXPECT_TRUE(s.records_conserved());
 }
 
 }  // namespace

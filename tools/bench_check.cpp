@@ -1,0 +1,44 @@
+// bench_check: the benchmark-regression gate. Compares a freshly emitted
+// BENCH_*.json against a committed baseline and exits non-zero when any
+// bench's throughput falls more than the tolerance below its baseline (or
+// disappears entirely). Latency drift warns but never fails — CI tail
+// latency is noise.
+//
+// Usage: bench_check --baseline FILE --current FILE [--tol 0.15]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_json.hpp"
+
+int main(int argc, char** argv) {
+  std::string baseline, current;
+  double tol = 0.15;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--baseline") == 0) baseline = argv[i + 1];
+    else if (std::strcmp(argv[i], "--current") == 0) current = argv[i + 1];
+    else if (std::strcmp(argv[i], "--tol") == 0) tol = std::stod(argv[i + 1]);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline.empty() || current.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_check --baseline FILE --current FILE "
+                 "[--tol 0.15]\n");
+    return 2;
+  }
+
+  try {
+    const auto base = elsa::benchjson::read_file(baseline);
+    const auto cur = elsa::benchjson::read_file(current);
+    const auto rep = elsa::benchjson::compare(base, cur, tol);
+    std::fputs(elsa::benchjson::format(rep).c_str(),
+               rep.ok() ? stdout : stderr);
+    return rep.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_check: %s\n", e.what());
+    return 2;
+  }
+}

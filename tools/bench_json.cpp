@@ -1,0 +1,239 @@
+#include "bench_json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace elsa::benchjson {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Minimal recursive-descent reader for the flat BENCH schema. Not a
+/// general JSON parser: strings carry no escapes the emitter never writes,
+/// and values are strings, numbers or one level of nested object — exactly
+/// the grammar to_json() produces, accepted tolerantly (unknown keys and
+/// any key order).
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : s_(text) {}
+
+  BenchMap document() {
+    skip_ws();
+    expect('{');
+    BenchMap benches;
+    bool schema_ok = false;
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = string_lit();
+      skip_ws();
+      expect(':');
+      if (key == "schema") {
+        if (string_lit() != kSchema)
+          throw std::runtime_error("bench json: unsupported schema");
+        schema_ok = true;
+      } else if (key == "benches") {
+        benches = bench_object();
+      } else {
+        skip_value();
+      }
+      skip_ws();
+    }
+    expect('}');
+    if (!schema_ok)
+      throw std::runtime_error("bench json: missing schema marker");
+    return benches;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[p_])))
+      ++p_;
+  }
+
+  bool peek_is(char c) {
+    skip_ws();
+    return p_ < s_.size() && s_[p_] == c;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (p_ >= s_.size() || s_[p_] != c)
+      throw std::runtime_error(std::string("bench json: expected '") + c +
+                               "' at offset " + std::to_string(p_));
+    ++p_;
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (p_ < s_.size() && s_[p_] != '"') out += s_[p_++];
+    expect('"');
+    return out;
+  }
+
+  double number_lit() {
+    skip_ws();
+    std::size_t end = p_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E'))
+      ++end;
+    if (end == p_) throw std::runtime_error("bench json: expected a number");
+    const double v = std::stod(s_.substr(p_, end - p_));
+    p_ = end;
+    return v;
+  }
+
+  /// Skip a string, number or flat object we don't care about.
+  void skip_value() {
+    skip_ws();
+    if (peek_is('"')) {
+      string_lit();
+    } else if (peek_is('{')) {
+      expect('{');
+      int depth = 1;
+      while (p_ < s_.size() && depth > 0) {
+        if (s_[p_] == '{') ++depth;
+        if (s_[p_] == '}') --depth;
+        ++p_;
+      }
+    } else {
+      number_lit();
+    }
+  }
+
+  BenchMap bench_object() {
+    expect('{');
+    BenchMap out;
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string name = string_lit();
+      skip_ws();
+      expect(':');
+      out[name] = point_object();
+      skip_ws();
+    }
+    expect('}');
+    return out;
+  }
+
+  BenchPoint point_object() {
+    expect('{');
+    BenchPoint pt;
+    bool first = true;
+    while (!peek_is('}')) {
+      if (!first) expect(',');
+      first = false;
+      const std::string key = string_lit();
+      skip_ws();
+      expect(':');
+      const double v = number_lit();
+      if (key == "items_per_sec") pt.items_per_sec = v;
+      else if (key == "p50_us") pt.p50_us = v;
+      else if (key == "p99_us") pt.p99_us = v;
+      // unknown numeric keys tolerated (forward compatibility)
+      skip_ws();
+    }
+    expect('}');
+    return pt;
+  }
+
+  const std::string& s_;
+  std::size_t p_ = 0;
+};
+
+}  // namespace
+
+std::string to_json(const BenchMap& benches) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"" << kSchema << "\",\n  \"benches\": {";
+  bool first = true;
+  for (const auto& [name, pt] : benches) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << name << "\": {\"items_per_sec\": "
+        << num(pt.items_per_sec) << ", \"p50_us\": " << num(pt.p50_us)
+        << ", \"p99_us\": " << num(pt.p99_us) << "}";
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+bool write_file(const std::string& path, const BenchMap& benches) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << to_json(benches);
+  return out.good();
+}
+
+BenchMap parse(const std::string& json) { return Reader(json).document(); }
+
+BenchMap read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good())
+    throw std::runtime_error("bench json: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+CompareReport compare(const BenchMap& baseline, const BenchMap& current,
+                      double tolerance) {
+  CompareReport rep;
+  char buf[256];
+  for (const auto& [name, base] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      rep.failures.push_back("missing bench: " + name +
+                             " (present in baseline, absent from run)");
+      continue;
+    }
+    const BenchPoint& cur = it->second;
+    const double floor = base.items_per_sec * (1.0 - tolerance);
+    if (cur.items_per_sec < floor) {
+      std::snprintf(buf, sizeof buf,
+                    "%s: %.0f items/s < floor %.0f (baseline %.0f, "
+                    "tolerance %.0f%%)",
+                    name.c_str(), cur.items_per_sec, floor,
+                    base.items_per_sec, tolerance * 100.0);
+      rep.failures.emplace_back(buf);
+    }
+    // Latency is warn-only: tail percentiles on shared CI hardware are too
+    // noisy to gate on, but a big jump is worth a look.
+    if (base.p99_us > 0.0 && cur.p99_us > base.p99_us * (1.0 + tolerance)) {
+      std::snprintf(buf, sizeof buf, "%s: p99 %.0f us above baseline %.0f us",
+                    name.c_str(), cur.p99_us, base.p99_us);
+      rep.warnings.emplace_back(buf);
+    }
+  }
+  for (const auto& [name, pt] : current) {
+    (void)pt;
+    if (!baseline.count(name))
+      rep.warnings.push_back("new bench (no baseline yet): " + name);
+  }
+  return rep;
+}
+
+std::string format(const CompareReport& report) {
+  std::ostringstream out;
+  for (const auto& f : report.failures) out << "FAIL " << f << "\n";
+  for (const auto& w : report.warnings) out << "warn " << w << "\n";
+  if (report.failures.empty()) out << "bench-check: OK\n";
+  return out.str();
+}
+
+}  // namespace elsa::benchjson

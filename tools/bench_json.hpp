@@ -1,0 +1,71 @@
+// BENCH_*.json: the benchmark-regression interchange format.
+//
+// Schema (documented here and in DESIGN.md §10; CI's nightly bench job
+// emits it, bench_check gates on it):
+//
+//   {
+//     "schema": "elsa-bench-v1",
+//     "benches": {
+//       "<bench name>": {
+//         "items_per_sec": <double>,   // throughput, the gated number
+//         "p50_us":        <double>,   // latency percentiles, warn-only
+//         "p99_us":        <double>
+//       },
+//       ...
+//     }
+//   }
+//
+// Bench names are hierarchical by convention: "serve_throughput/shards=4",
+// "analysis_time/mercury_storms". The committed baselines live under
+// bench/baselines/ and hold conservative floors (deliberately below any
+// healthy run on supported hardware), so the gate catches real structural
+// regressions rather than scheduler noise. compare() fails a bench when
+// current items_per_sec < baseline * (1 - tolerance) or when a baseline
+// bench is missing from the current run; latency drifts and benches absent
+// from the baseline only warn.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace elsa::benchjson {
+
+inline constexpr const char* kSchema = "elsa-bench-v1";
+
+struct BenchPoint {
+  double items_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// name -> point; std::map keeps emission order deterministic.
+using BenchMap = std::map<std::string, BenchPoint>;
+
+/// Serialise (schema header included).
+std::string to_json(const BenchMap& benches);
+
+/// Write to `path`; false on I/O failure.
+bool write_file(const std::string& path, const BenchMap& benches);
+
+/// Parse a BENCH_*.json document. Tolerant of unknown per-bench keys;
+/// throws std::runtime_error on malformed JSON or a wrong/missing schema
+/// marker.
+BenchMap parse(const std::string& json);
+
+/// Read + parse; throws std::runtime_error (file missing or malformed).
+BenchMap read_file(const std::string& path);
+
+struct CompareReport {
+  std::vector<std::string> failures;  ///< gate: regressions, missing benches
+  std::vector<std::string> warnings;  ///< latency drift, new benches
+  bool ok() const { return failures.empty(); }
+};
+
+CompareReport compare(const BenchMap& baseline, const BenchMap& current,
+                      double tolerance);
+
+/// Human-readable multi-line report.
+std::string format(const CompareReport& report);
+
+}  // namespace elsa::benchjson

@@ -21,6 +21,16 @@
 //       --speedup X replays at X trace-seconds per wall-second; 0 (the
 //       default) replays as fast as possible.
 //
+//   elsa chaos --system bluegene|mercury --log LOG --model MODEL
+//              [--plan SPEC|all|none] [--seed S] [--shards N]
+//              [--policy block|drop-oldest|shed] [--speedup X]
+//       Chaos-soak the serving layer: replay the log through a seeded
+//       fault injector (drops, duplicates, corruption, reordering, clock
+//       skew) and a fault plan wired into the shard workers (stalls,
+//       worker kills), with a fast watchdog. Prints injector stats and
+//       serve metrics, then verifies the conservation invariant
+//       ingested == processed + quarantined + shed; exit 1 if violated.
+//
 // The --system flag supplies the machine topology (real deployments would
 // read it from the site's configuration database).
 
@@ -35,6 +45,8 @@
 
 #include "elsa/model_io.hpp"
 #include "elsa/online.hpp"
+#include "faultinject/injector.hpp"
+#include "faultinject/plan.hpp"
 #include "elsa/pipeline.hpp"
 #include "elsa/report.hpp"
 #include "serve/replayer.hpp"
@@ -59,7 +71,10 @@ int usage() {
          "  elsa predict  --system bluegene|mercury --log LOG --model MODEL "
          "[--max-alarms N]\n"
          "  elsa serve    --system bluegene|mercury --log LOG --model MODEL "
-         "[--shards N] [--speedup X] [--shed 1] [--max-alarms N]\n";
+         "[--shards N] [--speedup X] [--shed 1] [--max-alarms N]\n"
+         "  elsa chaos    --system bluegene|mercury --log LOG --model MODEL "
+         "[--plan SPEC|all|none] [--seed S] [--shards N] "
+         "[--policy block|drop-oldest|shed] [--speedup X]\n";
   return 2;
 }
 
@@ -269,6 +284,77 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+serve::OverflowPolicy policy_for(const std::string& name) {
+  if (name == "block" || name.empty()) return serve::OverflowPolicy::kBlock;
+  if (name == "drop-oldest") return serve::OverflowPolicy::kDropOldest;
+  if (name == "shed") return serve::OverflowPolicy::kShed;
+  throw std::runtime_error("unknown --policy '" + name +
+                           "' (want block, drop-oldest or shed)");
+}
+
+int cmd_chaos(const std::map<std::string, std::string>& flags) {
+  const auto trace = trace_from_log(flags.at("log"), flags.at("system"));
+  const auto model = core::load_model_file(flags.at("model"));
+  const std::uint64_t seed =
+      flags.count("seed") ? std::stoull(flags.at("seed")) : 42;
+  const auto plan = faultinject::FaultPlan::parse(
+      flags.count("plan") ? flags.at("plan") : std::string("all"), seed);
+
+  serve::ServiceConfig scfg;
+  if (flags.count("shards")) scfg.shards = std::stoul(flags.at("shards"));
+  scfg.engine.use_location = model.method != core::Method::DataMining;
+  scfg.engine.raw_event_matching = model.method == core::Method::DataMining;
+  scfg.overflow =
+      policy_for(flags.count("policy") ? flags.at("policy") : std::string{});
+  // A soak wants the watchdog to bite within the run, not after 2 s of
+  // real time: scan fast, trip fast.
+  scfg.watchdog_interval_ms = 20;
+  scfg.watchdog_deadline_ms = 250;
+  scfg.faults = &plan;
+  serve::PredictionService service(trace.topology, model, scfg);
+
+  serve::ReplayOptions ro;
+  if (flags.count("speedup")) ro.speedup = std::stod(flags.at("speedup"));
+  // Shed + bounded retry exercises the full degradation surface when the
+  // policy is shed; block/drop-oldest exercise theirs through submit().
+  ro.shed = scfg.overflow == serve::OverflowPolicy::kShed;
+  ro.max_retries = 3;
+  const serve::TraceReplayer replayer(trace, ro);
+
+  faultinject::FaultInjector injector(plan);
+  std::cerr << "chaos plan (seed " << seed << "): " << plan.to_string()
+            << "\n";
+  const std::size_t accepted = replayer.replay_into(service, &injector);
+  service.finish(trace.t_end_ms);
+
+  const auto& is = injector.stats();
+  std::cerr << "injector    seen " << is.seen << ", delivered " << is.delivered
+            << ", dropped " << is.dropped << ", duplicated " << is.duplicated
+            << ", corrupted " << is.corrupted << ", reordered " << is.reordered
+            << ", skewed " << is.skewed << "\n";
+  std::cerr << accepted << " records accepted\n" << service.metrics_report();
+  std::cerr << service.predictions().size() << " alarms total across "
+            << service.shards() << " shards\n";
+
+  const auto m = service.metrics();
+  const bool tap_ok = is.seen + is.duplicated == is.delivered + is.dropped;
+  if (!tap_ok) {
+    std::cerr << "FAIL: injector conservation violated (seen + duplicated != "
+                 "delivered + dropped)\n";
+    return 1;
+  }
+  if (!m.records_conserved()) {
+    std::cerr << "FAIL: record conservation violated: ingested " << m.ingested
+              << " != processed " << m.records_out << " + quarantined "
+              << m.quarantined << " + shed " << m.shed << "\n";
+    return 1;
+  }
+  std::cerr << "OK: conservation holds (ingested " << m.ingested
+            << " == processed " << m.records_out << " + quarantined "
+            << m.quarantined << " + shed " << m.shed << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,6 +367,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(flags);
     if (cmd == "predict") return cmd_predict(flags);
     if (cmd == "serve") return cmd_serve(flags);
+    if (cmd == "chaos") return cmd_chaos(flags);
   } catch (const std::out_of_range&) {
     std::cerr << "missing required flag for '" << cmd << "'\n";
     return usage();

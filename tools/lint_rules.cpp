@@ -158,8 +158,10 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
       {"signalkit", {"util"}},
       {"ckpt", {"util"}},
       {"elsa", {"util", "topology", "simlog", "helo", "signalkit", "ckpt"}},
+      {"faultinject", {"util", "topology", "simlog"}},
       {"serve",
-       {"util", "topology", "simlog", "helo", "signalkit", "ckpt", "elsa"}},
+       {"util", "topology", "simlog", "helo", "signalkit", "ckpt", "elsa",
+        "faultinject"}},
   };
   return deps;
 }
@@ -292,6 +294,90 @@ std::vector<std::size_t> find_token(const std::string& code,
   return hits;
 }
 
+/// Containers whose function-local `static` instances have repeatedly
+/// turned out to be hidden shared mutable state (the bench_common.hpp
+/// result-cache bug): flagged unless declared const/constexpr.
+const std::set<std::string>& mutable_container_names() {
+  static const std::set<std::string> names = {
+      "map",      "unordered_map", "multimap", "unordered_multimap",
+      "set",      "unordered_set", "multiset", "unordered_multiset",
+      "vector",   "deque",         "list",     "forward_list",
+      "string",   "basic_string"};
+  return names;
+}
+
+/// Detect `static std::<container>... name ...` declarations that are not
+/// const-qualified and not function declarations. `window` is the
+/// comment-stripped text starting at the byte after the `static` token
+/// (may span several joined lines so multi-line declarations parse).
+bool is_mutable_static_container(const std::string& window) {
+  std::size_t p = 0;
+  const auto skip_ws = [&] {
+    while (p < window.size() &&
+           (window[p] == ' ' || window[p] == '\t'))
+      ++p;
+  };
+  const auto read_word = [&] {
+    std::string w;
+    while (p < window.size() && is_word(window[p])) w += window[p++];
+    return w;
+  };
+
+  // Specifiers between `static` and the type. const/constexpr make the
+  // object immutable after its (thread-safe) dynamic initialization.
+  for (;;) {
+    skip_ws();
+    const std::size_t mark = p;
+    const std::string w = read_word();
+    if (w == "const" || w == "constexpr") return false;
+    if (w == "inline" || w == "thread_local" || w == "volatile") continue;
+    p = mark;
+    break;
+  }
+
+  // The type must be std::<container>.
+  if (window.compare(p, 5, "std::") != 0) return false;
+  p += 5;
+  const std::string container = read_word();
+  if (!mutable_container_names().count(container)) return false;
+
+  // Balance template arguments, treating ">>" as two closes.
+  skip_ws();
+  if (p < window.size() && window[p] == '<') {
+    int depth = 0;
+    while (p < window.size()) {
+      if (window[p] == '<') ++depth;
+      else if (window[p] == '>' && --depth == 0) { ++p; break; }
+      ++p;
+    }
+    if (depth != 0) return false;  // declaration continues past the window
+  }
+
+  // `const` after the type also makes it immutable.
+  for (;;) {
+    skip_ws();
+    const std::size_t mark = p;
+    const std::string w = read_word();
+    if (w == "const") return false;
+    if (w.empty()) { p = mark; break; }
+    // First word after the type: the declared name (references/pointers to
+    // the container get no special treatment — skip any sigils first).
+    p = mark;
+    break;
+  }
+  while (p < window.size() &&
+         (window[p] == '&' || window[p] == '*' || window[p] == ' '))
+    ++p;
+  const std::string name = read_word();
+  if (name.empty()) return false;
+
+  // An identifier followed by '(' is a function declaration returning the
+  // container (helo.hpp's `static std::vector<...> generalize(...)`) — a
+  // different thing entirely.
+  skip_ws();
+  return p >= window.size() || window[p] != '(';
+}
+
 std::string include_target(const std::string& raw_line) {
   std::size_t p = raw_line.find_first_not_of(" \t");
   if (p == std::string::npos || raw_line[p] != '#') return "";
@@ -340,6 +426,26 @@ std::vector<Finding> lint_file(const std::string& path,
         report(i, "banned-call",
                std::string("call to non-reentrant `") + name + "` (" + why +
                    ")");
+      }
+    }
+  }
+
+  // -- static-mutable -------------------------------------------------------
+  // `static std::map<...> cache;` and friends: magic-static initialization
+  // is thread-safe, every mutation after it is not. The bench result cache
+  // shipped exactly this bug; the rule makes the pattern unwritable. Fix by
+  // wrapping container + util::Mutex in a class (bench_common.hpp's
+  // ExperimentCache) or declaring it const.
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (std::size_t off : find_token(code[i], "static")) {
+      std::string window = code[i].substr(off + 6);
+      for (std::size_t j = i + 1; j < code.size() && j <= i + 2; ++j)
+        window += " " + code[j];
+      if (is_mutable_static_container(window)) {
+        report(i, "static-mutable",
+               "mutable `static` std:: container is shared state with no "
+               "lock — wrap it with util::Mutex in a class (see "
+               "bench_common.hpp ExperimentCache) or declare it const");
       }
     }
   }

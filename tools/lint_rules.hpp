@@ -10,6 +10,9 @@
 //                     surface -Wthread-safety can prove things about.
 //   relaxed-comment — every memory_order_relaxed needs a nearby
 //                     "// relaxed: <why>" justification.
+//   static-mutable  — non-const `static` std:: containers (function-local
+//                     or member) are unsynchronized shared state; wrap
+//                     them in an internally locked class or mark const.
 //   header-pragma   — headers start with #pragma once.
 //   header-using    — no `using namespace` in headers.
 //   layering        — module includes must follow the dependency DAG
