@@ -55,7 +55,10 @@ class ExperimentCache {
 
  private:
   const simlog::Trace& (*trace_)();
-  util::Mutex mu_;
+  // Rank kBenchCache (outermost): get() runs a whole experiment under this
+  // lock, which reaches the thread pool (kThreadPool) and the lgamma
+  // serializer (kLeaf) — both strictly below it.
+  util::Mutex mu_{"benchx::ExperimentCache::mu_", util::lockrank::kBenchCache};
   std::map<int, core::ExperimentResult> cache_ ELSA_GUARDED_BY(mu_);
 };
 

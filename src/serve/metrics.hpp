@@ -143,7 +143,11 @@ class ServeMetrics {
   // pair lives under a (never-contended-in-the-hot-path) mutex. Before PR 3
   // `started_` was a bare time_point: start() concurrent with snapshot()
   // was a genuine data race, found by the annotation audit.
-  mutable util::Mutex clock_mu_;
+  // Rank kMetrics: metrics hooks are called from every layer (watchdog,
+  // workers, producers), so this lock must stay near the bottom of the
+  // hierarchy and its critical sections never call out.
+  mutable util::Mutex clock_mu_{"serve::ServeMetrics::clock_mu_",
+                                util::lockrank::kMetrics};
   Clock::time_point started_ ELSA_GUARDED_BY(clock_mu_);
   std::int64_t stopped_ns_ ELSA_GUARDED_BY(clock_mu_) = -1;  ///< uptime at stop(), ns; -1 = running
   bool degraded_ ELSA_GUARDED_BY(clock_mu_) = false;

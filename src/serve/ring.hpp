@@ -198,7 +198,11 @@ class Ring {
 
  private:
   const std::size_t cap_;  ///< immutable after construction; lock-free reads
-  mutable util::Mutex mu_;
+  // Rank kRing: below the service/engine control locks that may consult a
+  // ring, above metrics/pool/leaf locks. Two rings are never held together
+  // (equal ranks abort in enforcing builds) — pop_all() releases before
+  // returning, so dispatcher-side re-push never nests ring locks.
+  mutable util::Mutex mu_{"serve::Ring::mu_", util::lockrank::kRing};
   util::CondVar not_empty_;
   util::CondVar not_full_;
   std::vector<T> buf_ ELSA_GUARDED_BY(mu_);

@@ -184,7 +184,11 @@ class PredictionService {
 
   /// Bounded ring of the newest quarantined records (multi-producer).
   static constexpr std::size_t kQuarantineSample = 32;
-  mutable util::Mutex q_mu_;
+  // Rank kService (top of the serving hierarchy): nothing else may be held
+  // when it is taken, and submit_result() closes its scope before touching
+  // the ingest ring.
+  mutable util::Mutex q_mu_{"serve::PredictionService::q_mu_",
+                            util::lockrank::kService};
   std::vector<simlog::LogRecord> quarantine_ ELSA_GUARDED_BY(q_mu_);
   std::size_t q_next_ ELSA_GUARDED_BY(q_mu_) = 0;
 };

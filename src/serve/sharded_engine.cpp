@@ -163,10 +163,22 @@ void ShardedEngine::watchdog_loop() {
     // relaxed: sampling an advisory progress counter; scans re-sample.
     last[i] = shards_[i]->processed.load(std::memory_order_relaxed);
 
-  util::MutexLock lk(wd_mu_);
-  while (!wd_stop_) {
-    wd_cv_.wait_for(wd_mu_, interval);
-    if (wd_stop_) break;
+  for (;;) {
+    {
+      // wd_mu_ guards only the stop flag and this pacing wait. The scan
+      // below runs unlocked: it joins dead workers and reads ring depths,
+      // both blocking-shaped operations that must not be nested under a
+      // held mutex (elsa-lint's blocking-under-lock rule bans exactly
+      // that, and stop_watchdog() must never queue behind a join). The
+      // scan needs no lock — shards_ is immutable while serving, the
+      // sampled fields are atomics, and this thread is the sole
+      // joiner/respawner of shard workers until stop_watchdog() has
+      // joined the watchdog itself.
+      util::MutexLock lk(wd_mu_);
+      if (wd_stop_) break;
+      wd_cv_.wait_for(wd_mu_, interval);
+      if (wd_stop_) break;
+    }
     bool any_tripped = false;
     for (std::size_t i = 0; i < n; ++i) {
       Shard& s = *shards_[i];

@@ -199,7 +199,11 @@ class ShardedEngine {
   faultinject::FaultClock own_clock_;  ///< real time, used when opt.clock null
   const faultinject::FaultClock* clock_ = nullptr;
   std::thread watchdog_;
-  util::Mutex wd_mu_;
+  // Rank kEngine: held only for the stop-flag wait — the watchdog's shard
+  // scan (ring depth reads, worker joins, metrics flips) runs unlocked, so
+  // nothing is ever acquired under it; the rank documents that it sits
+  // above the ring/metrics locks the scan touches.
+  util::Mutex wd_mu_{"serve::ShardedEngine::wd_mu_", util::lockrank::kEngine};
   util::CondVar wd_cv_;
   bool wd_stop_ ELSA_GUARDED_BY(wd_mu_) = false;
 };

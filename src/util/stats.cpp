@@ -88,7 +88,9 @@ double lgamma_mt(double x) {
   // No lgamma_r on this libc: serialize the call so the shared `signgam`
   // write cannot race. Cold path — only exotic toolchains land here, and
   // p-value scans on them simply queue on this lock.
-  static Mutex mu;
+  // Rank kLeaf: p-value scans call in from under the bench cache and pool
+  // locks, so this serializer must rank below everything.
+  static Mutex mu("util::lgamma_mt::mu", lockrank::kLeaf);
   MutexLock lk(mu);
   // elsa-lint: allow(banned-call): the one audited std::lgamma site, made
   // safe by the serialization above; everything else goes through lgamma_mt.

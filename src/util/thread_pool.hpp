@@ -49,7 +49,10 @@ class ThreadPool {
   void worker_loop() ELSA_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  mutable Mutex mu_;
+  // Rank kThreadPool: submitted tasks run with the queue lock released, so
+  // a task may take any lock; the queue lock itself only ever guards the
+  // queue and is taken with higher-ranked caller locks (bench cache) held.
+  mutable Mutex mu_{"util::ThreadPool::mu_", lockrank::kThreadPool};
   CondVar cv_;
   std::queue<std::function<void()>> queue_ ELSA_GUARDED_BY(mu_);
   bool stopping_ ELSA_GUARDED_BY(mu_) = false;

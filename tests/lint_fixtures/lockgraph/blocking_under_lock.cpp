@@ -1,0 +1,36 @@
+// Lock-graph fixture: blocking calls under a held mutex — a potentially
+// unbounded ring pop and a thread join, both while holding mu_. Anyone
+// contending mu_ is wedged until the callee unblocks.
+#include <thread>
+
+#include "serve/ring.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace lockfix {
+
+class BlockyWorker {
+ public:
+  void drain_under_lock() ELSA_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    last_ = items_.pop().value_or(0);
+  }
+
+  void stop_under_lock() ELSA_EXCLUDES(mu_) {
+    util::MutexLock lk(mu_);
+    worker_.join();
+  }
+
+  void drain_fine() ELSA_EXCLUDES(mu_) {
+    const int v = items_.pop().value_or(0);
+    util::MutexLock lk(mu_);
+    last_ = v;
+  }
+
+ private:
+  util::Mutex mu_;
+  serve::Ring<int> items_{8};
+  std::thread worker_;
+  int last_ = 0;
+};
+
+}  // namespace lockfix

@@ -1,0 +1,28 @@
+// Lock-graph fixture: a consistent three-level hierarchy (service mutex
+// above engine mutex above metrics mutex). Every path acquires downward,
+// so the analyzer must report nothing here.
+#include "util/thread_annotations.hpp"
+
+namespace lockfix {
+
+class CleanService {
+ public:
+  void tick() ELSA_EXCLUDES(svc_mu_, eng_mu_) {
+    util::MutexLock ls(svc_mu_);
+    util::MutexLock le(eng_mu_);
+    note();
+  }
+
+  void note() ELSA_EXCLUDES(met_mu_) {
+    util::MutexLock lm(met_mu_);
+    ++notes_;
+  }
+
+ private:
+  util::Mutex svc_mu_;
+  util::Mutex eng_mu_;
+  util::Mutex met_mu_;
+  int notes_ = 0;
+};
+
+}  // namespace lockfix

@@ -1,0 +1,28 @@
+// Lock-graph fixture: a condition wait with a *second* mutex held. The
+// wait releases only b_; any thread that needs a_ to reach notify() can
+// never run, so the waiter sleeps forever.
+#include "util/thread_annotations.hpp"
+
+namespace lockfix {
+
+class TwoLockWaiter {
+ public:
+  void wait_badly() ELSA_EXCLUDES(a_, b_) {
+    util::MutexLock la(a_);
+    util::MutexLock lb(b_);
+    while (!ready_) cv_.wait(b_);
+  }
+
+  void wait_fine() ELSA_EXCLUDES(b_) {
+    util::MutexLock lb(b_);
+    while (!ready_) cv_.wait(b_);
+  }
+
+ private:
+  util::Mutex a_;
+  util::Mutex b_;
+  util::CondVar cv_;
+  bool ready_ = false;
+};
+
+}  // namespace lockfix

@@ -1,0 +1,28 @@
+// Lock-graph fixture: the classic two-lock inversion. ab() takes a_ then
+// b_, ba() takes b_ then a_ — the analyzer must report the full cycle
+// PairHolder::a_ -> PairHolder::b_ -> PairHolder::a_ with both sites.
+#include "util/thread_annotations.hpp"
+
+namespace lockfix {
+
+class PairHolder {
+ public:
+  void ab() ELSA_EXCLUDES(a_, b_) {
+    util::MutexLock la(a_);
+    util::MutexLock lb(b_);
+    ++x_;
+  }
+
+  void ba() ELSA_EXCLUDES(a_, b_) {
+    util::MutexLock lb(b_);
+    util::MutexLock la(a_);
+    ++x_;
+  }
+
+ private:
+  util::Mutex a_;
+  util::Mutex b_;
+  int x_ = 0;
+};
+
+}  // namespace lockfix

@@ -1,0 +1,40 @@
+// Lock-graph fixture: a three-lock cycle where one edge is only visible
+// through an annotated helper. a_then_b() gives a_ -> b_ lexically,
+// b_then_helper() holds b_ across a call to helper_locks_c() (whose
+// ELSA_EXCLUDES(c_) says it acquires c_), and c_then_a() closes the loop.
+#include "util/thread_annotations.hpp"
+
+namespace lockfix {
+
+class Trio {
+ public:
+  void a_then_b() ELSA_EXCLUDES(a_, b_) {
+    util::MutexLock la(a_);
+    util::MutexLock lb(b_);
+    ++x_;
+  }
+
+  void b_then_helper() ELSA_EXCLUDES(b_, c_) {
+    util::MutexLock lb(b_);
+    helper_locks_c();
+  }
+
+  void helper_locks_c() ELSA_EXCLUDES(c_) {
+    util::MutexLock lc(c_);
+    ++x_;
+  }
+
+  void c_then_a() ELSA_EXCLUDES(c_, a_) {
+    util::MutexLock lc(c_);
+    util::MutexLock la(a_);
+    ++x_;
+  }
+
+ private:
+  util::Mutex a_;
+  util::Mutex b_;
+  util::Mutex c_;
+  int x_ = 0;
+};
+
+}  // namespace lockfix

@@ -1,0 +1,30 @@
+// Lock-graph fixture: the same inversion as cycle2.cpp, but with a
+// reasoned allow() on one participating acquisition site — the cycle must
+// be suppressed. An allow() without a reason would not count.
+#include "util/thread_annotations.hpp"
+
+namespace lockfix {
+
+class ExcusedPair {
+ public:
+  void pq() ELSA_EXCLUDES(p_, q_) {
+    util::MutexLock lp(p_);
+    util::MutexLock lq(q_);
+    ++x_;
+  }
+
+  void qp() ELSA_EXCLUDES(p_, q_) {
+    util::MutexLock lq(q_);
+    // elsa-lint: allow(lock-cycle): fixture documents an intentional
+    // inversion to prove reasoned suppressions work.
+    util::MutexLock lp(p_);
+    ++x_;
+  }
+
+ private:
+  util::Mutex p_;
+  util::Mutex q_;
+  int x_ = 0;
+};
+
+}  // namespace lockfix

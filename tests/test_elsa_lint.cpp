@@ -16,6 +16,8 @@ namespace {
 
 using elsa::lint::Finding;
 using elsa::lint::lint_file;
+using elsa::lint::lint_lock_graph;
+using elsa::lint::lint_roots;
 using elsa::lint::lint_tree;
 
 std::string read_fixture(const std::string& name) {
@@ -152,9 +154,135 @@ TEST(ElsaLint, FormatIsFileLineRule) {
       << line;
 }
 
-// The real gate: the live source tree carries zero findings. CI and the
+// ---------------------------------------------------------------------------
+// Lock-graph rules (fixtures under lint_fixtures/lockgraph/)
+
+/// Run the whole-project lock pass over a single lockgraph fixture.
+std::vector<Finding> lock_fixture(const std::string& name) {
+  return lint_lock_graph({{name, read_fixture("lockgraph/" + name)}});
+}
+
+std::size_t count_substr(const std::string& s, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t p = s.find(needle); p != std::string::npos;
+       p = s.find(needle, p + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(ElsaLintLockGraph, CleanHierarchyIsQuiet) {
+  const auto fs = lock_fixture("clean_hierarchy.cpp");
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintLockGraph, TwoLockCycleReportsFullPath) {
+  const auto fs = lock_fixture("cycle2.cpp");
+  ASSERT_EQ(count_rule(fs, "lock-cycle"), 1u) << elsa::lint::format(fs);
+  const std::string& m = fs[0].message;
+  // Full path, both locks named, and a file:line site for every edge.
+  EXPECT_NE(m.find("PairHolder::a_ -> PairHolder::b_"), std::string::npos) << m;
+  EXPECT_NE(m.find("-> PairHolder::a_ (cycle2.cpp:"), std::string::npos) << m;
+  EXPECT_EQ(count_substr(m, "(cycle2.cpp:"), 2u) << m;
+}
+
+TEST(ElsaLintLockGraph, ThreeLockCycleThroughAnnotatedHelper) {
+  const auto fs = lock_fixture("cycle3.cpp");
+  ASSERT_EQ(count_rule(fs, "lock-cycle"), 1u) << elsa::lint::format(fs);
+  const std::string& m = fs[0].message;
+  // The b_ -> c_ edge exists only via helper_locks_c()'s ELSA_EXCLUDES.
+  EXPECT_NE(m.find("Trio::a_ -> Trio::b_"), std::string::npos) << m;
+  EXPECT_NE(m.find("-> Trio::c_"), std::string::npos) << m;
+  EXPECT_EQ(count_substr(m, "(cycle3.cpp:"), 3u) << m;
+}
+
+TEST(ElsaLintLockGraph, CrossFileCycleFires) {
+  // The two inverted orders live in different TUs; only the whole-project
+  // union can see the cycle.
+  const std::string hdr =
+      "#pragma once\n"
+      "class CrossFile {\n"
+      "  void ab();\n"
+      "  void ba();\n"
+      "  util::Mutex a_;\n"
+      "  util::Mutex b_;\n"
+      "};\n";
+  const std::string f1 =
+      "void CrossFile::ab() {\n"
+      "  util::MutexLock la(a_);\n"
+      "  util::MutexLock lb(b_);\n"
+      "}\n";
+  const std::string f2 =
+      "void CrossFile::ba() {\n"
+      "  util::MutexLock lb(b_);\n"
+      "  util::MutexLock la(a_);\n"
+      "}\n";
+  const auto fs = lint_lock_graph(
+      {{"x/cf.hpp", hdr}, {"x/cf1.cpp", f1}, {"x/cf2.cpp", f2}});
+  ASSERT_EQ(count_rule(fs, "lock-cycle"), 1u) << elsa::lint::format(fs);
+  EXPECT_NE(fs[0].message.find("cf1.cpp:"), std::string::npos)
+      << fs[0].message;
+  EXPECT_NE(fs[0].message.find("cf2.cpp:"), std::string::npos)
+      << fs[0].message;
+}
+
+TEST(ElsaLintLockGraph, CvWaitWithSecondLockFires) {
+  const auto fs = lock_fixture("cv_second_lock.cpp");
+  // wait_badly() fires; wait_fine(), holding only the waited mutex, stays
+  // quiet.
+  ASSERT_EQ(count_rule(fs, "cv-wait-extra-lock"), 1u) << elsa::lint::format(fs);
+  EXPECT_NE(fs[0].message.find("TwoLockWaiter::a_"), std::string::npos)
+      << fs[0].message;
+  EXPECT_NE(fs[0].message.find("TwoLockWaiter::b_"), std::string::npos)
+      << fs[0].message;
+}
+
+TEST(ElsaLintLockGraph, BlockingCallsUnderLockFire) {
+  const auto fs = lock_fixture("blocking_under_lock.cpp");
+  // The locked ring pop and the locked join; drain_fine() pops before
+  // locking and stays quiet.
+  EXPECT_EQ(count_rule(fs, "blocking-under-lock"), 2u)
+      << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 2u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintLockGraph, ReasonedSuppressionSilencesCycle) {
+  const auto fs = lock_fixture("suppressed_cycle.cpp");
+  EXPECT_EQ(count_rule(fs, "lock-cycle"), 0u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintLockGraph, FixtureTreesAreExemptFromWalkers) {
+  // tests/ holds fixtures with deliberate cycles; the directory walkers
+  // must skip every lint_fixtures component, so the tests tree stays clean.
+  const auto fs = lint_roots({ELSA_TESTS_DIR});
+  EXPECT_EQ(count_rule(fs, "lock-cycle"), 0u) << elsa::lint::format(fs);
+}
+
+// ---------------------------------------------------------------------------
+// GitHub annotation output
+
+TEST(ElsaLint, GithubFormatEmitsWorkflowCommands) {
+  const std::vector<Finding> fs = {
+      {"src/serve/ring.hpp", 42, "lock-cycle", "A -> B"}};
+  const std::string out = elsa::lint::format_github(fs);
+  EXPECT_EQ(out,
+            "::error file=src/serve/ring.hpp,line=42,"
+            "title=elsa-lint lock-cycle::[lock-cycle] A -> B\n");
+}
+
+TEST(ElsaLint, GithubFormatEscapesSeparators) {
+  const std::vector<Finding> fs = {
+      {"src/a,b:c.cpp", 7, "banned-call", "50% bad\nnext"}};
+  const std::string out = elsa::lint::format_github(fs);
+  EXPECT_NE(out.find("file=src/a%2Cb%3Ac.cpp,line=7"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("50%25 bad%0Anext"), std::string::npos) << out;
+}
+
+// ---------------------------------------------------------------------------
+// The real gate: the live trees carry zero findings. CI and the
 // `elsa_lint_src` ctest entry enforce the same invariant via the binary,
-// over the same three trees (the static-mutable bug lived in bench/).
+// over the same five trees (src, bench, tools, tests, examples).
+
 TEST(ElsaLint, SourceTreeIsClean) {
   const auto fs = lint_tree(ELSA_SRC_DIR);
   EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
@@ -167,6 +295,25 @@ TEST(ElsaLint, BenchTreeIsClean) {
 
 TEST(ElsaLint, ToolsTreeIsClean) {
   const auto fs = lint_tree(ELSA_TOOLS_DIR);
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, TestsTreeIsClean) {
+  const auto fs = lint_tree(ELSA_TESTS_DIR);
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLint, ExamplesTreeIsClean) {
+  const auto fs = lint_tree(ELSA_EXAMPLES_DIR);
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+// End-to-end: the union of all five trees through the full gate (per-file
+// rules plus one cross-root lock pass) is clean — exactly what the
+// elsa_lint binary enforces in CI.
+TEST(ElsaLint, AllRootsAreCleanThroughFullGate) {
+  const auto fs = lint_roots({ELSA_SRC_DIR, ELSA_BENCH_DIR, ELSA_TOOLS_DIR,
+                              ELSA_TESTS_DIR, ELSA_EXAMPLES_DIR});
   EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
 }
 

@@ -1,25 +1,34 @@
-// elsa-lint driver: lints one or more directories (default: src) and exits
-// non-zero when any finding survives suppression. Wired as a ctest gate
-// (`elsa_lint_src`), the `lint` convenience target, and a CI job, so every
-// future PR is checked against the project's concurrency conventions.
+// elsa-lint driver: lints one or more directories (default: src) with the
+// per-file rules plus one whole-project lock-graph pass over their union,
+// and exits non-zero when any finding survives suppression. Wired as a
+// ctest gate (`elsa_lint_src`), the `lint` convenience target, and a CI
+// job, so every future PR is checked against the project's concurrency
+// conventions.
 //
-// Usage: elsa_lint [dir ...]
+// Usage: elsa_lint [--github] [dir ...]
+//   --github   additionally emit GitHub Actions workflow annotations
+//              (::error file=…,line=…::…) on stdout, so findings surface
+//              inline on the PR diff.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "lint_rules.hpp"
 
 int main(int argc, char** argv) {
+  bool github = false;
   std::vector<std::string> roots;
-  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--github") == 0)
+      github = true;
+    else
+      roots.emplace_back(argv[i]);
+  }
   if (roots.empty()) roots.emplace_back("src");
 
-  std::vector<elsa::lint::Finding> findings;
-  for (const std::string& root : roots) {
-    auto fs = elsa::lint::lint_tree(root);
-    findings.insert(findings.end(), fs.begin(), fs.end());
-  }
+  const std::vector<elsa::lint::Finding> findings =
+      elsa::lint::lint_roots(roots);
 
   if (findings.empty()) {
     std::printf("elsa-lint: clean (%zu director%s checked)\n", roots.size(),
@@ -27,6 +36,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::fputs(elsa::lint::format(findings).c_str(), stderr);
+  if (github) std::fputs(elsa::lint::format_github(findings).c_str(), stdout);
   std::fprintf(stderr, "elsa-lint: %zu finding(s)\n", findings.size());
   return 1;
 }

@@ -5,9 +5,11 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 namespace elsa::lint {
 
@@ -378,6 +380,687 @@ bool is_mutable_static_container(const std::string& window) {
   return p >= window.size() || window[p] != '(';
 }
 
+// ---------------------------------------------------------------------------
+// Lock-graph analysis (lock-cycle / cv-wait-extra-lock / blocking-under-lock)
+//
+// A deliberately lexical whole-project pass: tokenize each file (comments
+// and strings already stripped), track class/function/block scopes by
+// brace nesting, and follow the held-lock set through every function body.
+// Locks are identified as `Class::member` (or `file::name` for locals and
+// free mutexes); acquisition edges come from three sources:
+//   1. lexical nesting — a MutexLock (or .lock()) taken while another is
+//      lexically held;
+//   2. ELSA_REQUIRES on a function — its body starts with those locks held;
+//   3. call sites — calling a method whose declaration carries
+//      ELSA_EXCLUDES / ELSA_ACQUIRE (i.e. the callee takes that lock)
+//      while a lock is held.
+// Lambdas are *barriers*: a lambda body frequently runs on another thread
+// (worker loops, deferred tasks), so locks held at the capture site are
+// not considered held inside it.
+
+/// One token: identifier-ish (identifiers, keywords, numbers) or a single
+/// punctuation glyph ("::" and "->" kept whole). Preprocessor directive
+/// lines are dropped entirely — include paths and macro bodies are not
+/// acquisition events.
+struct Tok {
+  bool ident = false;
+  std::string text;
+  std::size_t line = 1;
+};
+
+std::vector<Tok> tokenize(const std::string& stripped) {
+  std::vector<Tok> toks;
+  std::size_t line = 1;
+  bool directive = false;
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      directive = false;
+      continue;
+    }
+    if (directive) continue;
+    if (c == '#') {
+      directive = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    if (is_word(c)) {
+      std::string w;
+      while (i < stripped.size() && is_word(stripped[i])) w += stripped[i++];
+      --i;
+      toks.push_back({true, std::move(w), line});
+      continue;
+    }
+    const char n = i + 1 < stripped.size() ? stripped[i + 1] : '\0';
+    if ((c == ':' && n == ':') || (c == '-' && n == '>')) {
+      toks.push_back({false, std::string{c, n}, line});
+      ++i;
+      continue;
+    }
+    toks.push_back({false, std::string(1, c), line});
+  }
+  return toks;
+}
+
+bool is_control_kw(const std::string& t) {
+  static const std::set<std::string> kw = {"if",   "while",  "for",  "switch",
+                                          "do",   "else",   "try",  "catch",
+                                          "case", "default", "return"};
+  return kw.count(t) > 0;
+}
+
+bool is_annotation_macro(const std::string& t) {
+  return t.rfind("ELSA_", 0) == 0;
+}
+
+struct Scope {
+  enum Kind { kClass, kNamespace, kFunction, kLambda, kBlock };
+  Kind kind = kBlock;
+  std::string name;  ///< class name, or "Class::fn" / "fn" for functions
+  std::string cls;   ///< enclosing class of a kFunction ("" for free fns)
+  std::vector<std::string> requires_locks;  ///< raw ELSA_REQUIRES arg names
+  // Pass-B payload:
+  std::size_t held_floor = 0;
+  std::vector<struct HeldLock> stash;  ///< kLambda barrier stash
+};
+
+struct HeldLock {
+  std::string id;
+  std::string file;
+  std::size_t line = 0;
+  std::size_t depth = 0;  ///< scopes.size() when acquired
+  std::string var;        ///< MutexLock variable name ("" for direct locks)
+};
+
+/// Parse the identifier arguments of an annotation macro starting at the
+/// "(" token `open`; returns raw names ("mu_", negations skipped).
+std::vector<std::string> annotation_args(const std::vector<Tok>& t,
+                                         std::size_t open) {
+  std::vector<std::string> args;
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (!t[i].ident) {
+      if (t[i].text == "(") ++depth;
+      else if (t[i].text == ")" && --depth == 0) break;
+      continue;
+    }
+    if (depth == 1) args.push_back(t[i].text);
+  }
+  return args;
+}
+
+/// Brace-scope walker shared by the two lock-graph passes. step(i) must be
+/// called for every token in order; it maintains the scope stack, paren
+/// depth and statement starts, and reports scope opens/closes.
+class ScopeWalker {
+ public:
+  explicit ScopeWalker(const std::vector<Tok>& toks) : t_(toks) {}
+
+  struct Event {
+    bool opened = false;
+    bool closed = false;
+    Scope closed_scope;  ///< valid when closed
+  };
+
+  Event step(std::size_t i) {
+    Event ev;
+    const Tok& tk = t_[i];
+    if (tk.ident) return ev;
+    if (tk.text == "(") {
+      ++paren_;
+    } else if (tk.text == ")") {
+      if (paren_ > 0) --paren_;
+    } else if (tk.text == ";") {
+      if (paren_ == 0) stmt_ = i + 1;
+    } else if (tk.text == "{") {
+      scopes_.push_back(classify(i));
+      stmt_ = i + 1;
+      ev.opened = true;
+    } else if (tk.text == "}") {
+      if (!scopes_.empty()) {
+        ev.closed = true;
+        ev.closed_scope = std::move(scopes_.back());
+        scopes_.pop_back();
+      }
+      stmt_ = i + 1;
+    }
+    return ev;
+  }
+
+  const std::vector<Scope>& scopes() const { return scopes_; }
+  std::vector<Scope>& scopes() { return scopes_; }
+  int paren() const { return paren_; }
+
+  /// Innermost class name, if any.
+  std::string ctx_class() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return it->name;
+      if (it->kind == Scope::kFunction && !it->cls.empty()) return it->cls;
+    }
+    return "";
+  }
+
+  bool in_code() const {
+    for (const Scope& s : scopes_) {
+      if (s.kind == Scope::kFunction || s.kind == Scope::kLambda) return true;
+    }
+    return false;
+  }
+
+ private:
+  Scope classify(std::size_t open) const {
+    Scope s;
+    // A brace inside parentheses is expression context: a lambda body or a
+    // braced initializer. Either way, a barrier scope.
+    if (paren_ > 0) {
+      s.kind = Scope::kLambda;
+      return s;
+    }
+    const std::size_t lo = stmt_;
+    if (lo >= open) return s;  // bare block
+    // Control-flow statements own plain blocks.
+    if (t_[lo].ident && is_control_kw(t_[lo].text)) return s;
+    std::size_t first_paren = open;
+    std::size_t last_class_ident = open;
+    bool has_namespace = false;
+    for (std::size_t i = lo; i < open; ++i) {
+      const Tok& tk = t_[i];
+      if (tk.ident && tk.text == "namespace") has_namespace = true;
+      if (tk.ident && (tk.text == "class" || tk.text == "struct") &&
+          (i == lo || !(t_[i - 1].ident && t_[i - 1].text == "enum")) &&
+          i + 1 < open && t_[i + 1].ident) {
+        last_class_ident = i + 1;
+      }
+      if (!tk.ident && tk.text == "(" && first_paren == open) first_paren = i;
+      // Lambda introducer: '[' at statement start or after (, comma, =,
+      // return — but not '[[' attributes or array subscripts.
+      if (!tk.ident && tk.text == "[") {
+        const bool attr = i + 1 < open && !t_[i + 1].ident &&
+                          t_[i + 1].text == "[";
+        const bool intro =
+            i == lo ||
+            (!t_[i - 1].ident && (t_[i - 1].text == "(" ||
+                                  t_[i - 1].text == "," ||
+                                  t_[i - 1].text == "=")) ||
+            (t_[i - 1].ident && t_[i - 1].text == "return");
+        if (!attr && intro) {
+          s.kind = Scope::kLambda;
+          return s;
+        }
+      }
+    }
+    if (has_namespace) {
+      s.kind = Scope::kNamespace;
+      return s;
+    }
+    if (last_class_ident < open && last_class_ident > lo &&
+        first_paren > last_class_ident) {
+      s.kind = Scope::kClass;
+      s.name = t_[last_class_ident].text;
+      return s;
+    }
+    if (first_paren < open && first_paren > lo && t_[first_paren - 1].ident) {
+      s.kind = Scope::kFunction;
+      const std::string fn = t_[first_paren - 1].text;
+      if (first_paren >= 3 && !t_[first_paren - 2].ident &&
+          t_[first_paren - 2].text == "::" && t_[first_paren - 3].ident) {
+        s.cls = t_[first_paren - 3].text;
+      } else {
+        s.cls = ctx_class();
+      }
+      s.name = s.cls.empty() ? fn : s.cls + "::" + fn;
+      // ELSA_REQUIRES on the definition: held on entry.
+      for (std::size_t i = lo; i < open; ++i) {
+        if (t_[i].ident && t_[i].text == "ELSA_REQUIRES" && i + 1 < open &&
+            !t_[i + 1].ident && t_[i + 1].text == "(") {
+          auto args = annotation_args(t_, i + 1);
+          s.requires_locks.insert(s.requires_locks.end(), args.begin(),
+                                  args.end());
+        }
+      }
+      return s;
+    }
+    return s;  // plain / initializer block
+  }
+
+  const std::vector<Tok>& t_;
+  std::vector<Scope> scopes_;
+  int paren_ = 0;
+  std::size_t stmt_ = 0;
+};
+
+struct LockDecl {
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// Project-wide symbol tables feeding the body-analysis pass.
+struct LockSymbols {
+  std::map<std::string, LockDecl> locks;  ///< "Class::mu_" → decl site
+  std::set<std::string> ring_vars;        ///< names of Ring-typed variables
+  std::set<std::string> cv_vars;          ///< names of CondVar variables
+  std::set<std::string> lock_classes;     ///< classes owning ≥1 Mutex
+  /// "Class::method" → lock ids the callee acquires (ELSA_EXCLUDES/ACQUIRE).
+  std::map<std::string, std::set<std::string>> fn_acquires;
+  /// "Class::method" → lock ids held on entry (ELSA_REQUIRES, declarations).
+  std::map<std::string, std::set<std::string>> fn_requires;
+  std::map<std::string, std::string> var_cls;  ///< var name → owning class
+};
+
+std::string lock_id_for(const LockSymbols& syms, const std::string& ctx_cls,
+                        const std::string& file, const std::string& name) {
+  if (!ctx_cls.empty()) {
+    const std::string id = ctx_cls + "::" + name;
+    if (syms.locks.count(id)) return id;
+  }
+  const std::string fid = file + "::" + name;
+  if (syms.locks.count(fid)) return fid;
+  return ctx_cls.empty() ? fid : ctx_cls + "::" + name;
+}
+
+struct RawAnnotation {
+  enum Kind { kAcquires, kRequires } kind = kAcquires;
+  std::string cls;
+  std::string fn;
+  std::string file;
+  std::vector<std::string> args;
+};
+
+/// Pass A1: mutex/ring/condvar declarations and function annotations.
+void collect_decls(const std::string& path, const std::vector<Tok>& t,
+                   LockSymbols& syms, std::vector<RawAnnotation>& anns) {
+  ScopeWalker w(t);
+  std::string cand, cand_cls;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    w.step(i);
+    const Tok& tk = t[i];
+    if (!tk.ident) {
+      if (tk.text == ";" || tk.text == "{" || tk.text == "}") cand.clear();
+      continue;
+    }
+    // Mutex declaration: `Mutex name ;|{|(|=` (not `class Mutex`, not
+    // `Mutex&` parameters, not special members like `Mutex(const Mutex&)`).
+    if (tk.text == "Mutex" && i + 2 < t.size() && t[i + 1].ident &&
+        t[i + 1].text != "Mutex" && !t[i + 2].ident &&
+        (t[i + 2].text == ";" || t[i + 2].text == "{" ||
+         t[i + 2].text == "(" || t[i + 2].text == "=") &&
+        (i == 0 || !(t[i - 1].ident && (t[i - 1].text == "class" ||
+                                        t[i - 1].text == "struct")))) {
+      const std::string ctx = w.ctx_class();
+      const std::string id = (ctx.empty() ? path : ctx) + "::" + t[i + 1].text;
+      if (!syms.locks.count(id)) syms.locks[id] = {path, tk.line};
+      if (!ctx.empty()) syms.lock_classes.insert(ctx);
+    }
+    // Ring<...> declaration → remember the variable name.
+    if (tk.text == "Ring" && i + 1 < t.size() && !t[i + 1].ident &&
+        t[i + 1].text == "<") {
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < t.size(); ++j) {
+        if (t[j].ident) continue;
+        if (t[j].text == "<") ++depth;
+        else if (t[j].text == ">" && --depth == 0) { ++j; break; }
+      }
+      while (j < t.size() && !t[j].ident &&
+             (t[j].text == "&" || t[j].text == "*"))
+        ++j;
+      if (j < t.size() && t[j].ident) syms.ring_vars.insert(t[j].text);
+    }
+    // CondVar declaration.
+    if (tk.text == "CondVar" && i + 2 < t.size() && t[i + 1].ident &&
+        t[i + 1].text != "CondVar" && !t[i + 2].ident && t[i + 2].text == ";" &&
+        (i == 0 || !(t[i - 1].ident && t[i - 1].text == "class"))) {
+      syms.cv_vars.insert(t[i + 1].text);
+    }
+    // Candidate function name for annotation attachment.
+    if (i + 1 < t.size() && !t[i + 1].ident && t[i + 1].text == "(" &&
+        !is_control_kw(tk.text) && !is_annotation_macro(tk.text)) {
+      cand = tk.text;
+      cand_cls = w.ctx_class();
+      if (i >= 2 && !t[i - 1].ident && t[i - 1].text == "::" && t[i - 2].ident)
+        cand_cls = t[i - 2].text;
+    }
+    if ((tk.text == "ELSA_EXCLUDES" || tk.text == "ELSA_ACQUIRE" ||
+         tk.text == "ELSA_REQUIRES") &&
+        i + 1 < t.size() && !t[i + 1].ident && t[i + 1].text == "(" &&
+        !cand.empty()) {
+      RawAnnotation a;
+      a.kind = tk.text == "ELSA_REQUIRES" ? RawAnnotation::kRequires
+                                          : RawAnnotation::kAcquires;
+      a.cls = cand_cls;
+      a.fn = cand;
+      a.file = path;
+      a.args = annotation_args(t, i + 1);
+      anns.push_back(std::move(a));
+    }
+  }
+}
+
+/// Pass A2: variables typed as lock-owning classes (plain, pointer,
+/// reference, unique_ptr<T>), so call sites can be resolved to classes.
+void collect_vars(const std::string& path, const std::vector<Tok>& t,
+                  LockSymbols& syms) {
+  (void)path;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const Tok& tk = t[i];
+    if (!tk.ident) continue;
+    if (tk.text == "unique_ptr" && !t[i + 1].ident && t[i + 1].text == "<" &&
+        i + 4 < t.size() && t[i + 2].ident &&
+        syms.lock_classes.count(t[i + 2].text) && !t[i + 3].ident &&
+        t[i + 3].text == ">" && t[i + 4].ident) {
+      syms.var_cls[t[i + 4].text] = t[i + 2].text;
+      continue;
+    }
+    if (!syms.lock_classes.count(tk.text)) continue;
+    if (i > 0 && t[i - 1].ident &&
+        (t[i - 1].text == "class" || t[i - 1].text == "struct"))
+      continue;  // the definition / a forward declaration, not a variable
+    std::size_t j = i + 1;
+    while (j < t.size() && !t[j].ident &&
+           (t[j].text == "*" || t[j].text == "&"))
+      ++j;
+    if (j >= t.size() || !t[j].ident) continue;
+    // Only treat `Class [*&] ident` as a declaration when the next token
+    // ends a declarator, to avoid eating arbitrary expressions.
+    if (j + 1 < t.size() && !t[j + 1].ident &&
+        (t[j + 1].text == ";" || t[j + 1].text == "=" ||
+         t[j + 1].text == "," || t[j + 1].text == ")" ||
+         t[j + 1].text == "{")) {
+      syms.var_cls[t[j].text] = tk.text;
+    }
+  }
+}
+
+struct EdgeInfo {
+  std::string file;
+  std::size_t line = 0;  ///< where `to` is acquired while `from` is held
+};
+
+using EdgeMap = std::map<std::pair<std::string, std::string>, EdgeInfo>;
+
+const std::set<std::string>& blocking_ring_methods() {
+  static const std::set<std::string> m = {"push", "pop", "pop_all"};
+  return m;
+}
+
+const std::set<std::string>& blocking_free_calls() {
+  static const std::set<std::string> m = {"sleep_for", "sleep_until",
+                                          "getline", "fread", "fwrite"};
+  return m;
+}
+
+/// Pass B: follow the held-lock set through one file's function bodies,
+/// emitting graph edges and the site-anchored findings.
+void analyze_file(const std::string& path, const std::vector<Tok>& t,
+                  const std::vector<std::string>& raw_lines,
+                  const LockSymbols& syms, EdgeMap& edges,
+                  std::vector<Finding>& findings) {
+  ScopeWalker w(t);
+  std::vector<HeldLock> held;
+
+  const auto resolve_name = [&](const std::string& name) {
+    return lock_id_for(syms, w.ctx_class(), path, name);
+  };
+
+  const auto acquire = [&](const std::string& id, std::size_t line,
+                           const std::string& var) {
+    for (const HeldLock& h : held) {
+      if (h.id == id) continue;  // re-entrancy is -Wthread-safety's beat
+      const auto key = std::make_pair(h.id, id);
+      if (!edges.count(key)) edges[key] = {path, line};
+    }
+    held.push_back({id, path, line, w.scopes().size(), var});
+  };
+
+  const auto release_var = [&](const std::string& var) {
+    for (std::size_t k = held.size(); k-- > 0;) {
+      if (held[k].var == var) {
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(k));
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const auto release_id = [&](const std::string& id) {
+    for (std::size_t k = held.size(); k-- > 0;) {
+      if (held[k].id == id) {
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(k));
+        return;
+      }
+    }
+  };
+
+  const auto report = [&](std::size_t line, const std::string& rule,
+                          const std::string& message) {
+    if (line > 0 && is_suppressed(raw_lines, line - 1, rule)) return;
+    findings.push_back({path, line, rule, message});
+  };
+
+  const auto held_desc = [&]() {
+    std::string d;
+    for (const HeldLock& h : held) {
+      if (!d.empty()) d += ", ";
+      d += h.id + " (acquired " + h.file + ":" + std::to_string(h.line) + ")";
+    }
+    return d;
+  };
+
+  /// Call-site propagation: callee `cls::method` acquires locks per its
+  /// annotations; holding anything across that call is an ordering edge.
+  const auto call_edges = [&](const std::string& cls, const std::string& fn,
+                              std::size_t line) {
+    if (held.empty() || cls.empty()) return;
+    const auto it = syms.fn_acquires.find(cls + "::" + fn);
+    if (it == syms.fn_acquires.end()) return;
+    for (const std::string& acq : it->second) {
+      bool already = false;
+      for (const HeldLock& h : held) already = already || h.id == acq;
+      if (already) continue;
+      for (const HeldLock& h : held) {
+        const auto key = std::make_pair(h.id, acq);
+        if (!edges.count(key)) edges[key] = {path, line};
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ScopeWalker::Event ev = w.step(i);
+    if (ev.opened) {
+      Scope& s = w.scopes().back();
+      if (s.kind == Scope::kLambda) {
+        // Barrier: the body may run on another thread/later; locks held at
+        // the capture site are not held inside.
+        s.stash = std::move(held);
+        held.clear();
+      } else if (s.kind == Scope::kFunction) {
+        std::vector<std::string> req = s.requires_locks;
+        const auto it = syms.fn_requires.find(s.name);
+        if (it != syms.fn_requires.end())
+          req.insert(req.end(), it->second.begin(), it->second.end());
+        for (const std::string& r : req) {
+          const std::string id =
+              lock_id_for(syms, s.cls.empty() ? w.ctx_class() : s.cls, path, r);
+          bool have = false;
+          for (const HeldLock& h : held) have = have || h.id == id;
+          if (!have) held.push_back({id, path, t[i].line, w.scopes().size(), ""});
+        }
+      }
+    }
+    if (ev.closed) {
+      const std::size_t depth = w.scopes().size();
+      for (std::size_t k = held.size(); k-- > 0;) {
+        if (held[k].depth > depth)
+          held.erase(held.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+      if (ev.closed_scope.kind == Scope::kLambda &&
+          !ev.closed_scope.stash.empty()) {
+        held.insert(held.begin(), ev.closed_scope.stash.begin(),
+                    ev.closed_scope.stash.end());
+      }
+    }
+
+    const Tok& tk = t[i];
+    if (!tk.ident || !w.in_code()) continue;
+
+    // MutexLock lk(expr);
+    if (tk.text == "MutexLock" && i + 2 < t.size() && t[i + 1].ident &&
+        !t[i + 2].ident && t[i + 2].text == "(") {
+      std::string recv, last;
+      int depth = 0;
+      for (std::size_t j = i + 2; j < t.size(); ++j) {
+        if (!t[j].ident) {
+          if (t[j].text == "(") ++depth;
+          else if (t[j].text == ")" && --depth == 0) break;
+          else if (depth == 1 && (t[j].text == "." || t[j].text == "->") &&
+                   !last.empty())
+            recv = last;
+          continue;
+        }
+        if (depth == 1) last = t[j].text;
+      }
+      if (!last.empty()) {
+        std::string id;
+        if (!recv.empty() && syms.var_cls.count(recv))
+          id = syms.var_cls.at(recv) + "::" + last;
+        else
+          id = resolve_name(last);
+        acquire(id, tk.line, t[i + 1].text);
+      }
+      continue;
+    }
+
+    // recv.method( / recv->method(
+    if (i + 3 < t.size() && !t[i + 1].ident &&
+        (t[i + 1].text == "." || t[i + 1].text == "->") && t[i + 2].ident &&
+        !t[i + 3].ident && t[i + 3].text == "(") {
+      const std::string& recv = tk.text;
+      const std::string& method = t[i + 2].text;
+      const std::size_t line = t[i + 2].line;
+      if (method == "unlock") {
+        if (!release_var(recv)) release_id(resolve_name(recv));
+      } else if (method == "lock") {
+        acquire(resolve_name(recv), line, "");
+      } else if ((method == "wait" || method == "wait_for") &&
+                 syms.cv_vars.count(recv)) {
+        if (held.size() >= 2) {
+          report(line, "cv-wait-extra-lock",
+                 "condition wait on `" + recv + "` releases only its own "
+                 "mutex, but this thread also holds: " + held_desc() +
+                 " — waiters and notifiers of those locks can deadlock");
+        }
+      } else if ((method == "join" ||
+                  (blocking_ring_methods().count(method) &&
+                   syms.ring_vars.count(recv))) &&
+                 !held.empty()) {
+        report(line, "blocking-under-lock",
+               "blocking call `" + recv + "." + method + "()` while holding " +
+                   held_desc() +
+                   " — a blocked callee wedges every contender of that lock");
+      }
+      if (!held.empty()) {
+        std::string cls;
+        if (syms.var_cls.count(recv)) cls = syms.var_cls.at(recv);
+        else if (syms.ring_vars.count(recv)) cls = "Ring";
+        call_edges(cls, method, line);
+      }
+      continue;
+    }
+
+    // Free/unqualified calls: blocking list + same-class callee edges.
+    if (i + 1 < t.size() && !t[i + 1].ident && t[i + 1].text == "(" &&
+        !is_control_kw(tk.text) && !is_annotation_macro(tk.text)) {
+      if (blocking_free_calls().count(tk.text) && !held.empty()) {
+        report(tk.line, "blocking-under-lock",
+               "blocking call `" + tk.text + "()` while holding " +
+                   held_desc() +
+                   " — a blocked callee wedges every contender of that lock");
+      }
+      if (!held.empty()) {
+        std::string cls = w.ctx_class();
+        if (i >= 2 && !t[i - 1].ident && t[i - 1].text == "::" &&
+            t[i - 2].ident)
+          cls = t[i - 2].text;
+        call_edges(cls, tk.text, tk.line);
+      }
+    }
+  }
+}
+
+/// DFS cycle extraction over the acquisition graph; reports each distinct
+/// cycle once (canonical rotation) with every edge's site.
+std::vector<Finding> cycle_findings(
+    const EdgeMap& edges,
+    const std::map<std::string, std::vector<std::string>>& raw_by_file) {
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, info] : edges) {
+    (void)info;
+    adj[key.first].push_back(key.second);
+    adj.try_emplace(key.second);
+  }
+  for (auto& [n, outs] : adj) {
+    (void)n;
+    std::sort(outs.begin(), outs.end());
+  }
+
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> path;
+  std::vector<std::vector<std::string>> cycles;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    path.push_back(u);
+    for (const std::string& v : adj[u]) {
+      if (color[v] == 1) {
+        const auto it = std::find(path.begin(), path.end(), v);
+        if (it != path.end()) cycles.emplace_back(it, path.end());
+      } else if (color[v] == 0) {
+        dfs(v);
+      }
+    }
+    path.pop_back();
+    color[u] = 2;
+  };
+  for (const auto& [n, outs] : adj) {
+    (void)outs;
+    if (color[n] == 0) dfs(n);
+  }
+
+  std::set<std::string> seen;
+  std::vector<Finding> out;
+  for (std::vector<std::string> cyc : cycles) {
+    // Canonical rotation: start at the lexicographically smallest lock.
+    const auto smallest = std::min_element(cyc.begin(), cyc.end());
+    std::rotate(cyc.begin(), smallest, cyc.end());
+    std::string key;
+    for (const std::string& n : cyc) key += n + "|";
+    if (!seen.insert(key).second) continue;
+
+    bool suppressed = false;
+    std::string desc = "lock-order cycle: " + cyc.front();
+    EdgeInfo first_edge{};
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      const std::string& from = cyc[i];
+      const std::string& to = cyc[(i + 1) % cyc.size()];
+      const EdgeInfo& e = edges.at({from, to});
+      if (i == 0) first_edge = e;
+      desc += " -> " + to + " (" + e.file + ":" + std::to_string(e.line) + ")";
+      const auto rit = raw_by_file.find(e.file);
+      if (rit != raw_by_file.end() && e.line > 0 &&
+          is_suppressed(rit->second, e.line - 1, "lock-cycle"))
+        suppressed = true;
+    }
+    if (suppressed) continue;
+    out.push_back({first_edge.file, first_edge.line, "lock-cycle", desc});
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.message) <
+           std::tie(b.file, b.line, b.message);
+  });
+  return out;
+}
+
 std::string include_target(const std::string& raw_line) {
   std::size_t p = raw_line.find_first_not_of(" \t");
   if (p == std::string::npos || raw_line[p] != '#') return "";
@@ -529,26 +1212,105 @@ std::vector<Finding> lint_file(const std::string& path,
   return findings;
 }
 
-std::vector<Finding> lint_tree(const std::string& root) {
+namespace {
+
+bool in_fixture_dir(const std::string& path) {
+  return path.find("lint_fixtures") != std::string::npos;
+}
+
+/// Sorted (root-prefixed path, contents) pairs for every source file under
+/// `root`, skipping lint_fixtures trees.
+std::vector<std::pair<std::string, std::string>> tree_files(
+    const std::string& root) {
   namespace fs = std::filesystem;
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const auto& entry : fs::recursive_directory_iterator(root)) {
     if (!entry.is_regular_file()) continue;
     const std::string ext = entry.path().extension().string();
-    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
-      files.push_back(entry.path());
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc")
+      continue;
+    if (in_fixture_dir(entry.path().generic_string())) continue;
+    paths.push_back(entry.path());
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
 
-  std::vector<Finding> findings;
-  for (const fs::path& p : files) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const fs::path& p : paths) {
     std::ifstream in(p, std::ios::binary);
     std::ostringstream ss;
     ss << in.rdbuf();
     const std::string rel = fs::relative(p, root).generic_string();
-    auto file_findings = lint_file(rel, ss.str());
+    out.emplace_back((fs::path(root) / rel).generic_string(), ss.str());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  std::vector<Finding> findings;
+  for (const auto& [path, contents] : tree_files(root)) {
+    auto file_findings = lint_file(path, contents);
     findings.insert(findings.end(), file_findings.begin(), file_findings.end());
   }
+  return findings;
+}
+
+std::vector<Finding> lint_lock_graph(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  LockSymbols syms;
+  std::vector<RawAnnotation> anns;
+  std::vector<std::pair<std::string, std::vector<Tok>>> toks;
+  std::map<std::string, std::vector<std::string>> raw_by_file;
+
+  for (const auto& [path, contents] : files) {
+    // The annotated-primitive wrapper defines Mutex/MutexLock themselves;
+    // its internals are not acquisition sites of project locks.
+    if (ends_with(path, "util/thread_annotations.hpp")) continue;
+    if (in_fixture_dir(path)) continue;
+    toks.emplace_back(path, tokenize(strip_code(contents)));
+    raw_by_file[path] = split_lines(contents);
+    collect_decls(path, toks.back().second, syms, anns);
+  }
+  for (const RawAnnotation& a : anns) {
+    const std::string key = a.cls.empty() ? a.fn : a.cls + "::" + a.fn;
+    auto& table = a.kind == RawAnnotation::kAcquires ? syms.fn_acquires
+                                                     : syms.fn_requires;
+    for (const std::string& arg : a.args)
+      table[key].insert(lock_id_for(syms, a.cls, a.file, arg));
+  }
+  for (const auto& [path, t] : toks) collect_vars(path, t, syms);
+
+  EdgeMap edges;
+  std::vector<Finding> findings;
+  for (const auto& [path, t] : toks)
+    analyze_file(path, t, raw_by_file.at(path), syms, edges, findings);
+
+  auto cycles = cycle_findings(edges, raw_by_file);
+  findings.insert(findings.end(), cycles.begin(), cycles.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_roots(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  std::vector<std::pair<std::string, std::string>> all_files;
+  for (const std::string& root : roots) {
+    if (!fs::is_directory(root)) continue;
+    for (auto& file : tree_files(root)) {
+      auto file_findings = lint_file(file.first, file.second);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+      all_files.push_back(std::move(file));
+    }
+  }
+  auto lock_findings = lint_lock_graph(all_files);
+  findings.insert(findings.end(), lock_findings.begin(), lock_findings.end());
   return findings;
 }
 
@@ -557,6 +1319,38 @@ std::string format(const std::vector<Finding>& findings) {
   for (const Finding& f : findings) {
     out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
         << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// GitHub workflow-command escaping; properties additionally escape the
+/// separators (':' and ',') the command parser is sensitive to.
+std::string gh_escape(const std::string& s, bool property) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case '\r': out += "%0D"; break;
+      case '\n': out += "%0A"; break;
+      case ':': out += property ? "%3A" : ":"; break;
+      case ',': out += property ? "%2C" : ","; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_github(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << "::error file=" << gh_escape(f.file, true) << ",line=" << f.line
+        << ",title=" << gh_escape("elsa-lint " + f.rule, true)
+        << "::" << gh_escape("[" + f.rule + "] " + f.message, false) << "\n";
   }
   return out.str();
 }

@@ -18,13 +18,29 @@
 //   layering        — module includes must follow the dependency DAG
 //                     (e.g. simlog/signalkit must never include serve/).
 //
+// Whole-project lock-graph rules (lint_lock_graph / lint_roots): a second
+// pass parses the thread-safety annotations (ELSA_REQUIRES / ELSA_ACQUIRE
+// / ELSA_EXCLUDES) plus lexical MutexLock nesting across every scanned
+// file, builds the global lock-acquisition graph, and reports:
+//   lock-cycle          — a cycle in the acquisition order, with the full
+//                         path and the file:line of every edge.
+//   cv-wait-extra-lock  — a CondVar wait while a second mutex is held
+//                         (the wait releases only its own mutex; anything
+//                         else held starves every contender).
+//   blocking-under-lock — a blocking call (Ring push/pop/pop_all, thread
+//                         join, sleep, blocking I/O) under a held Mutex.
+//
 // A finding is suppressed by a comment on the same line or within the
 // three lines above:  // elsa-lint: allow(<rule>): <reason>
-// The reason is mandatory; an allow() without one does not suppress.
+// The reason is mandatory; an allow() without one does not suppress. For
+// lock-cycle the allow() goes on any acquisition site participating in
+// the cycle. Fixture trees are exempt wholesale: any path containing a
+// `lint_fixtures` component is skipped by the directory walkers.
 #pragma once
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace elsa::lint {
@@ -42,11 +58,29 @@ struct Finding {
 std::vector<Finding> lint_file(const std::string& path,
                                const std::string& contents);
 
-/// Recursively lint every *.hpp / *.cpp under `root` (normally src/).
-/// Findings carry paths relative to `root`; order is deterministic.
+/// Recursively lint every *.hpp / *.cpp under `root` (normally src/) with
+/// the per-file rules. Findings carry root-prefixed paths (root as given
+/// joined with the file's relative path); order is deterministic. Paths
+/// containing a `lint_fixtures` component are skipped.
 std::vector<Finding> lint_tree(const std::string& root);
+
+/// Whole-project lock-order pass over (path, contents) pairs: extracts
+/// the global lock-acquisition graph from annotations and MutexLock
+/// nesting, then reports lock-cycle / cv-wait-extra-lock /
+/// blocking-under-lock. The annotated-primitive header itself
+/// (util/thread_annotations.hpp) is exempt.
+std::vector<Finding> lint_lock_graph(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// Full gate: per-file rules on every tree plus one lock-graph pass over
+/// the union of all files (cross-root lock orders are real orders).
+std::vector<Finding> lint_roots(const std::vector<std::string>& roots);
 
 /// Render as "file:line: [rule] message" lines.
 std::string format(const std::vector<Finding>& findings);
+
+/// Render as GitHub Actions workflow annotations
+/// ("::error file=…,line=…::…"), one per finding, for inline PR surfacing.
+std::string format_github(const std::vector<Finding>& findings);
 
 }  // namespace elsa::lint
