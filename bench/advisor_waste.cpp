@@ -1,0 +1,190 @@
+// End-to-end advisor bench: replay a BG/L-like campaign through
+// serve + CheckpointAdvisor (the full tap -> SPSC -> pump path), then
+// price the emitted CheckpointSchedule against the static-optimum
+// baseline with the schedule-driven simulator — the same loop
+// `elsa advise` closes, measured for the regression gate.
+//
+//   ./build/bench/advisor_waste [days] [--json PATH]
+//
+// The gated number is replay throughput with the advisor attached
+// (records/s through ingest -> shard -> predict -> tap -> advisor); the
+// waste-gain lines are the reproduction's headline numbers and are
+// printed for the log (EXPERIMENTS.md records them).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "advisor/service.hpp"
+#include "bench_json.hpp"
+#include "ckpt/simulator.hpp"
+#include "ckpt/waste_model.hpp"
+#include "elsa/pipeline.hpp"
+#include "serve/replayer.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+using namespace elsa;
+
+simlog::Trace truncated(const simlog::Trace& trace, std::int64_t end_ms) {
+  simlog::Trace t = trace;
+  while (!t.records.empty() && t.records.back().time_ms >= end_ms)
+    t.records.pop_back();
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const double days = !positional.empty() ? std::atof(positional[0]) : 8.0;
+
+  std::printf("generating %.0f-day BG/L-like campaign (seed 2012)...\n",
+              days);
+  auto sc = simlog::make_bluegene_scenario(2012, days);
+  const auto trace = sc.generator.generate(sc.config);
+  const std::int64_t train_end =
+      trace.t_begin_ms +
+      static_cast<std::int64_t>(days / 2.0 * 86'400'000.0);
+  core::PipelineConfig pcfg;
+  const auto model =
+      core::train_offline(trace, train_end, core::Method::Hybrid, pcfg);
+
+  advisor::AdvisorServiceConfig acfg;
+  acfg.serve.shards = 4;
+  acfg.serve.engine.use_location = true;
+  serve::ReplayOptions ro;
+  ro.max_retries = 3;
+
+  // Calibration pass on the training window (same policy as
+  // `elsa advise`: the estimator's gap -> MTTF ratio comes from measured
+  // alarm episodes per known training failure, not the offline prior).
+  {
+    const simlog::Trace train = truncated(trace, train_end);
+    advisor::AdvisorService calib(train.topology, model, acfg);
+    serve::TraceReplayer crep(train, ro);
+    crep.replay_into(calib.service(), nullptr);
+    calib.finish(train_end);
+    std::uint64_t episodes = 0, f_train = 0;
+    for (const auto& p : calib.schedule().partitions)
+      if (p.partition >= 0) episodes += p.episodes;
+    for (const auto& f : trace.faults)
+      if (f.fail_time_ms < train_end && f.initiating_node >= 0) ++f_train;
+    if (episodes > 0 && f_train > 0)
+      acfg.advisor.episodes_per_failure =
+          static_cast<double>(episodes) / static_cast<double>(f_train);
+  }
+
+  // Timed full replay with the advisor attached.
+  advisor::AdvisorService svc(trace.topology, model, acfg);
+  serve::TraceReplayer replayer(trace, ro);
+  const auto a = std::chrono::steady_clock::now();
+  const std::size_t accepted = replayer.replay_into(svc.service(), nullptr);
+  svc.finish(trace.t_end_ms);
+  const auto b = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(b - a).count();
+  svc.advisor().score(trace.faults, train_end);
+  const auto sched = svc.schedule();
+  std::printf(
+      "replayed %zu records in %.2fs (%.0f records/s with advisor tap), "
+      "advisor dropped %llu\n",
+      accepted, secs, static_cast<double>(accepted) / secs,
+      static_cast<unsigned long long>(svc.dropped()));
+
+  // Price the schedule: adaptive vs the hindsight-optimal static interval
+  // at the Table IV cost points (compact mirror of `elsa advise`).
+  const auto& topo = trace.topology;
+  const std::int32_t npm =
+      std::max(1, topo.nodes_per_nodecard() * topo.nodecards_per_midplane());
+  const std::int32_t nparts = std::max(1, topo.total_nodes() / npm);
+  const double t0 = static_cast<double>(train_end) / 60000.0;
+  const double t1 = static_cast<double>(trace.t_end_ms) / 60000.0;
+  std::vector<std::vector<double>> fails(static_cast<std::size_t>(nparts));
+  std::size_t total_fails = 0;
+  for (const auto& f : trace.faults) {
+    if (f.fail_time_ms < train_end || f.initiating_node < 0) continue;
+    const std::int32_t p = f.initiating_node / npm;
+    if (p >= nparts) continue;
+    fails[static_cast<std::size_t>(p)].push_back(
+        static_cast<double>(f.fail_time_ms) / 60000.0);
+    ++total_fails;
+  }
+  const double mttf_static =
+      total_fails > 0 ? (t1 - t0) * static_cast<double>(nparts) /
+                            static_cast<double>(total_fails)
+                      : 1.0e9;
+  const advisor::AdvisorConfig& ad = acfg.advisor;
+  struct Point {
+    const char* label;
+    double C;
+  } points[] = {{"C=1min", 1.0}, {"C=10s", 1.0 / 6.0}};
+  for (const Point& pt : points) {
+    ckpt::CkptParams prm{pt.C, 5.0, 1.0, mttf_static};
+    const double t_static = ckpt::young_interval(prm);
+    double wall_a = 0.0, useful_a = 0.0, wall_s = 0.0, useful_s = 0.0;
+    for (std::int32_t p = 0; p < nparts; ++p) {
+      ckpt::ScheduleSimConfig cfg;
+      cfg.params = prm;
+      cfg.t_begin = t0;
+      cfg.t_end = t1;
+      cfg.interval = advisor::interval_for_cost(ad, pt.C, ad.params.mttf);
+      for (const auto& u : sched.updates) {
+        if (u.partition != p) continue;
+        const double ut = static_cast<double>(u.time_ms) / 60000.0;
+        const double iv = advisor::interval_for_cost(ad, pt.C, u.est_mttf_min);
+        if (ut <= t0)
+          cfg.interval = iv;
+        else
+          cfg.changes.push_back({ut, iv});
+      }
+      for (const auto& d : sched.directives)
+        if (d.partition == p && d.issue_time_ms >= train_end)
+          cfg.proactive.push_back(
+              static_cast<double>(d.issue_time_ms) / 60000.0);
+      cfg.failures = fails[static_cast<std::size_t>(p)];
+      const auto ra = ckpt::simulate_schedule(cfg);
+      wall_a += ra.wall_time;
+      useful_a += ra.useful_work;
+
+      ckpt::ScheduleSimConfig scfg;
+      scfg.params = prm;
+      scfg.t_begin = t0;
+      scfg.t_end = t1;
+      scfg.interval = t_static;
+      scfg.failures = fails[static_cast<std::size_t>(p)];
+      const auto rs = ckpt::simulate_schedule(scfg);
+      wall_s += rs.wall_time;
+      useful_s += rs.useful_work;
+    }
+    const double waste_a = 1.0 - useful_a / wall_a;
+    const double waste_s = 1.0 - useful_s / wall_s;
+    std::printf("%s: static waste %.3f%%, adaptive waste %.3f%%, gain %.1f%%\n",
+                pt.label, waste_s * 100.0, waste_a * 100.0,
+                (waste_s - waste_a) / waste_s * 100.0);
+  }
+
+  if (!json_path.empty()) {
+    benchjson::BenchMap out;
+    benchjson::BenchPoint e2e;
+    e2e.items_per_sec = static_cast<double>(accepted) / secs;
+    e2e.p50_us = secs * 1.0e6;
+    e2e.p99_us = secs * 1.0e6;
+    out["advisor_e2e/replay_shards4"] = e2e;
+    if (!benchjson::write_file(json_path, out)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -5,9 +5,15 @@
 // recall THIS reproduction's hybrid predictor actually measured.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <iostream>
+#include <numeric>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "ckpt/simulator.hpp"
 #include "ckpt/waste_model.hpp"
 #include "util/ascii.hpp"
@@ -90,6 +96,38 @@ void print_table4() {
             << "\n";
 }
 
+/// Simulator throughput for the regression gate: simulated work-minutes
+/// pushed through simulate_checkpointing per second, with and without the
+/// prediction path (the predicted path exercises the proactive-checkpoint
+/// branch and is the one the advisor leans on).
+void measure_sim(benchjson::BenchMap& out, const char* name, double recall,
+                 double precision) {
+  ckpt::SimConfig cfg;
+  cfg.params = {1.0, 5.0, 1.0, 1440.0};
+  cfg.recall = recall;
+  cfg.precision = precision;
+  cfg.target_work = 1.0e5;
+  cfg.seed = 17;
+  constexpr int kIters = 20;
+  std::vector<double> lat_us;
+  for (int i = 0; i < kIters; ++i) {
+    const auto a = std::chrono::steady_clock::now();
+    auto r = ckpt::simulate_checkpointing(cfg);
+    benchmark::DoNotOptimize(r.wall_time);
+    const auto b = std::chrono::steady_clock::now();
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(b - a).count());
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  benchjson::BenchPoint pt;
+  const double total_us =
+      std::accumulate(lat_us.begin(), lat_us.end(), 0.0);
+  pt.items_per_sec = cfg.target_work * kIters / (total_us / 1.0e6);
+  pt.p50_us = lat_us[lat_us.size() / 2];
+  pt.p99_us = lat_us[lat_us.size() - 1];
+  out[name] = pt;
+}
+
 void BM_simulator(benchmark::State& state) {
   ckpt::SimConfig cfg;
   cfg.params = {1.0, 5.0, 1.0, 1440.0};
@@ -106,8 +144,30 @@ BENCHMARK(BM_simulator)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --json before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
   print_table4();
   std::cout << "\n";
+  if (!json_path.empty()) {
+    elsa::benchjson::BenchMap bench_out;
+    measure_sim(bench_out, "ckpt_sim/young_c1min", 0.0, 1.0);
+    measure_sim(bench_out, "ckpt_sim/predicted_c1min", 0.45, 0.92);
+    if (!elsa::benchjson::write_file(json_path, bench_out)) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n\n";
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,293 @@
+#include "advisor/advisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "serve/metrics.hpp"
+
+namespace elsa::advisor {
+
+namespace {
+
+/// Total order on updates: trace time, then partition, then the values —
+/// canonical regardless of pump-thread arrival interleaving across shards.
+bool update_less(const IntervalUpdate& a, const IntervalUpdate& b) {
+  if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+  if (a.partition != b.partition) return a.partition < b.partition;
+  if (a.est_mttf_min != b.est_mttf_min) return a.est_mttf_min < b.est_mttf_min;
+  return a.interval_min < b.interval_min;
+}
+
+/// Total order on directives, same rationale.
+bool directive_less(const Directive& a, const Directive& b) {
+  if (a.issue_time_ms != b.issue_time_ms)
+    return a.issue_time_ms < b.issue_time_ms;
+  if (a.partition != b.partition) return a.partition < b.partition;
+  if (a.chain_id != b.chain_id) return a.chain_id < b.chain_id;
+  if (a.predicted_time_ms != b.predicted_time_ms)
+    return a.predicted_time_ms < b.predicted_time_ms;
+  return a.confidence < b.confidence;
+}
+
+void append_line(std::string& s, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  s += buf;
+}
+
+}  // namespace
+
+std::string CheckpointSchedule::to_string() const {
+  std::string s;
+  append_line(s, "checkpoint schedule\n");
+  append_line(s,
+              "  initial interval %.4f min; events %llu, suppressed %llu, "
+              "hits %llu, misses %llu\n",
+              initial_interval_min, static_cast<unsigned long long>(events),
+              static_cast<unsigned long long>(suppressed),
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses));
+  for (const PartitionSchedule& p : partitions)
+    append_line(s,
+                "  partition %d: alarms %llu, episodes %llu, "
+                "mttf %.4f min, interval %.4f min\n",
+                p.partition, static_cast<unsigned long long>(p.alarms),
+                static_cast<unsigned long long>(p.episodes), p.est_mttf_min,
+                p.interval_min);
+  for (const IntervalUpdate& u : updates)
+    append_line(s, "  update t=%lld p=%d mttf=%.4f interval=%.4f\n",
+                static_cast<long long>(u.time_ms), u.partition, u.est_mttf_min,
+                u.interval_min);
+  for (const Directive& d : directives)
+    append_line(s,
+                "  directive t=%lld p=%d chain=%llu pred=%lld conf=%.4f%s\n",
+                static_cast<long long>(d.issue_time_ms), d.partition,
+                static_cast<unsigned long long>(d.chain_id),
+                static_cast<long long>(d.predicted_time_ms), d.confidence,
+                d.scored ? (d.hit ? " HIT" : " MISS") : "");
+  return s;
+}
+
+std::uint64_t CheckpointSchedule::digest() const {
+  const std::string s = to_string();
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV-1a 64 prime
+  }
+  return h;
+}
+
+namespace {
+
+double clampd(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+double interval_for(const AdvisorConfig& cfg, double mttf_min) {
+  return interval_for_cost(cfg, cfg.params.C, mttf_min);
+}
+
+}  // namespace
+
+// Eq. 4: the optimum for the failures the directive pipeline will *not*
+// catch (effective MTTF inflated by 1/(1-credited recall); see
+// AdvisorConfig::interval_recall).
+double interval_for_cost(const AdvisorConfig& cfg, double C,
+                         double mttf_min) {
+  const double r =
+      cfg.interval_recall >= 0.0 ? cfg.interval_recall : cfg.recall;
+  const double eff = r < 1.0 ? mttf_min / (1.0 - r) : 1.0e12;
+  return clampd(std::sqrt(2.0 * C * eff), cfg.min_interval_min,
+                cfg.max_interval_min);
+}
+
+CheckpointAdvisor::CheckpointAdvisor(AdvisorConfig cfg,
+                                     std::int32_t nodes_per_midplane,
+                                     serve::ServeMetrics* metrics)
+    : cfg_(cfg),
+      nodes_per_midplane_(nodes_per_midplane > 0 ? nodes_per_midplane : 1),
+      metrics_(metrics),
+      initial_interval_min_(interval_for(cfg, cfg.params.mttf)) {}
+
+std::int32_t CheckpointAdvisor::partition_of(std::int32_t node_id) const {
+  if (node_id < 0) return -1;  // reserved system partition
+  return node_id / nodes_per_midplane_;
+}
+
+double CheckpointAdvisor::initial_interval_min() const {
+  return initial_interval_min_;
+}
+
+CheckpointAdvisor::Partition& CheckpointAdvisor::slot(std::int32_t partition) {
+  // Slot 0 is the system partition (-1); midplane p lives at p + 1.
+  const auto idx = static_cast<std::size_t>(partition + 1);
+  if (parts_.size() <= idx) parts_.resize(idx + 1);
+  return parts_[idx];
+}
+
+void CheckpointAdvisor::on_prediction(const core::Prediction& p) {
+  const std::int32_t part =
+      p.nodes.empty() ? -1 : partition_of(p.nodes.front());
+  const std::int64_t t = p.issue_time_ms;
+
+  util::MutexLock lk(mu_);
+  ++events_;
+  if (metrics_) metrics_->on_advisor_event();
+  Partition& s = slot(part);
+  ++s.alarms;
+
+  // Failure-rate estimate from the inter-alarm gap (see file comment in
+  // advisor.hpp). Non-positive gaps (injected clock skew, clamped
+  // out-of-order records) and intra-episode re-fires update the episode
+  // edge but not the EWMA.
+  if (!s.saw_alarm) {
+    s.saw_alarm = true;
+    s.last_alarm_ms = t;
+  } else {
+    const std::int64_t dt = t - s.last_alarm_ms;
+    if (dt >= cfg_.episode_merge_ms) {
+      const double gap_min = static_cast<double>(dt) / 60000.0;
+      ++s.episodes;
+      const double alpha =
+          cfg_.gap_alpha > 0.0
+              ? cfg_.gap_alpha
+              : 1.0 / static_cast<double>(s.episodes);  // running mean
+      s.gap_ewma_min = s.episodes == 1
+                           ? gap_min
+                           : alpha * gap_min + (1.0 - alpha) * s.gap_ewma_min;
+    }
+    if (dt > 0) s.last_alarm_ms = t;
+  }
+
+  // Publish a new interval only when the estimate moved enough
+  // (hysteresis in the MTTF domain, so consumers can re-derive the
+  // interval for any checkpoint cost from est_mttf alone).
+  if (s.episodes > 0) {
+    const double ratio = cfg_.episodes_per_failure > 0.0
+                             ? cfg_.episodes_per_failure
+                             : cfg_.recall / cfg_.precision;
+    const double est =
+        clampd(s.gap_ewma_min * ratio, cfg_.mttf_min, cfg_.mttf_max);
+    const bool moved =
+        s.published_mttf <= 0.0 ||
+        std::fabs(est - s.published_mttf) >=
+            cfg_.mttf_hysteresis * s.published_mttf;
+    if (moved) {
+      s.published_mttf = est;
+      s.interval_min = interval_for(cfg_, est);
+      updates_.push_back({t, part, est, s.interval_min});
+      if (metrics_) metrics_->on_interval_update();
+    }
+  }
+
+  // Proactive directive: confident, enough lead, and not inside the
+  // partition's rate-limit window (skewed time counts as inside — a
+  // directive "from the past" is a duplicate, not a new incident).
+  if (p.confidence >= cfg_.directive_confidence &&
+      p.lead_ms >= cfg_.min_lead_ms) {
+    const bool limited =
+        s.saw_directive && (t - s.last_directive_ms) < cfg_.directive_spacing_ms;
+    if (limited) {
+      ++suppressed_;
+      if (metrics_) metrics_->on_directive_suppressed();
+    } else {
+      s.saw_directive = true;
+      s.last_directive_ms = t;
+      directives_.push_back(
+          {t, p.predicted_time_ms, part, p.chain_id, p.confidence, false,
+           false});
+      if (metrics_) metrics_->on_directive();
+    }
+  }
+}
+
+void CheckpointAdvisor::score(
+    const std::vector<simlog::GroundTruthFault>& faults, std::int64_t from_ms) {
+  util::MutexLock lk(mu_);
+  // Canonical directive order makes the greedy matching deterministic no
+  // matter how pump-thread interleaving appended them.
+  std::sort(directives_.begin(), directives_.end(), directive_less);
+
+  struct Candidate {
+    std::int64_t fail_ms;
+    bool consumed = false;
+  };
+  // Same slot convention as the live state: system partition -1 at 0.
+  std::vector<std::vector<Candidate>> per_part;
+  for (const simlog::GroundTruthFault& f : faults) {
+    if (f.fail_time_ms < from_ms) continue;
+    const auto part =
+        static_cast<std::size_t>(partition_of(f.initiating_node) + 1);
+    if (per_part.size() <= part) per_part.resize(part + 1);
+    per_part[part].push_back({f.fail_time_ms});
+  }
+  for (auto& v : per_part)
+    std::sort(v.begin(), v.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.fail_ms < b.fail_ms;
+              });
+
+  std::uint64_t hits = 0, misses = 0;
+  for (Directive& d : directives_) {
+    // Directives issued before the scoring window (training replay) stay
+    // unscored: they had no ground truth to be judged against.
+    if (d.scored || d.issue_time_ms < from_ms) continue;
+    d.scored = true;
+    const std::int64_t lo = d.issue_time_ms;
+    const std::int64_t hi =
+        std::max(d.predicted_time_ms, d.issue_time_ms) + cfg_.hit_slack_ms;
+    d.hit = false;
+    const auto part = static_cast<std::size_t>(d.partition + 1);
+    if (part < per_part.size()) {
+      for (Candidate& c : per_part[part]) {
+        if (c.consumed || c.fail_ms < lo) continue;
+        if (c.fail_ms > hi) break;
+        c.consumed = true;
+        d.hit = true;
+        break;
+      }
+    }
+    d.hit ? ++hits : ++misses;
+  }
+  hits_ += hits;
+  misses_ += misses;
+  if (metrics_) {
+    if (hits > 0) metrics_->on_predicted_hit(hits);
+    if (misses > 0) metrics_->on_predicted_miss(misses);
+  }
+}
+
+CheckpointSchedule CheckpointAdvisor::schedule() const {
+  util::MutexLock lk(mu_);
+  CheckpointSchedule out;
+  out.initial_interval_min = initial_interval_min_;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    const Partition& s = parts_[i];
+    if (s.alarms == 0) continue;
+    PartitionSchedule ps;
+    ps.partition = static_cast<std::int32_t>(i) - 1;
+    ps.alarms = s.alarms;
+    ps.episodes = s.episodes;
+    ps.est_mttf_min = s.published_mttf;
+    ps.interval_min = s.interval_min > 0.0 ? s.interval_min
+                                           : initial_interval_min_;
+    out.partitions.push_back(ps);
+  }
+  out.updates = updates_;
+  std::sort(out.updates.begin(), out.updates.end(), update_less);
+  out.directives = directives_;
+  std::sort(out.directives.begin(), out.directives.end(), directive_less);
+  out.events = events_;
+  out.suppressed = suppressed_;
+  out.hits = hits_;
+  out.misses = misses_;
+  return out;
+}
+
+}  // namespace elsa::advisor

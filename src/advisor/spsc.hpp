@@ -1,0 +1,74 @@
+// Wait-free single-producer single-consumer ring, the hand-off between a
+// shard worker publishing predictions (serve/tap.hpp) and the advisor's
+// pump thread. One ring per shard: the tap contract guarantees at most one
+// producer per shard index at any instant (worker, watchdog-restarted
+// successor, or finishing thread — all sequenced by thread joins), and the
+// advisor's single pump thread is the only consumer, so the classic
+// two-index SPSC discipline applies with no locks and no CAS.
+//
+// try_push never blocks: a full ring refuses the element and the caller
+// counts a drop (the tap contract's drop-and-count clause). Capacity is
+// rounded up to a power of two so the index math is a mask.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace elsa::advisor {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False (and no effect) when the ring is full.
+  bool try_push(const T& v) {
+    // relaxed: tail_ is only written by this thread; no ordering needed to
+    // read our own last store.
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    // acquire: pairs with the consumer's head_ release so the slot we are
+    // about to overwrite has really been read out.
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    if (t - h > mask_) return false;  // full
+    buf_[t & mask_] = v;
+    // release: publishes the slot write above to the consumer's
+    // tail_ acquire.
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(T& out) {
+    // relaxed: head_ is only written by this thread.
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    // acquire: pairs with the producer's tail_ release; makes the slot
+    // contents visible before we read them.
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    if (h == t) return false;  // empty
+    out = buf_[h & mask_];
+    // release: hands the consumed slot back to the producer's
+    // head_ acquire.
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  // Separate cache lines so producer and consumer do not false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next slot to pop
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next slot to push
+};
+
+}  // namespace elsa::advisor

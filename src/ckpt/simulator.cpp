@@ -2,12 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
 namespace elsa::ckpt {
 
+namespace {
+
+void check_params(const CkptParams& p, const char* who) {
+  if (!(p.C > 0.0) || !(p.R >= 0.0) || !(p.D >= 0.0) ||
+      !std::isfinite(p.C) || !std::isfinite(p.R) || !std::isfinite(p.D))
+    throw std::invalid_argument(std::string(who) +
+                                ": CkptParams C/R/D malformed");
+}
+
+void check_sim_config(const SimConfig& cfg) {
+  check_params(cfg.params, "simulate_checkpointing");
+  if (!(cfg.params.mttf > 0.0) || !std::isfinite(cfg.params.mttf))
+    throw std::invalid_argument("simulate_checkpointing: mttf must be > 0");
+  if (!(cfg.precision > 0.0) || !(cfg.precision <= 1.0))
+    throw std::invalid_argument(
+        "simulate_checkpointing: precision outside (0,1]");
+  if (!(cfg.recall >= 0.0) || !(cfg.recall <= 1.0))
+    throw std::invalid_argument(
+        "simulate_checkpointing: recall outside [0,1]");
+  if (!(cfg.target_work > 0.0) || !std::isfinite(cfg.target_work))
+    throw std::invalid_argument(
+        "simulate_checkpointing: target_work must be > 0");
+  // interval == 0 selects the recall-adjusted optimum; anything else must
+  // be a positive, finite interval (a NaN here used to poison every
+  // min() in the event loop and spin the simulation forever).
+  if (!(cfg.interval >= 0.0) || !std::isfinite(cfg.interval))
+    throw std::invalid_argument(
+        "simulate_checkpointing: interval must be 0 (optimum) or > 0");
+}
+
+}  // namespace
+
 SimResult simulate_checkpointing(const SimConfig& cfg) {
+  check_sim_config(cfg);
   const CkptParams& p = cfg.params;
   util::Rng rng(cfg.seed);
   SimResult r;
@@ -78,6 +113,149 @@ SimResult simulate_checkpointing(const SimConfig& cfg) {
     until_ckpt = T;
   }
   r.useful_work = saved_work + work_since_ckpt;
+  return r;
+}
+
+namespace {
+
+void check_ascending(const std::vector<double>& v, const char* what) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i]))
+      throw std::invalid_argument(std::string("simulate_schedule: ") + what +
+                                  " contains a non-finite time");
+    if (i > 0 && v[i] < v[i - 1])
+      throw std::invalid_argument(std::string("simulate_schedule: ") + what +
+                                  " not ascending");
+  }
+}
+
+void check_schedule_config(const ScheduleSimConfig& cfg) {
+  check_params(cfg.params, "simulate_schedule");
+  if (!std::isfinite(cfg.t_begin) || !std::isfinite(cfg.t_end) ||
+      !(cfg.t_end > cfg.t_begin))
+    throw std::invalid_argument("simulate_schedule: t_end must be > t_begin");
+  if (!(cfg.interval > 0.0) || !std::isfinite(cfg.interval))
+    throw std::invalid_argument(
+        "simulate_schedule: initial interval must be > 0");
+  for (std::size_t i = 0; i < cfg.changes.size(); ++i) {
+    const IntervalChange& c = cfg.changes[i];
+    if (!std::isfinite(c.time) || !(c.interval > 0.0) ||
+        !std::isfinite(c.interval))
+      throw std::invalid_argument(
+          "simulate_schedule: interval change malformed");
+    if (i > 0 && c.time < cfg.changes[i - 1].time)
+      throw std::invalid_argument(
+          "simulate_schedule: interval changes not ascending");
+  }
+  check_ascending(cfg.proactive, "proactive");
+  check_ascending(cfg.failures, "failures");
+}
+
+}  // namespace
+
+ScheduleSimResult simulate_schedule(const ScheduleSimConfig& cfg) {
+  check_schedule_config(cfg);
+  const CkptParams& p = cfg.params;
+  ScheduleSimResult r;
+
+  // The replay walks absolute time. Compute accrues into `work` (volatile —
+  // a failure rolls it back); a checkpoint commits it. Overhead windows
+  // (C at a checkpoint, R+D after a failure) advance `t` without accruing;
+  // events whose timestamp lands inside an overhead window take effect as
+  // soon as the window closes (effective time max(t, ev.time)), which is
+  // also what re-anchors the periodic tick stream past swallowed ticks.
+  double t = cfg.t_begin;
+  double T = cfg.interval;
+  double anchor = cfg.t_begin;  ///< last checkpoint / restart / re-anchor
+  double work = 0.0;            ///< compute since the last checkpoint
+  double useful = 0.0;          ///< committed (checkpointed) compute
+
+  const auto compute_until = [&](double until) {
+    if (until > t) {
+      work += until - t;
+      t = until;
+    }
+  };
+  const auto do_checkpoint = [&] {
+    useful += work;
+    work = 0.0;
+    r.ckpt_overhead += p.C;
+    t += p.C;
+    anchor = t;
+    ++r.checkpoints;
+  };
+
+  enum { kChange = 0, kProactive = 1, kFailure = 2, kNone = 3 };
+  std::size_t ci = 0, pi = 0, fi = 0;
+  // Events before the window start are outside the replay; skip them.
+  while (ci < cfg.changes.size() && cfg.changes[ci].time < cfg.t_begin) ++ci;
+  while (pi < cfg.proactive.size() && cfg.proactive[pi] < cfg.t_begin) ++pi;
+  while (fi < cfg.failures.size() && cfg.failures[fi] < cfg.t_begin) ++fi;
+
+  for (;;) {
+    // Earliest pending event inside the window; ties break change <
+    // proactive < failure so a directive coinciding with its failure
+    // checkpoints first (that is the point of the directive).
+    int kind = kNone;
+    double ev_time = 0.0;
+    if (fi < cfg.failures.size() && cfg.failures[fi] < cfg.t_end) {
+      kind = kFailure;
+      ev_time = cfg.failures[fi];
+    }
+    if (pi < cfg.proactive.size() && cfg.proactive[pi] < cfg.t_end &&
+        (kind == kNone || cfg.proactive[pi] <= ev_time)) {
+      kind = kProactive;
+      ev_time = cfg.proactive[pi];
+    }
+    if (ci < cfg.changes.size() && cfg.changes[ci].time < cfg.t_end &&
+        (kind == kNone || cfg.changes[ci].time <= ev_time)) {
+      kind = kChange;
+      ev_time = cfg.changes[ci].time;
+    }
+
+    const double eff = kind == kNone ? cfg.t_end : std::max(t, ev_time);
+    // Periodic ticks strictly before the next event fire first.
+    while (anchor + T < eff && anchor + T < cfg.t_end) {
+      compute_until(anchor + T);
+      do_checkpoint();
+    }
+    if (kind == kNone) break;
+
+    switch (kind) {
+      case kChange:
+        compute_until(eff);
+        T = cfg.changes[ci++].interval;
+        anchor = t;  // the new cadence starts now
+        break;
+      case kProactive:
+        compute_until(eff);
+        do_checkpoint();
+        ++r.proactive_taken;
+        ++pi;
+        break;
+      case kFailure:
+        compute_until(eff);
+        r.lost_work += work;
+        work = 0.0;
+        r.restart_overhead += p.R + p.D;
+        t += p.R + p.D;
+        anchor = t;
+        ++r.failures;
+        ++fi;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Trailing compute commits: the run reached t_end without losing it.
+  compute_until(cfg.t_end);
+  useful += work;
+
+  r.useful_work = useful;
+  // Overhead from a late failure/checkpoint can spill past t_end; the
+  // realised span honestly includes it.
+  r.wall_time = std::max(t, cfg.t_end) - cfg.t_begin;
   return r;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "ckpt/waste_model.hpp"
 
@@ -38,6 +39,59 @@ struct SimResult {
   }
 };
 
+/// Plays out SimConfig; throws std::invalid_argument on a malformed config
+/// (precision outside (0,1], recall outside [0,1], non-positive target
+/// work, negative or non-finite interval, bad CkptParams) instead of
+/// silently simulating with NaN or a degenerate interval.
 SimResult simulate_checkpointing(const SimConfig& cfg);
+
+// ---------------------------------------------------------------------------
+// Schedule-driven replay (the advisor's realised-waste meter). Instead of
+// drawing failures from an exponential process, this variant replays a
+// *known* failure record against a concrete checkpoint schedule — the
+// per-partition interval updates and proactive directives the advisor
+// emitted online — and reports the waste that schedule would have realised.
+// Fully deterministic: same schedule + same failures => same result.
+
+/// One advisor interval change: from `time` on, checkpoint every
+/// `interval` (same time unit as CkptParams, absolute timeline).
+struct IntervalChange {
+  double time = 0.0;
+  double interval = 0.0;
+};
+
+struct ScheduleSimConfig {
+  CkptParams params;  ///< C/R/D used; mttf ignored (failures are replayed)
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  /// Interval in force at t_begin (> 0).
+  double interval = 0.0;
+  /// Interval recomputations, ascending in time within [t_begin, t_end].
+  std::vector<IntervalChange> changes;
+  /// Proactive "checkpoint now" directive times, ascending.
+  std::vector<double> proactive;
+  /// Ground-truth failure times, ascending.
+  std::vector<double> failures;
+};
+
+struct ScheduleSimResult {
+  double wall_time = 0.0;     ///< t_end - t_begin (the machine's span)
+  double useful_work = 0.0;   ///< committed work surviving to t_end
+  double lost_work = 0.0;     ///< rolled back at failures
+  double ckpt_overhead = 0.0; ///< time spent writing checkpoints
+  double restart_overhead = 0.0;  ///< R+D paid at failures
+  std::uint64_t checkpoints = 0;  ///< periodic + proactive
+  std::uint64_t proactive_taken = 0;
+  std::uint64_t failures = 0;
+
+  double waste() const {
+    return wall_time > 0.0 ? (wall_time - useful_work) / wall_time : 0.0;
+  }
+};
+
+/// Replays `cfg.failures` against the schedule; throws
+/// std::invalid_argument on malformed input (t_end <= t_begin,
+/// non-positive or non-finite intervals, unsorted event lists).
+ScheduleSimResult simulate_schedule(const ScheduleSimConfig& cfg);
 
 }  // namespace elsa::ckpt

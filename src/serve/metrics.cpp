@@ -128,6 +128,41 @@ void ServeMetrics::on_out_of_order(std::uint64_t records) {
   out_of_order_.fetch_add(records, std::memory_order_relaxed);
 }
 
+void ServeMetrics::on_advisor_event() {
+  // relaxed: see block comment above.
+  advisor_events_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_advisor_drop() {
+  // relaxed: see block comment above.
+  advisor_dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_directive() {
+  // relaxed: see block comment above.
+  directives_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_directive_suppressed() {
+  // relaxed: see block comment above.
+  directives_suppressed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_interval_update() {
+  // relaxed: see block comment above.
+  interval_updates_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_predicted_hit(std::uint64_t n) {
+  // relaxed: see block comment above.
+  predicted_hits_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ServeMetrics::on_predicted_miss(std::uint64_t n) {
+  // relaxed: see block comment above.
+  predicted_misses_.fetch_add(n, std::memory_order_relaxed);
+}
+
 void ServeMetrics::set_degraded(bool on) {
   util::MutexLock lk(clock_mu_);
   if (on == degraded_) return;
@@ -188,6 +223,17 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   s.dedupe_hits = dedupe_hits_.load(std::memory_order_relaxed);
   // relaxed: as above.
   s.out_of_order = out_of_order_.load(std::memory_order_relaxed);
+  // relaxed: as above (advisor counters are independent statistics too).
+  s.advisor_events = advisor_events_.load(std::memory_order_relaxed);
+  s.advisor_dropped = advisor_dropped_.load(std::memory_order_relaxed);
+  s.directives = directives_.load(std::memory_order_relaxed);
+  // relaxed: as above.
+  s.directives_suppressed =
+      directives_suppressed_.load(std::memory_order_relaxed);
+  s.interval_updates = interval_updates_.load(std::memory_order_relaxed);
+  // relaxed: as above.
+  s.predicted_hits = predicted_hits_.load(std::memory_order_relaxed);
+  s.predicted_misses = predicted_misses_.load(std::memory_order_relaxed);
 
   {
     util::MutexLock lk(clock_mu_);
@@ -231,7 +277,9 @@ std::string ServeMetrics::text_report() const {
       "  alarms     %llu issued, %llu duplicates suppressed\n"
       "  ingest     p50 %.0f us, p99 %.0f us (enqueue -> processed)\n"
       "  prediction p50 %.0f us, p99 %.0f us (enqueue -> alarm)\n"
-      "  queue depth p50 %.0f, p99 %.0f\n",
+      "  queue depth p50 %.0f, p99 %.0f\n"
+      "  advisor    events %llu (dropped %llu), directives %llu "
+      "(suppressed %llu), interval updates %llu, hits %llu, misses %llu\n",
       s.wall_seconds, s.degraded ? ", DEGRADED" : "",
       static_cast<unsigned long long>(s.ingested),
       static_cast<unsigned long long>(s.records_in),
@@ -244,7 +292,13 @@ std::string ServeMetrics::text_report() const {
       s.records_per_sec, static_cast<unsigned long long>(s.predictions),
       static_cast<unsigned long long>(s.dedupe_hits), s.ingest_p50_us,
       s.ingest_p99_us, s.predict_p50_us, s.predict_p99_us, s.queue_depth_p50,
-      s.queue_depth_p99);
+      s.queue_depth_p99, static_cast<unsigned long long>(s.advisor_events),
+      static_cast<unsigned long long>(s.advisor_dropped),
+      static_cast<unsigned long long>(s.directives),
+      static_cast<unsigned long long>(s.directives_suppressed),
+      static_cast<unsigned long long>(s.interval_updates),
+      static_cast<unsigned long long>(s.predicted_hits),
+      static_cast<unsigned long long>(s.predicted_misses));
   return buf;
 }
 

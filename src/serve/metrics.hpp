@@ -56,6 +56,17 @@ struct MetricsSnapshot {
   std::uint64_t predictions = 0;
   std::uint64_t dedupe_hits = 0;   ///< duplicate alarms suppressed
   std::uint64_t out_of_order = 0;  ///< records clamped onto an open bucket
+  // Checkpoint-advisor accounting (src/advisor; zero when no advisor is
+  // attached). `advisor_events` counts predictions consumed by the advisor;
+  // conservation with `predictions` = advisor_events + advisor_dropped is
+  // the advisor chaos invariant.
+  std::uint64_t advisor_events = 0;     ///< predictions the advisor consumed
+  std::uint64_t advisor_dropped = 0;    ///< lost to a full advisor ring
+  std::uint64_t directives = 0;         ///< "checkpoint now" directives issued
+  std::uint64_t directives_suppressed = 0;  ///< rate-limited / low-confidence
+  std::uint64_t interval_updates = 0;   ///< per-partition interval recomputes
+  std::uint64_t predicted_hits = 0;     ///< directives matched to a real fault
+  std::uint64_t predicted_misses = 0;   ///< directives with no fault in window
   bool degraded = false;           ///< a shard is currently unhealthy
   double degraded_seconds = 0.0;   ///< cumulative time spent degraded
   double wall_seconds = 0.0;       ///< service uptime (start -> stop/now)
@@ -92,6 +103,15 @@ class ServeMetrics {
   void on_dedupe(std::uint64_t hits);
   void on_out_of_order(std::uint64_t records);
   void on_watchdog_trip();
+
+  // -- checkpoint-advisor hooks (src/advisor) ------------------------------
+  void on_advisor_event();
+  void on_advisor_drop();
+  void on_directive();
+  void on_directive_suppressed();
+  void on_interval_update();
+  void on_predicted_hit(std::uint64_t n = 1);
+  void on_predicted_miss(std::uint64_t n = 1);
 
   /// Degraded-mode flag, driven by the watchdog: set(true) on the first
   /// unhealthy shard, set(false) once every shard is making progress
@@ -134,6 +154,13 @@ class ServeMetrics {
   std::atomic<std::uint64_t> predictions_{0};
   std::atomic<std::uint64_t> dedupe_hits_{0};
   std::atomic<std::uint64_t> out_of_order_{0};
+  std::atomic<std::uint64_t> advisor_events_{0};
+  std::atomic<std::uint64_t> advisor_dropped_{0};
+  std::atomic<std::uint64_t> directives_{0};
+  std::atomic<std::uint64_t> directives_suppressed_{0};
+  std::atomic<std::uint64_t> interval_updates_{0};
+  std::atomic<std::uint64_t> predicted_hits_{0};
+  std::atomic<std::uint64_t> predicted_misses_{0};
   AtomicHistogram ingest_lat_;   ///< microseconds
   AtomicHistogram predict_lat_;  ///< microseconds
   AtomicHistogram depth_;        ///< ingest ring depth

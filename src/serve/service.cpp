@@ -22,6 +22,7 @@ PredictionService::PredictionService(const topo::Topology& topo,
   so.watchdog_deadline_ms = cfg.watchdog_deadline_ms;
   so.faults = cfg.faults;
   so.clock = cfg.clock;
+  so.tap = cfg.tap;
   sharded_ = std::make_unique<ShardedEngine>(
       topo, model.chains, model.profiles, cfg.engine, so, &metrics_,
       [this](const core::Prediction& p) {

@@ -76,6 +76,10 @@ struct ServiceConfig {
   const faultinject::FaultPlan* faults = nullptr;
   /// Watchdog time source override (tests / chaos); null = real time.
   const faultinject::FaultClock* clock = nullptr;
+  /// Wait-free per-shard prediction observer (serve/tap.hpp) handed down
+  /// to the sharded engine; null = none. The checkpoint advisor
+  /// (src/advisor) registers through this. Must outlive the service.
+  PredictionTap* tap = nullptr;
   /// Streaming alarm ring capacity; overflowing alarms are dropped from
   /// the *streaming view only* (the merged list after finish() is always
   /// complete).
@@ -143,6 +147,9 @@ class PredictionService {
   MetricsSnapshot metrics() const { return metrics_.snapshot(); }
   std::string metrics_report() const { return metrics_.text_report(); }
   const ServeMetrics& raw_metrics() const { return metrics_; }
+  /// Mutable access for cooperating layers (the checkpoint advisor mirrors
+  /// its counters into this scrape). Hooks are lock-free; safe anytime.
+  ServeMetrics& raw_metrics() { return metrics_; }
 
   std::size_t shards() const { return sharded_->shards(); }
 

@@ -112,7 +112,7 @@ bool ShardedEngine::process_batch(Shard& s, std::size_t idx, Batch& batch) {
     const std::uint64_t done =
         s.processed.fetch_add(1, std::memory_order_relaxed) + 1;
     if (metrics_) metrics_->on_processed(item.enq);
-    drain_shard(s, item.enq);
+    drain_shard(s, idx, item.enq);
     if (opt_.faults) {
       if (opt_.faults->worker_fails_at(idx, done)) {
         // Injected worker death: park the unprocessed tail for whoever
@@ -234,12 +234,14 @@ void ShardedEngine::stop_watchdog() {
   if (metrics_) metrics_->set_degraded(false);
 }
 
-void ShardedEngine::drain_shard(Shard& s, ServeMetrics::Clock::time_point enq) {
+void ShardedEngine::drain_shard(Shard& s, std::size_t idx,
+                                ServeMetrics::Clock::time_point enq) {
   const auto& preds = s.engine.predictions();
   while (s.preds_streamed < preds.size()) {
     const core::Prediction& p = preds[s.preds_streamed++];
     if (metrics_) metrics_->on_prediction(enq);
     if (sink_) sink_(p);
+    if (opt_.tap) opt_.tap->publish(idx, p);
   }
   if (metrics_) {
     const core::EngineStats& st = s.engine.stats();
@@ -286,7 +288,7 @@ void ShardedEngine::finish(std::int64_t t_end_ms) {
         // relaxed: monotonic progress counter, monitoring only.
         s.processed.fetch_add(1, std::memory_order_relaxed);
         if (metrics_) metrics_->on_processed(item.enq);
-        drain_shard(s, item.enq);
+        drain_shard(s, i, item.enq);
       }
     };
     if (!s.carryover.empty()) {
@@ -304,9 +306,9 @@ void ShardedEngine::finish(std::int64_t t_end_ms) {
 
   // Closing trailing buckets can still emit predictions; workers are gone,
   // so finish and drain serially here.
-  for (auto& s : shards_) {
-    s->engine.finish(t_end_ms);
-    drain_shard(*s, ServeMetrics::Clock::now());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->engine.finish(t_end_ms);
+    drain_shard(*shards_[i], i, ServeMetrics::Clock::now());
   }
 
   // Deterministic merge.

@@ -36,6 +36,7 @@
 #include "faultinject/plan.hpp"
 #include "serve/metrics.hpp"
 #include "serve/ring.hpp"
+#include "serve/tap.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace elsa::serve {
@@ -68,6 +69,10 @@ struct ShardOptions {
   /// chaos runs inject a skewed one to prove trips survive non-monotone
   /// time. Must outlive the engine.
   const faultinject::FaultClock* clock = nullptr;
+  /// Wait-free per-shard prediction observer (see serve/tap.hpp); null =
+  /// none. The checkpoint advisor registers through this. Must outlive the
+  /// engine.
+  PredictionTap* tap = nullptr;
 };
 
 class ShardedEngine {
@@ -177,9 +182,11 @@ class ShardedEngine {
   void stop_watchdog();
   void flush_shard(Shard& s);
   /// Stream engine-side deltas (new predictions, dedupe, out-of-order) to
-  /// the sink/metrics. Runs on the shard's worker, or on the finishing
-  /// thread once workers have joined.
-  void drain_shard(Shard& s, ServeMetrics::Clock::time_point enq);
+  /// the sink/tap/metrics. Runs on the shard's worker, or on the finishing
+  /// thread once workers have joined — never two threads for one `idx` at
+  /// once, which is what makes the tap's SPSC hand-off sound.
+  void drain_shard(Shard& s, std::size_t idx,
+                   ServeMetrics::Clock::time_point enq);
 
   topo::Topology topo_;
   ShardOptions opt_;

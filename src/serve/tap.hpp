@@ -1,0 +1,38 @@
+// PredictionTap: the serve path's push-side prediction observer — the hook
+// the checkpoint advisor (src/advisor) subscribes through. Unlike the
+// PredictionSink std::function (a convenience callback with no threading
+// contract beyond "may run concurrently"), a tap is handed the *shard
+// index* of the emitting engine, which makes a lock-free per-shard SPSC
+// hand-off possible on the consumer side: for any given shard index, calls
+// are serialized — they run on that shard's worker thread, on its
+// watchdog-restarted successor (the join publishes the predecessor's
+// writes), or on the finishing thread after every worker has joined — so
+// exactly one producer per shard exists at any instant.
+//
+// Contract for implementations:
+//   * publish() MUST be wait-free: never block, never take a lock the
+//     predict hot path could contend on, never allocate unboundedly. Drop
+//     and count if a bounded buffer is full.
+//   * publish() is called once per prediction per run (the drain cursor in
+//     ShardedEngine::drain_shard guarantees exactly-once streaming even
+//     across injected worker deaths and restarts).
+//   * The tap must outlive the engine/service it is registered with.
+#pragma once
+
+#include <cstddef>
+
+#include "elsa/online.hpp"
+
+namespace elsa::serve {
+
+class PredictionTap {
+ public:
+  virtual ~PredictionTap() = default;
+
+  /// One freshly issued prediction from shard `shard`. Wait-free (see
+  /// file comment); per-shard calls are serialized, cross-shard calls are
+  /// concurrent.
+  virtual void publish(std::size_t shard, const core::Prediction& p) = 0;
+};
+
+}  // namespace elsa::serve

@@ -87,6 +87,7 @@ namespace lockrank {
 inline constexpr int kUnranked = -1;   ///< exempt from checking (tests, ad hoc)
 inline constexpr int kBenchCache = 60; ///< benchx::ExperimentCache::mu_
 inline constexpr int kService = 50;    ///< serve::PredictionService::q_mu_
+inline constexpr int kAdvisor = 45;    ///< advisor::CheckpointAdvisor::mu_
 inline constexpr int kEngine = 40;     ///< serve::ShardedEngine::wd_mu_
 inline constexpr int kRing = 30;       ///< serve::Ring<T>::mu_
 inline constexpr int kThreadPool = 20; ///< util::ThreadPool::mu_

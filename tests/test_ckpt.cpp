@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ckpt/simulator.hpp"
 #include "ckpt/waste_model.hpp"
@@ -205,6 +206,151 @@ TEST(Simulator, PerfectPredictionBeatsNone) {
   full.recall = 1.0;
   EXPECT_LT(simulate_checkpointing(full).waste(),
             simulate_checkpointing(none).waste());
+}
+
+TEST(Simulator, RejectsMalformedConfig) {
+  SimConfig good;
+  good.params = {1.0, 5.0, 1.0, 1440.0};
+  good.recall = 0.45;
+  good.precision = 0.92;
+  good.target_work = 1.0e4;
+  EXPECT_NO_THROW(simulate_checkpointing(good));
+
+  SimConfig bad = good;
+  bad.precision = 0.0;  // precision must be in (0, 1]
+  EXPECT_THROW(simulate_checkpointing(bad), std::invalid_argument);
+  bad = good;
+  bad.precision = 1.5;
+  EXPECT_THROW(simulate_checkpointing(bad), std::invalid_argument);
+  bad = good;
+  bad.recall = -0.1;  // recall must be in [0, 1]
+  EXPECT_THROW(simulate_checkpointing(bad), std::invalid_argument);
+  bad = good;
+  bad.recall = 1.1;
+  EXPECT_THROW(simulate_checkpointing(bad), std::invalid_argument);
+  bad = good;
+  bad.target_work = 0.0;
+  EXPECT_THROW(simulate_checkpointing(bad), std::invalid_argument);
+  bad = good;
+  bad.interval = -1.0;
+  EXPECT_THROW(simulate_checkpointing(bad), std::invalid_argument);
+  bad = good;
+  bad.interval = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(simulate_checkpointing(bad), std::invalid_argument);
+  bad = good;
+  bad.params.mttf = 0.0;
+  EXPECT_THROW(simulate_checkpointing(bad), std::invalid_argument);
+}
+
+TEST(Simulator, ZeroIntervalSelectsRecallAdjustedOptimum) {
+  SimConfig opt;
+  opt.params = {1.0, 5.0, 1.0, 1440.0};
+  opt.recall = 0.45;
+  opt.precision = 0.92;
+  opt.target_work = 1.0e5;
+  opt.seed = 17;
+  SimConfig expl = opt;
+  // Eq. 4: the optimum for the unpredicted failures.
+  expl.interval =
+      std::sqrt(2.0 * opt.params.C * opt.params.mttf / (1.0 - opt.recall));
+  const auto a = simulate_checkpointing(opt);
+  const auto b = simulate_checkpointing(expl);
+  EXPECT_DOUBLE_EQ(a.wall_time, b.wall_time);
+  EXPECT_DOUBLE_EQ(a.useful_work, b.useful_work);
+  EXPECT_EQ(a.checkpoints, b.checkpoints);
+}
+
+// ------------------------------------------- schedule-driven simulator --
+
+TEST(ScheduleSim, NoFailuresWasteIsPureOverhead) {
+  ScheduleSimConfig cfg;
+  cfg.params = {1.0, 5.0, 1.0, 1440.0};
+  cfg.t_begin = 0.0;
+  cfg.t_end = 1000.0;
+  cfg.interval = 100.0;
+  const auto r = simulate_schedule(cfg);
+  EXPECT_EQ(r.failures, 0u);
+  // Periodic ticks land at 100+k*101 (re-anchored after each 1-min cost);
+  // nine fit before t_end, so 9 of the 1000 minutes go to checkpoints.
+  EXPECT_EQ(r.checkpoints, 9u);
+  EXPECT_DOUBLE_EQ(r.ckpt_overhead, 9.0);
+  EXPECT_DOUBLE_EQ(r.useful_work, 991.0);
+  EXPECT_DOUBLE_EQ(r.wall_time, 1000.0);
+  EXPECT_NEAR(r.waste(), 9.0 / 1000.0, 1e-12);
+}
+
+TEST(ScheduleSim, FailureLosesWorkSinceLastCheckpoint) {
+  ScheduleSimConfig cfg;
+  cfg.params = {1.0, 5.0, 1.0, 1440.0};
+  cfg.t_begin = 0.0;
+  cfg.t_end = 500.0;
+  cfg.interval = 1000.0;  // no periodic checkpoint fits
+  cfg.failures = {300.0};
+  const auto r = simulate_schedule(cfg);
+  EXPECT_EQ(r.failures, 1u);
+  EXPECT_EQ(r.checkpoints, 0u);
+  // All 300 minutes since t_begin are lost, plus R+D to come back.
+  EXPECT_DOUBLE_EQ(r.lost_work, 300.0);
+  EXPECT_DOUBLE_EQ(r.restart_overhead, 6.0);
+}
+
+TEST(ScheduleSim, ProactiveCheckpointTruncatesLoss) {
+  ScheduleSimConfig base;
+  base.params = {1.0, 5.0, 1.0, 1440.0};
+  base.t_begin = 0.0;
+  base.t_end = 500.0;
+  base.interval = 1000.0;
+  base.failures = {300.0};
+  ScheduleSimConfig warned = base;
+  warned.proactive = {295.0};
+  const auto r0 = simulate_schedule(base);
+  const auto r1 = simulate_schedule(warned);
+  EXPECT_EQ(r1.proactive_taken, 1u);
+  // The directive converts ~295 lost minutes into one checkpoint cost.
+  EXPECT_LT(r1.lost_work, 10.0);
+  EXPECT_LT(r1.wall_time - r1.useful_work, r0.wall_time - r0.useful_work);
+}
+
+TEST(ScheduleSim, IntervalChangeTakesEffectAtItsTime) {
+  ScheduleSimConfig cfg;
+  cfg.params = {1.0, 5.0, 1.0, 1440.0};
+  cfg.t_begin = 0.0;
+  cfg.t_end = 400.0;
+  cfg.interval = 1000.0;              // no checkpoints under the initial
+  cfg.changes = {{200.0, 50.0}};      // then every 50 min
+  const auto r = simulate_schedule(cfg);
+  EXPECT_GE(r.checkpoints, 3u);
+  const auto none = [&] {
+    ScheduleSimConfig c = cfg;
+    c.changes.clear();
+    return simulate_schedule(c);
+  }();
+  EXPECT_EQ(none.checkpoints, 0u);
+}
+
+TEST(ScheduleSim, RejectsMalformedConfig) {
+  ScheduleSimConfig good;
+  good.params = {1.0, 5.0, 1.0, 1440.0};
+  good.t_begin = 0.0;
+  good.t_end = 100.0;
+  good.interval = 10.0;
+  EXPECT_NO_THROW(simulate_schedule(good));
+
+  ScheduleSimConfig bad = good;
+  bad.interval = 0.0;  // a schedule must start with a real interval
+  EXPECT_THROW(simulate_schedule(bad), std::invalid_argument);
+  bad = good;
+  bad.t_end = -1.0;
+  EXPECT_THROW(simulate_schedule(bad), std::invalid_argument);
+  bad = good;
+  bad.changes = {{50.0, 20.0}, {40.0, 30.0}};  // out of order
+  EXPECT_THROW(simulate_schedule(bad), std::invalid_argument);
+  bad = good;
+  bad.changes = {{50.0, 0.0}};  // zero interval mid-schedule
+  EXPECT_THROW(simulate_schedule(bad), std::invalid_argument);
+  bad = good;
+  bad.failures = {60.0, 30.0};  // out of order
+  EXPECT_THROW(simulate_schedule(bad), std::invalid_argument);
 }
 
 }  // namespace

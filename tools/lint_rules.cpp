@@ -164,6 +164,9 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
       {"serve",
        {"util", "topology", "simlog", "helo", "signalkit", "ckpt", "elsa",
         "faultinject"}},
+      {"advisor",
+       {"util", "topology", "simlog", "helo", "signalkit", "ckpt", "elsa",
+        "faultinject", "serve"}},
   };
   return deps;
 }
