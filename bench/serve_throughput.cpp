@@ -1,4 +1,4 @@
-// Serving-layer throughput: replays a >= 1M-record Blue Gene/L-like
+// Serving-layer throughput: pushes a >= 1M-record Blue Gene/L-like
 // campaign through the sharded prediction service as fast as possible and
 // reports sustained records/s plus p50/p99 ingest-to-prediction latency at
 // 1, 2, 4 and 8 shards. This is the "how fast can the analysis side run"
@@ -6,31 +6,53 @@
 // delay is simulated from 2012 calibration constants; here it is measured
 // on real threads, real queues and real hardware.
 //
+// The load generator mirrors production shape: the replay window is
+// pre-partitioned by the service's own router, and one producer thread per
+// shard submits its partition in trace order (classification runs on the
+// producer, routing is a pure function, and each partition's records land
+// in their shard ring in order — the single-producer/single-consumer fast
+// path the rings are built for). Each configuration warms up on a short
+// slice first so the timed pass never measures cold caches or CPU
+// frequency ramp.
+//
+// Beyond throughput, each run reports the *router imbalance* (max/mean
+// records per shard — a skewed partition key shows up here long before it
+// costs throughput) and the observed shard ring depths (p50/p99 at
+// enqueue, plus the sampled per-run maximum).
+//
 // Not a google-benchmark microbench: each configuration is one long
 // macro-run (~1M records end to end), so a single timed pass per shard
 // count is the measurement.
 //
 //   ./build/bench/serve_throughput [days] [shard counts...] [--json PATH]
+//                                  [--pin]
 //
 // --json PATH additionally emits the results as a BENCH_serve.json
 // document (schema elsa-bench-v1, one "serve_throughput/shards=N" entry
-// per configuration) for the CI bench-regression gate.
+// per configuration plus "serve_throughput/scaling=AvB" ratio entries) for
+// the CI bench-regression gate. The ratio entries are what makes the gate
+// catch an *inverted* scaling curve: shards=4 must beat shards=1 by the
+// committed factor even when every absolute row is above its floor.
+// --pin enables worker core pinning (off by default; helps on dedicated
+// boxes, hurts on shared runners).
 //
 // NOTE: shard scaling needs cores. On a single-core container every
 // configuration multiplexes onto one CPU and the sharded runs can only tie
 // (or lose to) the 1-shard run; the per-shard numbers are still reported.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "elsa/pipeline.hpp"
-#include "serve/replayer.hpp"
 #include "serve/service.hpp"
 #include "simlog/scenario.hpp"
 
@@ -45,28 +67,71 @@ struct RunResult {
   std::size_t shards = 0;
   std::size_t records = 0;
   double seconds = 0.0;
+  double imbalance = 0.0;        ///< max/mean records per shard
+  std::size_t max_depth = 0;     ///< deepest sampled shard ring
   serve::MetricsSnapshot m;
 };
 
+/// One full pass of the replay window [from_ms, until_ms) through a fresh
+/// service at `shards` shards: partition by the service's router, then one
+/// producer thread per shard submits its slice in trace order.
 RunResult run_once(const simlog::Trace& trace, const core::OfflineModel& model,
-                   std::int64_t train_end, std::size_t shards) {
+                   std::int64_t from_ms, std::int64_t until_ms,
+                   std::size_t shards, bool pin) {
   serve::ServiceConfig cfg;
   cfg.shards = shards;
+  cfg.pin_workers = pin;
   serve::PredictionService service(trace.topology, model, cfg);
 
-  serve::ReplayOptions ro;  // speedup 0: as fast as possible
-  ro.from_ms = train_end;
-  const serve::TraceReplayer replayer(trace, ro);
+  std::vector<std::vector<const simlog::LogRecord*>> slices(shards);
+  for (const auto& rec : trace.records) {
+    if (rec.time_ms < from_ms || rec.time_ms >= until_ms) continue;
+    slices[service.shard_of(rec.node_id)].push_back(&rec);
+  }
+
+  // Depth sampler: the rings drain too fast for an end-of-run snapshot to
+  // mean anything, so poll while the producers run and keep the maximum.
+  std::atomic<bool> sampling{true};
+  std::size_t max_depth = 0;
+  std::thread sampler([&] {
+    // relaxed: plain stop flag; join() below is the synchronization point.
+    while (sampling.load(std::memory_order_relaxed)) {
+      for (const std::size_t d : service.shard_depths())
+        if (d > max_depth) max_depth = d;
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
 
   const auto t0 = Clock::now();
-  const std::size_t accepted = replayer.replay_into(service);
+  std::vector<std::thread> producers;
+  producers.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    producers.emplace_back([&service, &slices, s] {
+      for (const simlog::LogRecord* rec : slices[s]) service.submit(*rec);
+    });
+  for (auto& t : producers) t.join();
   service.finish(trace.t_end_ms);
   const auto t1 = Clock::now();
+  // relaxed: plain stop flag; join() below is the synchronization point.
+  sampling.store(false, std::memory_order_relaxed);
+  sampler.join();
 
   RunResult r;
   r.shards = shards;
-  r.records = accepted;
+  for (const auto& sl : slices) r.records += sl.size();
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.max_depth = max_depth;
+  const auto per_shard = service.shard_processed();
+  const std::uint64_t total =
+      std::accumulate(per_shard.begin(), per_shard.end(), std::uint64_t{0});
+  const std::uint64_t peak =
+      per_shard.empty() ? 0 : *std::max_element(per_shard.begin(),
+                                                per_shard.end());
+  const double mean = per_shard.empty()
+                          ? 0.0
+                          : static_cast<double>(total) /
+                                static_cast<double>(per_shard.size());
+  r.imbalance = mean > 0.0 ? static_cast<double>(peak) / mean : 0.0;
   r.m = service.metrics();
   return r;
 }
@@ -75,10 +140,13 @@ RunResult run_once(const simlog::Trace& trace, const core::OfflineModel& model,
 
 int main(int argc, char** argv) {
   std::string json_path;
+  bool pin = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--pin") == 0) {
+      pin = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -108,27 +176,56 @@ int main(int argc, char** argv) {
   const auto model =
       core::train_offline(trace, train_end, core::Method::Hybrid, pcfg);
 
-  std::printf("%u hardware threads\n\n",
-              std::thread::hardware_concurrency());
-  std::printf(
-      "%6s %12s %12s %10s %10s %10s %10s %8s\n", "shards", "records",
-      "records/s", "p50 us", "p99 us", "pred p50", "pred p99", "alarms");
+  std::printf("%u hardware threads, pinning %s\n\n",
+              std::thread::hardware_concurrency(), pin ? "on" : "off");
+  std::printf("%6s %12s %12s %9s %9s %9s %9s %8s %7s %9s\n", "shards",
+              "records", "records/s", "p50 us", "p99 us", "pred p50",
+              "pred p99", "alarms", "imbal", "max depth");
+
+  // Warm-up slice: half a day of trace is enough to fault in the model,
+  // the allocator arenas and the frequency governor.
+  const std::int64_t warm_end =
+      train_end + static_cast<std::int64_t>(0.5 * 86'400'000.0);
 
   double base_rps = 0.0;
+  std::vector<std::pair<std::size_t, double>> rps_by_shards;
   benchjson::BenchMap bench_out;
   for (const std::size_t shards : shard_counts) {
-    const RunResult r = run_once(trace, model, train_end, shards);
+    (void)run_once(trace, model, train_end, warm_end, shards, pin);  // warm-up
+    const RunResult r =
+        run_once(trace, model, train_end, trace.t_end_ms + 1, shards, pin);
     const double rps =
         r.seconds > 0 ? static_cast<double>(r.records) / r.seconds : 0.0;
     if (base_rps == 0.0) base_rps = rps;
-    std::printf("%6zu %12zu %12.0f %10.0f %10.0f %10.0f %10.0f %8llu  (%.2fx)\n",
-                r.shards, r.records, rps, r.m.ingest_p50_us, r.m.ingest_p99_us,
-                r.m.predict_p50_us, r.m.predict_p99_us,
-                static_cast<unsigned long long>(r.m.predictions),
-                base_rps > 0 ? rps / base_rps : 0.0);
+    std::printf(
+        "%6zu %12zu %12.0f %9.0f %9.0f %9.0f %9.0f %8llu %7.2f %9zu  (%.2fx)\n",
+        r.shards, r.records, rps, r.m.ingest_p50_us, r.m.ingest_p99_us,
+        r.m.predict_p50_us, r.m.predict_p99_us,
+        static_cast<unsigned long long>(r.m.predictions), r.imbalance,
+        r.max_depth, base_rps > 0 ? rps / base_rps : 0.0);
+    std::printf("%6s queue depth at enqueue p50 %.0f, p99 %.0f\n", "",
+                r.m.queue_depth_p50, r.m.queue_depth_p99);
+    rps_by_shards.emplace_back(shards, rps);
     bench_out["serve_throughput/shards=" + std::to_string(shards)] = {
         rps, r.m.ingest_p50_us, r.m.ingest_p99_us};
   }
+
+  // Scaling-ratio entries: the anti-inversion gate. Latencies are zeroed —
+  // only the ratio itself is meaningful (and gated).
+  const auto rps_at = [&](std::size_t n) -> double {
+    for (const auto& [s, rps] : rps_by_shards)
+      if (s == n) return rps;
+    return 0.0;
+  };
+  for (const auto& [hi, lo] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 1}, {4, 1}, {8, 1}, {8, 4}}) {
+    const double num = rps_at(hi), den = rps_at(lo);
+    if (num <= 0.0 || den <= 0.0) continue;
+    bench_out["serve_throughput/scaling=" + std::to_string(hi) + "v" +
+              std::to_string(lo)] = {num / den, 0.0, 0.0};
+    std::printf("scaling %zu vs %zu: %.2fx\n", hi, lo, num / den);
+  }
+
   if (!json_path.empty()) {
     if (!benchjson::write_file(json_path, bench_out)) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

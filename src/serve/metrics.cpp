@@ -31,34 +31,43 @@ double us_since(ServeMetrics::Clock::time_point t0) {
 
 AtomicHistogram::AtomicHistogram(std::vector<double> edges)
     : edges_(std::move(edges)),
-      counts_(new std::atomic<std::uint64_t>[edges_.size()]) {
-  for (std::size_t i = 0; i < edges_.size(); ++i) counts_[i] = 0;
+      // Pad each stripe's row of bins to a multiple of 8 counters (one
+      // 64-byte line) so rows start on line boundaries and adjacent
+      // stripes never share one.
+      stride_((edges_.size() + 7) / 8 * 8),
+      counts_(new std::atomic<std::uint64_t>[kMetricStripes * stride_]) {
+  for (std::size_t i = 0; i < kMetricStripes * stride_; ++i) counts_[i] = 0;
 }
 
 void AtomicHistogram::add(double x) {
   if (x < edges_.front()) x = edges_.front();
   const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
   const std::size_t bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
-  // relaxed: bins are independent counters; no reader orders other memory
-  // against a bin value, and snapshot() tolerates in-flight adds.
-  counts_[bin].fetch_add(1, std::memory_order_relaxed);
+  // relaxed: bins are independent counters and snapshot() tolerates
+  // in-flight adds; stripes keep concurrent threads on disjoint lines.
+  counts_[metric_stripe() * stride_ + bin].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t AtomicHistogram::bin_total(std::size_t bin) const {
+  std::uint64_t t = 0;
+  for (std::size_t s = 0; s < kMetricStripes; ++s)
+    // relaxed: monitoring sum; a concurrent add may or may not be counted,
+    // which is the documented contract.
+    t += counts_[s * stride_ + bin].load(std::memory_order_relaxed);
+  return t;
 }
 
 std::uint64_t AtomicHistogram::total() const {
   std::uint64_t t = 0;
-  for (std::size_t i = 0; i < edges_.size(); ++i)
-    // relaxed: monitoring sum; a concurrent add may or may not be counted,
-    // which is the documented contract.
-    t += counts_[i].load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < edges_.size(); ++i) t += bin_total(i);
   return t;
 }
 
 util::EdgeHistogram AtomicHistogram::snapshot() const {
   util::EdgeHistogram h(edges_);
   for (std::size_t i = 0; i < edges_.size(); ++i) {
-    // relaxed: same contract as total() — each bin is internally exact,
-    // the cross-bin cut need not be simultaneous.
-    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    const std::uint64_t c = bin_total(i);
     if (c > 0) h.add(edges_[i], c);
   }
   return h;
@@ -70,97 +79,61 @@ ServeMetrics::ServeMetrics()
       depth_(depth_edges()),
       started_(Clock::now()) {}
 
-// relaxed (all on_* hooks): each counter is a standalone monotonic
-// statistic incremented on the hot path; nothing reads a counter to order
-// other memory, and snapshot() documents a consistent-enough (not
-// linearizable) view. Sequential consistency here would buy nothing and
-// cost a fence per record.
+// All on_* hooks funnel into StripedCounter::add — one relaxed increment of
+// a per-thread cache-line slot. Each counter is a standalone monotonic
+// statistic; nothing reads a counter to order other memory, and snapshot()
+// documents a consistent-enough (not linearizable) view.
 void ServeMetrics::on_submit(std::uint64_t records) {
-  // relaxed: see block comment above.
-  ingested_.fetch_add(records, std::memory_order_relaxed);
+  ingested_.add(records);
 }
 
 void ServeMetrics::on_ingest(std::size_t queue_depth) {
-  // relaxed: see block comment above.
-  records_in_.fetch_add(1, std::memory_order_relaxed);
+  records_in_.add();
   depth_.add(static_cast<double>(queue_depth));
 }
 
 void ServeMetrics::on_quarantine(std::uint64_t records) {
-  // relaxed: see block comment above.
-  quarantined_.fetch_add(records, std::memory_order_relaxed);
+  quarantined_.add(records);
 }
 
-void ServeMetrics::on_shed(std::uint64_t records) {
-  // relaxed: see block comment above.
-  shed_.fetch_add(records, std::memory_order_relaxed);
-}
+void ServeMetrics::on_shed(std::uint64_t records) { shed_.add(records); }
 
-void ServeMetrics::on_retry(std::uint64_t records) {
-  // relaxed: see block comment above.
-  retries_.fetch_add(records, std::memory_order_relaxed);
-}
+void ServeMetrics::on_retry(std::uint64_t records) { retries_.add(records); }
 
-void ServeMetrics::on_watchdog_trip() {
-  // relaxed: see block comment above.
-  watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::on_watchdog_trip() { watchdog_trips_.add(); }
 
 void ServeMetrics::on_processed(Clock::time_point enqueued_at) {
-  // relaxed: see block comment above.
-  records_out_.fetch_add(1, std::memory_order_relaxed);
+  records_out_.add();
   ingest_lat_.add(us_since(enqueued_at));
 }
 
 void ServeMetrics::on_prediction(Clock::time_point enqueued_at) {
-  // relaxed: see block comment above.
-  predictions_.fetch_add(1, std::memory_order_relaxed);
+  predictions_.add();
   predict_lat_.add(us_since(enqueued_at));
 }
 
-void ServeMetrics::on_dedupe(std::uint64_t hits) {
-  // relaxed: see block comment above.
-  dedupe_hits_.fetch_add(hits, std::memory_order_relaxed);
-}
+void ServeMetrics::on_dedupe(std::uint64_t hits) { dedupe_hits_.add(hits); }
 
 void ServeMetrics::on_out_of_order(std::uint64_t records) {
-  // relaxed: see block comment above.
-  out_of_order_.fetch_add(records, std::memory_order_relaxed);
+  out_of_order_.add(records);
 }
 
-void ServeMetrics::on_advisor_event() {
-  // relaxed: see block comment above.
-  advisor_events_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::on_advisor_event() { advisor_events_.add(); }
 
-void ServeMetrics::on_advisor_drop() {
-  // relaxed: see block comment above.
-  advisor_dropped_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::on_advisor_drop() { advisor_dropped_.add(); }
 
-void ServeMetrics::on_directive() {
-  // relaxed: see block comment above.
-  directives_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::on_directive() { directives_.add(); }
 
-void ServeMetrics::on_directive_suppressed() {
-  // relaxed: see block comment above.
-  directives_suppressed_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::on_directive_suppressed() { directives_suppressed_.add(); }
 
-void ServeMetrics::on_interval_update() {
-  // relaxed: see block comment above.
-  interval_updates_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::on_interval_update() { interval_updates_.add(); }
 
 void ServeMetrics::on_predicted_hit(std::uint64_t n) {
-  // relaxed: see block comment above.
-  predicted_hits_.fetch_add(n, std::memory_order_relaxed);
+  predicted_hits_.add(n);
 }
 
 void ServeMetrics::on_predicted_miss(std::uint64_t n) {
-  // relaxed: see block comment above.
-  predicted_misses_.fetch_add(n, std::memory_order_relaxed);
+  predicted_misses_.add(n);
 }
 
 void ServeMetrics::set_degraded(bool on) {
@@ -207,33 +180,25 @@ double ServeMetrics::uptime_seconds() const {
 
 MetricsSnapshot ServeMetrics::snapshot() const {
   MetricsSnapshot s;
-  // relaxed: monitoring reads of independent counters — the snapshot is
-  // consistent-enough by contract, not a linearizable cut (all six loads).
-  s.ingested = ingested_.load(std::memory_order_relaxed);
-  s.records_in = records_in_.load(std::memory_order_relaxed);
-  // relaxed: as above.
-  s.records_out = records_out_.load(std::memory_order_relaxed);
-  // relaxed: as above.
-  s.quarantined = quarantined_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.retries = retries_.load(std::memory_order_relaxed);
-  // relaxed: as above.
-  s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
-  s.predictions = predictions_.load(std::memory_order_relaxed);
-  s.dedupe_hits = dedupe_hits_.load(std::memory_order_relaxed);
-  // relaxed: as above.
-  s.out_of_order = out_of_order_.load(std::memory_order_relaxed);
-  // relaxed: as above (advisor counters are independent statistics too).
-  s.advisor_events = advisor_events_.load(std::memory_order_relaxed);
-  s.advisor_dropped = advisor_dropped_.load(std::memory_order_relaxed);
-  s.directives = directives_.load(std::memory_order_relaxed);
-  // relaxed: as above.
-  s.directives_suppressed =
-      directives_suppressed_.load(std::memory_order_relaxed);
-  s.interval_updates = interval_updates_.load(std::memory_order_relaxed);
-  // relaxed: as above.
-  s.predicted_hits = predicted_hits_.load(std::memory_order_relaxed);
-  s.predicted_misses = predicted_misses_.load(std::memory_order_relaxed);
+  // Striped-counter reads: a monitoring sum per counter — the snapshot is
+  // consistent-enough by contract, not a linearizable cut.
+  s.ingested = ingested_.read();
+  s.records_in = records_in_.read();
+  s.records_out = records_out_.read();
+  s.quarantined = quarantined_.read();
+  s.shed = shed_.read();
+  s.retries = retries_.read();
+  s.watchdog_trips = watchdog_trips_.read();
+  s.predictions = predictions_.read();
+  s.dedupe_hits = dedupe_hits_.read();
+  s.out_of_order = out_of_order_.read();
+  s.advisor_events = advisor_events_.read();
+  s.advisor_dropped = advisor_dropped_.read();
+  s.directives = directives_.read();
+  s.directives_suppressed = directives_suppressed_.read();
+  s.interval_updates = interval_updates_.read();
+  s.predicted_hits = predicted_hits_.read();
+  s.predicted_misses = predicted_misses_.read();
 
   {
     util::MutexLock lk(clock_mu_);

@@ -1,9 +1,14 @@
-// Observability for the serving layer. Every counter is a relaxed atomic —
-// the hot path (worker threads, producer threads) never takes a lock for
-// bookkeeping. Latency and queue-depth distributions are kept in lock-free
-// fixed-edge bucket arrays and materialised into `util::EdgeHistogram`s
-// only when a snapshot or report is requested, so the percentile machinery
-// is shared with the rest of the experiment harness.
+// Observability for the serving layer. Every counter and histogram bin is
+// *striped*: writers land on one of kMetricStripes cache-line-sized slots
+// chosen per thread, and the slots are summed only when a snapshot or
+// report is requested. The hot path (worker threads, producer threads)
+// therefore never takes a lock for bookkeeping *and* never bounces a shared
+// counter cache line between shards — with one shared atomic per counter,
+// the coherence traffic of N producers incrementing `ingested` on every
+// record was itself a serialization point, felt exactly like the ingest
+// mutex the sharded refactor removed. Latency and queue-depth distributions
+// are materialised into `util::EdgeHistogram`s at scrape time, so the
+// percentile machinery is shared with the rest of the experiment harness.
 //
 // The measured quantities follow the paper's framing (§VI.A): what matters
 // for an online predictor is the *visible* delay between a symptom entering
@@ -25,7 +30,54 @@
 
 namespace elsa::serve {
 
-/// Thread-safe histogram over fixed bin edges; add() is lock-free.
+/// Stripe count for all serve-side metric state. Eight covers the 8-shard
+/// scaling target (one worker + one producer per shard rarely collide on a
+/// stripe) without making scrape-time summation or footprint noticeable.
+inline constexpr std::size_t kMetricStripes = 8;
+
+/// The calling thread's metric stripe: assigned once per thread,
+/// round-robin over threads in creation order, so any fixed pool spreads
+/// evenly across stripes. Two threads *may* share a stripe — that costs
+/// contention, never correctness.
+inline std::size_t metric_stripe() {
+  static std::atomic<std::size_t> next{0};
+  // relaxed: the ticket only needs uniqueness-per-increment, not ordering
+  // with any other memory.
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return id;
+}
+
+/// Thread-safe monotonic counter, striped across cache lines: add() touches
+/// only the caller's stripe, read() sums all of them (monitoring contract —
+/// a concurrent add may or may not be included).
+class StripedCounter {
+ public:
+  void add(std::uint64_t n = 1) {
+    // relaxed: standalone monotonic statistic; no reader orders other
+    // memory against it, and scrapes tolerate in-flight adds.
+    cells_[metric_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t read() const {
+    std::uint64_t t = 0;
+    for (const Cell& c : cells_)
+      // relaxed: monitoring sum; same contract as add().
+      t += c.v.load(std::memory_order_relaxed);
+    return t;
+  }
+
+ private:
+  /// One full cache line per stripe so writers never false-share.
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kMetricStripes];
+};
+
+/// Thread-safe histogram over fixed bin edges; add() is lock-free and
+/// striped — each thread increments bins in its own stripe's row, and the
+/// rows are summed only at snapshot time.
 class AtomicHistogram {
  public:
   explicit AtomicHistogram(std::vector<double> edges);
@@ -39,18 +91,22 @@ class AtomicHistogram {
   util::EdgeHistogram snapshot() const;
 
  private:
+  /// Sum of one bin across all stripes.
+  std::uint64_t bin_total(std::size_t bin) const;
+
   std::vector<double> edges_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::size_t stride_ = 0;  ///< bins per stripe row, padded to 8 (one line)
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< stripes × stride
 };
 
 /// One consistent-enough view of the service, cheap to take at any time.
 struct MetricsSnapshot {
   std::uint64_t ingested = 0;     ///< submit attempts the service received
-  std::uint64_t records_in = 0;   ///< accepted into the ingest queue
+  std::uint64_t records_in = 0;   ///< accepted into a shard's ingest ring
   std::uint64_t records_out = 0;  ///< fully processed by a shard engine
   std::uint64_t quarantined = 0;  ///< malformed records set aside, not crashed on
   std::uint64_t shed = 0;         ///< lost to overflow: door-shed, drop-oldest
-                                  ///< evictions, shard-queue drops
+                                  ///< evictions, shard-ring drops
   std::uint64_t retries = 0;        ///< producer re-submissions after a shed
   std::uint64_t watchdog_trips = 0; ///< shard deadline misses + worker restarts
   std::uint64_t predictions = 0;
@@ -75,7 +131,7 @@ struct MetricsSnapshot {
   double ingest_p99_us = 0.0;
   double predict_p50_us = 0.0;  ///< enqueue of trigger -> alarm issued
   double predict_p99_us = 0.0;
-  double queue_depth_p50 = 0.0;  ///< ingest ring depth observed at enqueue
+  double queue_depth_p50 = 0.0;  ///< shard ring depth observed at enqueue
   double queue_depth_p99 = 0.0;
 
   /// Conservation of records, the chaos invariant: every submit attempt is
@@ -140,36 +196,37 @@ class ServeMetrics {
   /// Frozen (stop()) or live uptime, in seconds; takes clock_mu_.
   double uptime_seconds() const ELSA_EXCLUDES(clock_mu_);
 
-  // Hot-path state: independent monotonic counters. All accesses are
-  // relaxed — each counter is a standalone statistic, nothing orders
-  // against it, and snapshot() is documented as consistent-enough rather
-  // than a linearizable cut (see the relaxed: comments in metrics.cpp).
-  std::atomic<std::uint64_t> ingested_{0};
-  std::atomic<std::uint64_t> records_in_{0};
-  std::atomic<std::uint64_t> records_out_{0};
-  std::atomic<std::uint64_t> quarantined_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> retries_{0};
-  std::atomic<std::uint64_t> watchdog_trips_{0};
-  std::atomic<std::uint64_t> predictions_{0};
-  std::atomic<std::uint64_t> dedupe_hits_{0};
-  std::atomic<std::uint64_t> out_of_order_{0};
-  std::atomic<std::uint64_t> advisor_events_{0};
-  std::atomic<std::uint64_t> advisor_dropped_{0};
-  std::atomic<std::uint64_t> directives_{0};
-  std::atomic<std::uint64_t> directives_suppressed_{0};
-  std::atomic<std::uint64_t> interval_updates_{0};
-  std::atomic<std::uint64_t> predicted_hits_{0};
-  std::atomic<std::uint64_t> predicted_misses_{0};
+  // Hot-path state: independent monotonic counters, each striped across
+  // cache lines (see StripedCounter) so concurrent producers/workers never
+  // contend. snapshot() is consistent-enough by contract, not a
+  // linearizable cut.
+  StripedCounter ingested_;
+  StripedCounter records_in_;
+  StripedCounter records_out_;
+  StripedCounter quarantined_;
+  StripedCounter shed_;
+  StripedCounter retries_;
+  StripedCounter watchdog_trips_;
+  StripedCounter predictions_;
+  StripedCounter dedupe_hits_;
+  StripedCounter out_of_order_;
+  StripedCounter advisor_events_;
+  StripedCounter advisor_dropped_;
+  StripedCounter directives_;
+  StripedCounter directives_suppressed_;
+  StripedCounter interval_updates_;
+  StripedCounter predicted_hits_;
+  StripedCounter predicted_misses_;
   AtomicHistogram ingest_lat_;   ///< microseconds
   AtomicHistogram predict_lat_;  ///< microseconds
-  AtomicHistogram depth_;        ///< ingest ring depth
+  AtomicHistogram depth_;        ///< shard ring depth
 
   // Cold lifecycle state: start()/stop() may race with snapshot() callers
   // on other threads, and a time_point store is not atomic — so the clock
-  // pair lives under a (never-contended-in-the-hot-path) mutex. Before PR 3
-  // `started_` was a bare time_point: start() concurrent with snapshot()
-  // was a genuine data race, found by the annotation audit.
+  // pair lives under a mutex. The record path never touches it: only the
+  // watchdog (set_degraded), finish() (stop) and scrapers (snapshot) do.
+  // Before PR 3 `started_` was a bare time_point: start() concurrent with
+  // snapshot() was a genuine data race, found by the annotation audit.
   // Rank kMetrics: metrics hooks are called from every layer (watchdog,
   // workers, producers), so this lock must stay near the bottom of the
   // hierarchy and its critical sections never call out.

@@ -1,8 +1,15 @@
-// Bounded MPMC ring buffer: the ingest spine of the serving layer.
+// Bounded MPMC ring buffer: the serving layer's general-purpose queue for
+// low-rate cross-thread streams (the alarm feed, test fixtures). The record
+// ingest path no longer runs through this — it was the scalability
+// bottleneck (every producer and the dispatcher serialized on mu_) and was
+// replaced by per-shard lock-free rings (serve/spsc_ring.hpp) behind the
+// ShardRouter. Where a stream sees a handful of events per second, the
+// mutex ring stays the right tool: simpler, FIFO under any producer mix,
+// and its lock discipline is machine-checkable.
 //
 // A fixed-capacity circular buffer guarded by a mutex and two condition
 // variables. Any number of producers and consumers may operate on it
-// concurrently. Two overflow policies are exposed and the *caller* picks
+// concurrently. Three overflow policies are exposed and the *caller* picks
 // per call site:
 //
 //   * push()       — block until space frees up (backpressure: a slow

@@ -1,0 +1,81 @@
+// ShardRouter: the lock-free front door of the sharded serving path.
+//
+// Routing runs on the *producer's* thread — there is no dispatcher hop and
+// no shared state, just a pure function over two immutable fields — so any
+// number of submitters route concurrently with zero coordination.
+//
+// The partition key is the record's midplane index (the paper's §V
+// location analysis: fault syndromes overwhelmingly stay inside one
+// midplane, so a midplane is the unit of stream locality; flat clusters
+// shard by rack, which their topology model collapses onto midplane).
+// System-scoped records (node_id < 0) ride on shard 0.
+//
+// The key is *hashed* (Fibonacci multiplicative hash + high-bit range
+// reduction), not taken modulo shards: midplane indices are structured
+// (rack-major), and `midplane % shards` aliases that structure into hot
+// shards whenever the machine geometry shares a factor with the shard
+// count. Multiplying by 2^64/phi walks sequential keys through [0, 2^64)
+// as a low-discrepancy sequence — dense midplane indices (a real machine
+// has only a handful) spread near-perfectly, unlike an avalanche
+// finalizer whose independent uniform draws collide badly over few keys —
+// and the high-bit reduction keeps strided keys from aliasing the way a
+// low-bits modulo would. The mapping stays a pure deterministic function
+// of (node_id, nodes_per_midplane, shards) — identical across runs,
+// threads and processes, which is what keeps the deterministic merge and
+// the advisor's schedule digest byte-identical: every midplane still maps
+// wholly to exactly one shard, in arrival order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace elsa::serve {
+
+class ShardRouter {
+ public:
+  ShardRouter() = default;
+  ShardRouter(std::int32_t nodes_per_midplane, std::size_t shards)
+      : nodes_per_midplane_(nodes_per_midplane < 1 ? 1 : nodes_per_midplane),
+        shards_(shards == 0 ? 1 : shards) {}
+
+  std::size_t shards() const { return shards_; }
+
+  /// Fibonacci multiplicative hash: 0x9E3779B97F4A7C15 is 2^64/phi, so
+  /// sequential keys advance ~0.618 * 2^64 apart — a low-discrepancy walk
+  /// that spreads dense key sets near-perfectly. The pre-xorshift folds
+  /// the high key bits down (a bare multiply never propagates them into
+  /// the bits the range reduction reads) without disturbing small keys.
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    return x * 0x9e3779b97f4a7c15ull;
+  }
+
+  /// Range reduction on the mixed key's *high* 32 bits (a low-bits modulo
+  /// would undo the spread for power-of-two shard counts).
+  static std::size_t spread(std::uint64_t mixed, std::size_t shards) {
+    return static_cast<std::size_t>(
+        (mixed >> 32) * static_cast<std::uint64_t>(shards) >> 32);
+  }
+
+  /// The partition key: global midplane index, or -1 for system-scoped
+  /// records. This is also the advisor's per-partition MTTF key.
+  std::int64_t partition_of(std::int32_t node_id) const {
+    if (node_id < 0) return -1;
+    return static_cast<std::int64_t>(node_id / nodes_per_midplane_);
+  }
+
+  /// Stable hash of the partition key, reduced to a shard index.
+  /// System-scoped records (partition -1) hash like any other key — on a
+  /// real RAS stream they are a sizeable slice of the traffic, so pinning
+  /// them to shard 0 would stack them on whatever midplanes hash there.
+  std::size_t shard_of(std::int32_t node_id) const {
+    const std::int64_t part = partition_of(node_id);
+    return spread(mix(static_cast<std::uint64_t>(part)), shards_);
+  }
+
+ private:
+  std::int32_t nodes_per_midplane_ = 1;
+  std::size_t shards_ = 1;
+};
+
+}  // namespace elsa::serve

@@ -1,5 +1,7 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+
 namespace elsa::serve {
 
 PredictionService::PredictionService(const topo::Topology& topo,
@@ -11,15 +13,19 @@ PredictionService::PredictionService(const topo::Topology& topo,
       total_nodes_(topo.total_nodes()),
       overflow_(cfg.overflow),
       validate_(cfg.validate),
-      ingest_(cfg.ingest_capacity),
       alarms_(cfg.alarm_capacity) {
   ShardOptions so;
-  so.shards = cfg.shards;
-  so.queue_capacity = cfg.shard_queue_capacity;
-  so.batch = cfg.batch;
+  so.shards = std::max<std::size_t>(1, cfg.shards);
+  so.batch = std::max<std::size_t>(1, cfg.batch);
+  // Split the configured total ingest capacity across the shard rings.
+  // Floor of two batches per shard: a ring smaller than one pop quantum
+  // would make backpressure oscillate instead of smoothing bursts.
+  so.queue_capacity = std::max({cfg.ingest_capacity / so.shards,
+                                2 * so.batch, std::size_t{2}});
   so.drop_on_overflow = cfg.drop_on_overflow;
   so.watchdog_interval_ms = cfg.watchdog_interval_ms;
   so.watchdog_deadline_ms = cfg.watchdog_deadline_ms;
+  so.pin_workers = cfg.pin_workers;
   so.faults = cfg.faults;
   so.clock = cfg.clock;
   so.tap = cfg.tap;
@@ -30,13 +36,9 @@ PredictionService::PredictionService(const topo::Topology& topo,
         // canonical record).
         alarms_.offer(p);
       });
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
-PredictionService::~PredictionService() {
-  ingest_.close();
-  if (dispatcher_.joinable()) dispatcher_.join();
-}
+PredictionService::~PredictionService() = default;
 
 std::uint32_t PredictionService::classify(std::string_view message) const {
   const std::uint32_t tid = classifier_->classify_const(message);
@@ -64,18 +66,23 @@ SubmitResult PredictionService::submit_result(const simlog::LogRecord& rec,
     return SubmitResult::kQuarantined;
   }
 
-  const Item item{rec.time_ms, rec.node_id, classify(rec.message),
-                  ServeMetrics::Clock::now()};
+  // Classify and route on this (the producer's) thread, then push straight
+  // into the target shard's lock-free ring — no dispatcher hop, no mutex.
+  const ShardedEngine::Item item{rec.time_ms, rec.node_id,
+                                 classify(rec.message),
+                                 ServeMetrics::Clock::now()};
+  SpscRing<ShardedEngine::Item>& ring =
+      sharded_->ingest(sharded_->shard_of(rec.node_id));
   std::size_t depth = 0;
   if (blocking) {
     switch (overflow_) {
       case OverflowPolicy::kBlock:
-        depth = ingest_.push(item);
+        depth = ring.push(item);
         if (depth == 0) return SubmitResult::kClosed;
         break;
       case OverflowPolicy::kDropOldest: {
         bool evicted = false;
-        depth = ingest_.push_evict(item, &evicted);
+        depth = ring.push_evict(item, &evicted);
         if (depth == 0) return SubmitResult::kClosed;
         if (evicted) {
           // The displaced record was already counted ingested + in; it is
@@ -85,17 +92,17 @@ SubmitResult PredictionService::submit_result(const simlog::LogRecord& rec,
         break;
       }
       case OverflowPolicy::kShed:
-        depth = ingest_.offer(item);
+        depth = ring.offer(item);
         break;
     }
   } else {
-    depth = ingest_.offer(item);
+    depth = ring.offer(item);
   }
   if (depth == 0) {
     // offer() cannot say whether it refused for "full" or "closed"; ask.
     // A closed service never counts the attempt (nothing downstream will
     // balance it); a full ring is a shed.
-    if (ingest_.closed()) return SubmitResult::kClosed;
+    if (ring.closed()) return SubmitResult::kClosed;
     metrics_.on_submit();
     metrics_.on_shed();
     return SubmitResult::kShed;
@@ -123,28 +130,9 @@ std::vector<simlog::LogRecord> PredictionService::quarantined_sample() const {
   return out;
 }
 
-void PredictionService::dispatcher_loop() {
-  simlog::LogRecord rec;
-  std::vector<Item> buf;
-  while (ingest_.pop_all(buf)) {
-    for (const Item& item : buf) {
-      rec.time_ms = item.time_ms;
-      rec.node_id = item.node_id;
-      sharded_->feed(rec, item.tmpl, item.enq);
-    }
-    buf.clear();
-    // Input went quiet: hand partial batches over now so a trickle-rate
-    // feed pays at most one scheduling hop of extra latency, not a wait
-    // for a batch to fill.
-    if (ingest_.size() == 0) sharded_->flush();
-  }
-}
-
 void PredictionService::finish(std::int64_t t_end_ms) {
   if (finished_) return;
   finished_ = true;
-  ingest_.close();
-  if (dispatcher_.joinable()) dispatcher_.join();
   sharded_->finish(t_end_ms);
   metrics_.stop();
 }

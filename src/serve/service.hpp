@@ -1,27 +1,29 @@
 // elsa-serve: the streaming prediction service (paper Fig 2's online half,
 // deployed for real). Producers — syslog taps, the trace replayer, test
 // harnesses — submit raw records from any number of threads; the service
-// classifies them against the frozen offline model, funnels them through a
-// bounded MPMC ingest ring, and a dispatcher thread routes them to the
-// topology-sharded engines. Alarms stream out through a polling ring as
-// they are issued; the deterministic merged list is available after
-// finish().
+// classifies them against the frozen offline model, routes them through the
+// lock-free ShardRouter, and pushes each straight into its shard's
+// lock-free ingest ring. Alarms stream out through a polling ring as they
+// are issued; the deterministic merged list is available after finish().
 //
-//   producers -> [classify] -> ingest Ring -> dispatcher -> ShardedEngine
-//                                                |              |  alarms
-//                                           ServeMetrics <------+--> Ring
+//   producers -> [classify] -> [route] -> per-shard SpscRing -> shard worker
+//                                              |                   |  alarms
+//                                         ServeMetrics <-----------+--> Ring
 //
-// Classification happens on the *producer's* thread: the model is frozen
-// while serving (classify_const never mutates), so the most string-heavy
-// stage of the path parallelises with zero coordination. Messages never
-// cross the ring — only (time, node, template) does.
+// Everything up to the ring insertion happens on the *producer's* thread:
+// the model is frozen while serving (classify_const never mutates), the
+// router is a pure function, and the rings are lock-free — so the submit
+// path holds no mutex and shares no cache line between shards. There is no
+// dispatcher hop; each record crosses threads exactly once. (The old design
+// funneled every producer through one mutex-guarded MPMC ring and a single
+// dispatcher thread, which made throughput *fall* as shards were added.)
+// Messages never cross the ring — only (time, node, template) does.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <vector>
 
 #include "elsa/online.hpp"
@@ -32,8 +34,9 @@
 
 namespace elsa::serve {
 
-/// What a blocking submit does when the ingest ring is full. try_submit
-/// always sheds (that is its contract); submit consults this policy.
+/// What a blocking submit does when the target shard's ring is full.
+/// try_submit always sheds (that is its contract); submit consults this
+/// policy.
 enum class OverflowPolicy {
   kBlock,       ///< wait for space (backpressure onto the producer)
   kDropOldest,  ///< evict the oldest queued record to admit the new one
@@ -44,7 +47,7 @@ enum class OverflowPolicy {
 /// increments `ingested` and exactly one of the queued/quarantined/shed
 /// legs; kClosed attempts are invisible to the metrics.
 enum class SubmitResult {
-  kQueued,       ///< accepted into the ingest ring
+  kQueued,       ///< accepted into its shard's ingest ring
   kQuarantined,  ///< malformed record set aside (validator rejected it)
   kShed,         ///< lost to overflow under kShed / non-blocking submit
   kClosed,       ///< service already finished; nothing counted
@@ -52,16 +55,17 @@ enum class SubmitResult {
 
 struct ServiceConfig {
   std::size_t shards = 4;
-  /// Ingest ring capacity, in records.
+  /// Total ingest capacity, in records, split evenly across the per-shard
+  /// rings (each shard gets at least two batches' worth, and the ring
+  /// rounds its share up to a power of two).
   std::size_t ingest_capacity = 8192;
-  /// Per-shard queue capacity, in batches of `batch` records.
-  std::size_t shard_queue_capacity = 256;
+  /// Most records a shard worker drains from its ring in one batched pop.
   std::size_t batch = 64;
-  /// Shed batches instead of applying backpressure when a shard queue
-  /// fills (the ingest ring's policy is `overflow` for submit, always
-  /// shed for try_submit).
+  /// Shed records instead of applying backpressure when a shard ring fills
+  /// (the policy for engine-side feeds; submit() consults `overflow`,
+  /// try_submit always sheds).
   bool drop_on_overflow = false;
-  /// Backpressure policy for blocking submit() on a full ingest ring.
+  /// Backpressure policy for blocking submit() on a full shard ring.
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   /// Reject malformed records (node id outside the topology, negative
   /// timestamp) into quarantine instead of feeding them to the engines.
@@ -71,6 +75,9 @@ struct ServiceConfig {
   std::int64_t watchdog_interval_ms = 100;
   /// No-progress deadline before a shard counts as unhealthy.
   std::int64_t watchdog_deadline_ms = 2000;
+  /// Pin each shard worker to one CPU (best-effort, Linux only; see
+  /// ShardOptions::pin_workers).
+  bool pin_workers = false;
   /// Injected serve-side faults (stall / worker kill); null = none. Must
   /// outlive the service.
   const faultinject::FaultPlan* faults = nullptr;
@@ -104,14 +111,14 @@ class PredictionService {
   PredictionService(const PredictionService&) = delete;
   PredictionService& operator=(const PredictionService&) = delete;
 
-  /// Classify and enqueue one record; a full ingest ring is handled per the
-  /// configured OverflowPolicy (default: block for backpressure).
+  /// Classify, route and enqueue one record; a full shard ring is handled
+  /// per the configured OverflowPolicy (default: block for backpressure).
   /// Thread-safe. False once the service is finished.
   bool submit(const simlog::LogRecord& rec);
 
-  /// Classify and enqueue one record; sheds it (counted in the metrics)
-  /// when the ingest ring is full. Thread-safe. False if shed, quarantined
-  /// or finished.
+  /// Classify, route and enqueue one record; sheds it (counted in the
+  /// metrics) when its shard's ring is full. Thread-safe. False if shed,
+  /// quarantined or finished.
   bool try_submit(const simlog::LogRecord& rec);
 
   /// Full-fidelity submit: says *which* fate the record met. `blocking`
@@ -153,47 +160,52 @@ class PredictionService {
 
   std::size_t shards() const { return sharded_->shards(); }
 
+  /// Shard a record would route to (the bench partitions its producer
+  /// threads with this; pure function, callable from any thread).
+  std::size_t shard_of(std::int32_t node_id) const {
+    return sharded_->shard_of(node_id);
+  }
+
+  /// Current per-shard ingest ring depths (racy monitoring snapshot).
+  std::vector<std::size_t> shard_depths() const {
+    return sharded_->shard_depths();
+  }
+
+  /// Records processed so far, per shard (router-imbalance monitoring).
+  std::vector<std::uint64_t> shard_processed() const {
+    return sharded_->shard_processed();
+  }
+
   /// Template id the service assigns to `message` (frozen-model
   /// classification; unseen messages map to one reserved "unknown" id).
   std::uint32_t classify(std::string_view message) const;
 
  private:
-  struct Item {
-    std::int64_t time_ms = 0;
-    std::int32_t node_id = -1;
-    std::uint32_t tmpl = 0;
-    ServeMetrics::Clock::time_point enq{};
-  };
-
-  void dispatcher_loop();
-
   /// Structural sanity of one record: node id inside the topology (or the
   /// system-scope sentinel -1), non-negative timestamp.
   bool valid(const simlog::LogRecord& rec) const;
 
   // Thread roles: `classifier_` and `unknown_tmpl_` are immutable while
-  // serving (frozen model); `metrics_`, `ingest_` and `alarms_` are
-  // internally synchronized (annotated Mutex / relaxed atomics); the
-  // ShardedEngine is fed only by the dispatcher thread. `finished_` is
-  // control-plane state: finish() must be called from one controlling
-  // thread (it joins the dispatcher), matching the destructor's contract.
+  // serving (frozen model); `metrics_` and `alarms_` are internally
+  // synchronized; the ShardedEngine's rings are lock-free and fed directly
+  // by submitting threads. `finished_` is control-plane state: finish()
+  // must be called from one controlling thread (it joins the shard
+  // workers), matching the destructor's contract.
   const helo::TemplateMiner* classifier_;
   std::uint32_t unknown_tmpl_;
   std::int32_t total_nodes_ = 0;
   OverflowPolicy overflow_ = OverflowPolicy::kBlock;
   bool validate_ = true;
   ServeMetrics metrics_;
-  Ring<Item> ingest_;
   Ring<core::Prediction> alarms_;
   std::unique_ptr<ShardedEngine> sharded_;
-  std::thread dispatcher_;
   bool finished_ = false;  ///< controlling thread only
 
   /// Bounded ring of the newest quarantined records (multi-producer).
   static constexpr std::size_t kQuarantineSample = 32;
   // Rank kService (top of the serving hierarchy): nothing else may be held
   // when it is taken, and submit_result() closes its scope before touching
-  // the ingest ring.
+  // the shard rings.
   mutable util::Mutex q_mu_{"serve::PredictionService::q_mu_",
                             util::lockrank::kService};
   std::vector<simlog::LogRecord> quarantine_ ELSA_GUARDED_BY(q_mu_);

@@ -4,6 +4,11 @@
 #include <chrono>
 #include <tuple>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace elsa::serve {
 
 namespace {
@@ -21,6 +26,35 @@ bool prediction_less(const core::Prediction& a, const core::Prediction& b) {
                                       b.nodes.begin(), b.nodes.end());
 }
 
+/// Best-effort worker pinning: bind the calling thread to one core of its
+/// currently-allowed set, round-robin by shard index. Silently a no-op off
+/// Linux or when the affinity calls fail (containers often restrict them) —
+/// pinning is a throughput hint, never a correctness dependency.
+void pin_to_core(std::size_t shard_idx) {
+#if defined(__linux__)
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(allowed), &allowed) != 0)
+    return;
+  const int n_allowed = CPU_COUNT(&allowed);
+  if (n_allowed <= 1) return;
+  // Pick the (shard_idx % n_allowed)-th set bit of the allowed mask.
+  int want = static_cast<int>(shard_idx % static_cast<std::size_t>(n_allowed));
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (!CPU_ISSET(cpu, &allowed)) continue;
+    if (want-- == 0) {
+      cpu_set_t one;
+      CPU_ZERO(&one);
+      CPU_SET(cpu, &one);
+      (void)pthread_setaffinity_np(pthread_self(), sizeof(one), &one);
+      return;
+    }
+  }
+#else
+  (void)shard_idx;
+#endif
+}
+
 }  // namespace
 
 ShardedEngine::ShardedEngine(const topo::Topology& topo,
@@ -34,14 +68,14 @@ ShardedEngine::ShardedEngine(const topo::Topology& topo,
       sink_(std::move(on_prediction)) {
   if (opt_.shards == 0) opt_.shards = 1;
   if (opt_.batch == 0) opt_.batch = 1;
-  nodes_per_midplane_ =
+  const std::int32_t nodes_per_midplane =
       std::max(1, topo.nodes_per_nodecard() * topo.nodecards_per_midplane());
+  router_ = ShardRouter(nodes_per_midplane, opt_.shards);
   shards_.reserve(opt_.shards);
   for (std::size_t i = 0; i < opt_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(
         opt_.queue_capacity,
         core::OnlineEngine(topo, chains, profiles, engine_cfg)));
-    shards_.back()->pending.reserve(opt_.batch);
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard* sp = shards_[i].get();
@@ -59,19 +93,19 @@ ShardedEngine::~ShardedEngine() {
     if (s->worker.joinable()) s->worker.join();
 }
 
-std::size_t ShardedEngine::shard_of(std::int32_t node_id) const {
-  if (node_id < 0) return 0;  // system-scoped records ride on shard 0
-  const std::size_t midplane =
-      static_cast<std::size_t>(node_id) /
-      static_cast<std::size_t>(nodes_per_midplane_);
-  return midplane % shards_.size();
-}
-
 void ShardedEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl,
                          ServeMetrics::Clock::time_point enq) {
-  Shard& s = *shards_[shard_of(rec.node_id)];
-  s.pending.push_back({rec.time_ms, rec.node_id, tmpl, enq});
-  if (s.pending.size() >= opt_.batch) flush_shard(s);
+  Shard& s = *shards_[router_.shard_of(rec.node_id)];
+  Item item{rec.time_ms, rec.node_id, tmpl, enq};
+  if (opt_.drop_on_overflow) {
+    if (s.queue.offer(std::move(item)) == 0) {
+      // relaxed: monotonic shed counter, monitoring only (see header).
+      dropped_records_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_) metrics_->on_shed(1);
+    }
+  } else {
+    s.queue.push(std::move(item));
+  }
 }
 
 void ShardedEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
@@ -80,24 +114,8 @@ void ShardedEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
 }
 
 void ShardedEngine::flush() {
-  for (auto& s : shards_) flush_shard(*s);
-}
-
-void ShardedEngine::flush_shard(Shard& s) {
-  if (s.pending.empty()) return;
-  Batch batch;
-  batch.reserve(opt_.batch);
-  batch.swap(s.pending);
-  if (opt_.drop_on_overflow) {
-    const std::size_t n = batch.size();
-    if (s.queue.offer(std::move(batch)) == 0) {
-      // relaxed: monotonic shed counter, monitoring only (see header).
-      dropped_records_.fetch_add(n, std::memory_order_relaxed);
-      if (metrics_) metrics_->on_shed(n);
-    }
-  } else {
-    s.queue.push(std::move(batch));
-  }
+  // No-op: records go straight from the producing thread into the shard
+  // rings, so there is no dispatcher-side partial batch to hand over.
 }
 
 bool ShardedEngine::process_batch(Shard& s, std::size_t idx, Batch& batch) {
@@ -132,6 +150,7 @@ bool ShardedEngine::process_batch(Shard& s, std::size_t idx, Batch& batch) {
 }
 
 void ShardedEngine::worker_loop(Shard& s, std::size_t idx) {
+  if (opt_.pin_workers) pin_to_core(idx);
   s.alive.store(true, std::memory_order_release);
   if (!s.carryover.empty()) {
     // Resume the batch a previous incarnation abandoned mid-flight.
@@ -141,12 +160,16 @@ void ShardedEngine::worker_loop(Shard& s, std::size_t idx) {
     // relaxed: advisory liveness hint the watchdog samples.
     s.busy.store(false, std::memory_order_relaxed);
   }
-  while (auto batch = s.queue.pop()) {
+  Batch batch;
+  batch.reserve(opt_.batch);
+  for (;;) {
+    batch.clear();
+    if (!s.queue.pop_wait(batch, opt_.batch)) break;
     // relaxed: (all busy stores) advisory liveness hint the watchdog
-    // samples; batch data is handed off through the ring's own
+    // samples; item data is handed off through the ring's own
     // synchronization.
     s.busy.store(true, std::memory_order_relaxed);
-    if (!process_batch(s, idx, *batch)) return;
+    if (!process_batch(s, idx, batch)) return;
     // relaxed: as above.
     s.busy.store(false, std::memory_order_relaxed);
   }
@@ -171,9 +194,9 @@ void ShardedEngine::watchdog_loop() {
       // held mutex (elsa-lint's blocking-under-lock rule bans exactly
       // that, and stop_watchdog() must never queue behind a join). The
       // scan needs no lock — shards_ is immutable while serving, the
-      // sampled fields are atomics, and this thread is the sole
-      // joiner/respawner of shard workers until stop_watchdog() has
-      // joined the watchdog itself.
+      // sampled fields are atomics (the ring's depth read included), and
+      // this thread is the sole joiner/respawner of shard workers until
+      // stop_watchdog() has joined the watchdog itself.
       util::MutexLock lk(wd_mu_);
       if (wd_stop_) break;
       wd_cv_.wait_for(wd_mu_, interval);
@@ -256,6 +279,22 @@ void ShardedEngine::drain_shard(Shard& s, std::size_t idx,
   }
 }
 
+std::vector<std::uint64_t> ShardedEngine::shard_processed() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_)
+    // relaxed: monitoring sample of an advisory progress counter.
+    out.push_back(s->processed.load(std::memory_order_relaxed));
+  return out;
+}
+
+std::vector<std::size_t> ShardedEngine::shard_depths() const {
+  std::vector<std::size_t> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) out.push_back(s->queue.size());
+  return out;
+}
+
 void ShardedEngine::finish(std::int64_t t_end_ms) {
   if (finished_) return;
   finished_ = true;
@@ -263,45 +302,35 @@ void ShardedEngine::finish(std::int64_t t_end_ms) {
   // The watchdog joins/respawns workers; stop it before we touch them.
   stop_watchdog();
 
-  // Deliberately no flush() here: flush_shard's blocking push() would
-  // deadlock against a fault-killed worker that left its queue full. Close
-  // and join first; `pending` is drained directly below.
   for (auto& s : shards_) s->queue.close();
   for (auto& s : shards_)
     if (s->worker.joinable()) s->worker.join();
 
   // A worker killed by an injected fault (and not revived — watchdog off or
-  // stopped) leaves a parked carryover tail and possibly queued batches
-  // behind, and every shard may hold a partial dispatcher-side `pending`
-  // batch. Conservation demands every accepted record reach an engine:
-  // drain them serially here, in original per-shard FIFO order (carryover
-  // precedes the queue, which precedes pending), where this thread owns
-  // everything (workers joined, dispatcher quiesced by the caller).
+  // stopped) leaves a parked carryover tail and possibly queued items
+  // behind, and a push racing close() may have landed a straggler after its
+  // shard's worker exited. Conservation demands every accepted record reach
+  // an engine: drain them serially here, in original per-shard FIFO order
+  // (carryover precedes the queue), where this thread owns everything
+  // (workers joined, producers quiesced by the caller).
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& s = *shards_[i];
     simlog::LogRecord rec;
-    const auto drain_batch = [&](Batch& b) {
-      for (const Item& item : b) {
-        rec.time_ms = item.time_ms;
-        rec.node_id = item.node_id;
-        s.engine.feed(rec, item.tmpl);
-        // relaxed: monotonic progress counter, monitoring only.
-        s.processed.fetch_add(1, std::memory_order_relaxed);
-        if (metrics_) metrics_->on_processed(item.enq);
-        drain_shard(s, i, item.enq);
-      }
+    const auto drain_item = [&](const Item& item) {
+      rec.time_ms = item.time_ms;
+      rec.node_id = item.node_id;
+      s.engine.feed(rec, item.tmpl);
+      // relaxed: monotonic progress counter, monitoring only.
+      s.processed.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_) metrics_->on_processed(item.enq);
+      drain_shard(s, i, item.enq);
     };
     if (!s.carryover.empty()) {
       Batch b;
       b.swap(s.carryover);
-      drain_batch(b);
+      for (const Item& item : b) drain_item(item);
     }
-    while (auto batch = s.queue.try_pop()) drain_batch(*batch);
-    if (!s.pending.empty()) {
-      Batch b;
-      b.swap(s.pending);
-      drain_batch(b);
-    }
+    while (auto item = s.queue.try_pop()) drain_item(*item);
   }
 
   // Closing trailing buckets can still emit predictions; workers are gone,

@@ -1,11 +1,15 @@
 // Topology-sharded online prediction (the serving layer's scale-out core).
 //
 // The record stream is partitioned by physical location: every midplane of
-// the machine maps to one of N shards (flat clusters shard by rack — their
+// the machine maps to one of N shards through the lock-free ShardRouter
+// (stable hash of the midplane index; flat clusters shard by rack — their
 // topology model collapses midplane onto rack), and each shard runs a
 // private `elsa::core::OnlineEngine` on its own worker thread, fed through
-// a bounded batch queue. System-scoped records (node_id < 0) ride on shard
-// 0.
+// its own lock-free ingest ring (serve/spsc_ring.hpp). Producers route and
+// push on their *own* threads — there is no dispatcher and no shared
+// queue, so shards scale instead of serializing on one mutex (the
+// pre-refactor inversion: 1-shard runs *beat* 4-shard runs). System-scoped
+// records (node_id < 0) ride on shard 0.
 //
 // Why midplanes: the paper's location analysis (§V, Fig 7) shows fault
 // syndromes overwhelmingly stay inside one midplane, so a midplane is the
@@ -19,9 +23,9 @@
 // (record, template) stream, for location-confined chains — chains whose
 // learned scope is Midplane or tighter and whose signals' activity does not
 // straddle shards. Two properties make this hold: per-shard processing is
-// sequential FIFO (thread scheduling cannot reorder one shard's records),
-// and the merge orders predictions by a total key
-// (issue_time, chain_id, tmpl, trigger_time, predicted_time, nodes, shard).
+// sequential FIFO (a midplane's records always land in the same shard's
+// ring, in submission order), and the merge orders predictions by a total
+// key (issue_time, chain_id, tmpl, trigger_time, predicted_time, nodes).
 #pragma once
 
 #include <atomic>
@@ -35,7 +39,8 @@
 #include "faultinject/clock.hpp"
 #include "faultinject/plan.hpp"
 #include "serve/metrics.hpp"
-#include "serve/ring.hpp"
+#include "serve/router.hpp"
+#include "serve/spsc_ring.hpp"
 #include "serve/tap.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -43,14 +48,15 @@ namespace elsa::serve {
 
 struct ShardOptions {
   std::size_t shards = 4;
-  /// Capacity of each shard's queue, in batches.
-  std::size_t queue_capacity = 256;
-  /// Records per batch handed to a shard in one queue operation. Batching
-  /// amortises the ring's mutex handshake; flush() bounds the latency it
-  /// can add.
+  /// Capacity of each shard's ingest ring, in records (rounded up to a
+  /// power of two by the ring).
+  std::size_t queue_capacity = 16384;
+  /// Most records a worker drains from its ring in one batched pop; bounds
+  /// how much one scheduling quantum of work a worker commits to before
+  /// re-checking for close/faults.
   std::size_t batch = 64;
-  /// On a full shard queue: true = shed the batch (counted), false = block
-  /// the dispatcher (backpressure, the default).
+  /// On a full shard ring: true = shed the record (counted), false = block
+  /// the producer (backpressure, the default).
   bool drop_on_overflow = false;
   /// Watchdog scan interval; 0 disables the watchdog thread entirely. The
   /// watchdog restarts dead shard workers, counts deadline trips, and
@@ -73,10 +79,25 @@ struct ShardOptions {
   /// none. The checkpoint advisor registers through this. Must outlive the
   /// engine.
   PredictionTap* tap = nullptr;
+  /// Pin each shard worker to one CPU (round-robin over the cores the
+  /// process may run on; best-effort, Linux only). Off by default: pinning
+  /// helps on dedicated multi-core serving boxes and hurts on shared or
+  /// oversubscribed ones.
+  bool pin_workers = false;
 };
 
 class ShardedEngine {
  public:
+  /// One classified record on the wire between a producer and a shard
+  /// worker. Messages never cross the ring — only (time, node, template)
+  /// plus the enqueue instant for latency accounting.
+  struct Item {
+    std::int64_t time_ms = 0;
+    std::int32_t node_id = -1;
+    std::uint32_t tmpl = 0;
+    ServeMetrics::Clock::time_point enq{};
+  };
+
   /// Called from worker threads as alarms are issued (streaming view; the
   /// canonical merged list is available after finish()). May be invoked
   /// concurrently from different shards.
@@ -94,21 +115,36 @@ class ShardedEngine {
 
   std::size_t shards() const { return shards_.size(); }
 
-  /// Shard a record routes to: global midplane index modulo shard count.
-  std::size_t shard_of(std::int32_t node_id) const;
+  /// The lock-free router (pure function; callable from any thread).
+  const ShardRouter& router() const { return router_; }
 
-  /// Route one classified record (single dispatcher thread only). `enq` is
-  /// the instant the record entered the service, for latency accounting.
+  /// Shard a record routes to: stable hash of its midplane index.
+  std::size_t shard_of(std::int32_t node_id) const {
+    return router_.shard_of(node_id);
+  }
+
+  /// Direct access to one shard's ingest ring, for callers that need the
+  /// full overflow-policy surface (push / offer / push_evict with depth
+  /// and eviction feedback — PredictionService's submit path). Safe from
+  /// any thread.
+  SpscRing<Item>& ingest(std::size_t shard) { return shards_[shard]->queue; }
+
+  /// Route one classified record and push it to its shard's ring —
+  /// blocking backpressure, or shed-and-count under drop_on_overflow.
+  /// Thread-safe: any number of producers may feed concurrently (per-shard
+  /// FIFO then follows ring-insertion order). `enq` is the instant the
+  /// record entered the service, for latency accounting.
   void feed(const simlog::LogRecord& rec, std::uint32_t tmpl,
             ServeMetrics::Clock::time_point enq);
   void feed(const simlog::LogRecord& rec, std::uint32_t tmpl);
 
-  /// Hand every partially filled batch to its shard immediately. Call when
-  /// the input goes quiet so a trickle-rate feed never waits on a batch.
+  /// Historical batching hook, now a no-op: producers push straight into
+  /// the shard rings, so there is no dispatcher-side partial batch left to
+  /// hand over. Kept so trickle-feed call sites stay source-compatible.
   void flush();
 
-  /// Flush, drain, stop the workers, close trailing buckets through
-  /// `t_end_ms`, and build the merged prediction list. Idempotent.
+  /// Drain, stop the workers, close trailing buckets through `t_end_ms`,
+  /// and build the merged prediction list. Idempotent.
   void finish(std::int64_t t_end_ms);
 
   /// Deterministically merged predictions (valid after finish()).
@@ -118,7 +154,7 @@ class ShardedEngine {
   /// chains_used counts chains that fired in at least one shard).
   const core::EngineStats& stats() const { return stats_; }
 
-  /// Records shed because a shard queue overflowed (drop_on_overflow mode).
+  /// Records shed because a shard ring overflowed (drop_on_overflow mode).
   std::uint64_t dropped_records() const {
     // relaxed: standalone monotonic counter read for monitoring; nothing
     // orders against it.
@@ -132,6 +168,13 @@ class ShardedEngine {
     return restarts_.load(std::memory_order_relaxed);
   }
 
+  /// Records processed so far, per shard (monitoring; the bench reports
+  /// max/mean of this as router imbalance).
+  std::vector<std::uint64_t> shard_processed() const;
+
+  /// Current per-shard ingest ring depths (racy monitoring snapshot).
+  std::vector<std::size_t> shard_depths() const;
+
   /// Per-shard engine access for tests and diagnostics (do not call while
   /// workers are running).
   const core::OnlineEngine& shard_engine(std::size_t i) const {
@@ -139,18 +182,11 @@ class ShardedEngine {
   }
 
  private:
-  struct Item {
-    std::int64_t time_ms = 0;
-    std::int32_t node_id = -1;
-    std::uint32_t tmpl = 0;
-    ServeMetrics::Clock::time_point enq{};
-  };
   using Batch = std::vector<Item>;
 
-  // Thread roles (confinement, not locks — the annotated Ring is the only
+  // Thread roles (confinement, not locks — the lock-free ring is the only
   // cross-thread handoff):
-  //   * `queue` is the sole dispatcher->worker channel (internally locked);
-  //   * `pending` is touched only by the dispatcher thread (feed/flush);
+  //   * `queue` is the producers->worker channel (slot-sequence protocol);
   //   * `engine`, `preds_streamed`, `dupes_reported`, `ooo_reported` are
   //     touched only by the shard's worker until finish() joins it, after
   //     which the finishing thread owns them (join = synchronization);
@@ -160,10 +196,9 @@ class ShardedEngine {
   struct Shard {
     Shard(std::size_t queue_capacity, core::OnlineEngine eng)
         : queue(queue_capacity), engine(std::move(eng)) {}
-    Ring<Batch> queue;
+    SpscRing<Item> queue;
     core::OnlineEngine engine;
     std::thread worker;
-    Batch pending;                    ///< dispatcher-side accumulation
     Batch carryover;                  ///< unprocessed tail of a dead worker's batch
     std::size_t preds_streamed = 0;   ///< predictions already sunk
     std::size_t dupes_reported = 0;   ///< dedupe hits already counted
@@ -180,7 +215,6 @@ class ShardedEngine {
   bool process_batch(Shard& s, std::size_t idx, Batch& batch);
   void watchdog_loop();
   void stop_watchdog();
-  void flush_shard(Shard& s);
   /// Stream engine-side deltas (new predictions, dedupe, out-of-order) to
   /// the sink/tap/metrics. Runs on the shard's worker, or on the finishing
   /// thread once workers have joined — never two threads for one `idx` at
@@ -192,7 +226,7 @@ class ShardedEngine {
   ShardOptions opt_;
   ServeMetrics* metrics_ = nullptr;
   PredictionSink sink_;
-  std::int32_t nodes_per_midplane_ = 1;
+  ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<core::Prediction> merged_;
   core::EngineStats stats_;

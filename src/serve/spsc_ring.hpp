@@ -1,0 +1,321 @@
+// Lock-free bounded ring: the per-shard ingest lane of the serving layer.
+//
+// One of these sits in front of every shard engine, replacing the old
+// single mutex-guarded MPMC `Ring` that every producer and the dispatcher
+// contended on (the scalability bug: throughput *fell* as shards were
+// added, because all of them serialized on one lock). Routing now happens
+// on the producer's thread (serve/router.hpp) and each record takes
+// exactly one hop — producer straight into its shard's ring — with no
+// dispatcher and no mutex anywhere on the path.
+//
+// The deployed topology is single-producer/single-consumer per ring: one
+// feed thread (the replayer / syslog tap of a partition) pushes, the
+// shard's worker pops. The implementation is nevertheless safe under
+// transient multi-producer submits (PredictionService::submit is a public
+// thread-safe API): every slot carries a sequence number (Vyukov's bounded
+// queue protocol), and cursor advancement is a CAS — uncontended in the
+// 1P1C fast path, where it costs the same single locked instruction as a
+// plain atomic increment.
+//
+// Geometry: capacity rounds up to a power of two (index masking instead of
+// modulo), and the producer cursor, consumer cursor and close flag live on
+// separate cache lines so the two sides never false-share.
+//
+// Overflow semantics mirror `Ring` exactly — the caller picks per call:
+//   * push()       — block (bounded spin, then yield, then short sleeps)
+//     until space frees up or the ring closes; backpressure.
+//   * offer()      — never block; a full (or closed) ring drops the item
+//     and counts it in dropped(); load shedding.
+//   * push_evict() — never block, never reject while open: a full ring
+//     discards its OLDEST queued item (counted in evicted(),
+//     `*evicted_out` set) to admit the new one; freshness-first.
+//
+// close() makes every subsequent push attempt fail fast; items already
+// queued remain poppable, and pop_wait() returns false once the ring is
+// closed and drained. One closing race is deliberately tolerated: a push
+// that passed the closed check just before close() may still land its
+// item. ShardedEngine::finish() runs a serial try_pop drain after joining
+// the workers, so such stragglers are still processed exactly once —
+// conservation holds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace elsa::serve {
+
+namespace detail {
+
+/// Progressive waiting for the ring's blocking paths: burn a few cycles
+/// first (the partner is usually mid-operation), then yield the core
+/// (essential on boxes with fewer cores than threads), then sleep in
+/// short bounded naps so an idle worker costs ~nothing.
+class SpinBackoff {
+ public:
+  void pause() {
+    ++spins_;
+    if (spins_ < 16) return;
+    if (spins_ < 64) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  void reset() { spins_ = 0; }
+
+ private:
+  int spins_ = 0;
+};
+
+inline std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 2;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace detail
+
+template <class T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    if (capacity == 0) throw std::invalid_argument("SpscRing: zero capacity");
+    const std::size_t cap = detail::round_up_pow2(capacity);
+    mask_ = cap - 1;
+    slots_.reset(new Slot[cap]);
+    for (std::size_t i = 0; i < cap; ++i)
+      // relaxed: pre-publication initialization; the constructor's caller
+      // publishes the ring to other threads with its own synchronization.
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Items currently queued (racy by nature; for monitoring).
+  std::size_t size() const {
+    // relaxed: monitoring read of two independently advancing cursors; a
+    // torn pair can only be off by in-flight operations.
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    // relaxed: as above.
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    return t > h ? t - h : 0;
+  }
+
+  /// Records shed by offer() on overflow (or after close).
+  std::uint64_t dropped() const {
+    // relaxed: standalone monotonic counter read for monitoring; no other
+    // memory depends on its value.
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Queued items displaced by push_evict() on overflow.
+  std::uint64_t evicted() const {
+    // relaxed: standalone monotonic counter read for monitoring; no other
+    // memory depends on its value.
+    return evicted_.load(std::memory_order_relaxed);
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Blocking push. Returns the queue depth after insertion (>= 1), or 0
+  /// if the ring was closed — the item was not enqueued.
+  std::size_t push(T item) {
+    detail::SpinBackoff backoff;
+    for (;;) {
+      if (closed()) return 0;
+      const std::size_t depth = try_push(item);
+      if (depth != 0) return depth;
+      backoff.pause();
+    }
+  }
+
+  /// Non-blocking push. On a full (or closed) ring the item is dropped and
+  /// counted; returns the depth after insertion, or 0 on drop.
+  std::size_t offer(T item) {
+    if (!closed()) {
+      const std::size_t depth = try_push(item);
+      if (depth != 0) return depth;
+    }
+    // relaxed: monotonic shed counter; readers only ever sum it, never
+    // order other accesses against it.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+
+  /// Non-blocking push that never rejects on overflow: a full ring evicts
+  /// its oldest queued item (counted; `*evicted_out` set when it happens)
+  /// to make room. Returns the depth after insertion, or 0 iff the ring is
+  /// closed — only then was the item not enqueued.
+  std::size_t push_evict(T item, bool* evicted_out = nullptr) {
+    bool kicked = false;
+    std::size_t depth = 0;
+    for (;;) {
+      if (closed()) {
+        if (evicted_out) *evicted_out = false;
+        return 0;
+      }
+      depth = try_push(item);
+      if (depth != 0) break;
+      if (discard_oldest()) kicked = true;
+      // A concurrent consumer may have beaten us to the oldest slot; either
+      // way space is (about to be) available — retry the push.
+    }
+    if (kicked) {
+      // relaxed: monotonic eviction counter; readers only ever sum it,
+      // never order other accesses against it.
+      evicted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (evicted_out) *evicted_out = kicked;
+    return depth;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    // relaxed: own-side cursor hint; the CAS below re-validates it.
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos + 1);
+      if (dif == 0) {
+        // relaxed: the slot's seq acquire/release pair carries the data;
+        // the cursor itself orders nothing.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          T out = std::move(slot.val);
+          slot.val = T{};  // release the popped item's resources now
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return out;
+        }
+      } else if (dif < 0) {
+        return std::nullopt;  // empty
+      } else {
+        // relaxed: as above — re-read the cursor another consumer advanced.
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Batched non-blocking pop: append up to `max` items to `out` in FIFO
+  /// order; returns how many were taken.
+  std::size_t pop_n(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+      auto item = try_pop();
+      if (!item) break;
+      out.push_back(std::move(*item));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Batched blocking pop: wait until at least one item is available (then
+  /// drain up to `max` of them into `out`), or the ring is closed and
+  /// empty — the false return, the consumer's exit signal.
+  bool pop_wait(std::vector<T>& out, std::size_t max) {
+    detail::SpinBackoff backoff;
+    for (;;) {
+      if (pop_n(out, max) > 0) return true;
+      if (closed()) {
+        // Final drain: an in-flight push may have landed between the empty
+        // pop and the closed observation.
+        return pop_n(out, max) > 0;
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Stop accepting items: every later push attempt fails fast (push and
+  /// push_evict return 0, offer counts a drop). Idempotent. Items already
+  /// queued remain poppable.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq;
+    T val;
+  };
+
+  /// One enqueue attempt. Returns the approximate depth after insertion
+  /// (clamped to >= 1), or 0 when the ring is full.
+  std::size_t try_push(T& item) {
+    // relaxed: own-side cursor hint; the CAS below re-validates it.
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos);
+      if (dif == 0) {
+        // relaxed: the slot's seq acquire/release pair carries the data;
+        // the cursor itself orders nothing.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.val = std::move(item);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          // relaxed: depth is a monitoring statistic; clamp covers the
+          // consumer racing past our slot.
+          const std::size_t h = head_.load(std::memory_order_relaxed);
+          return pos + 1 > h ? pos + 1 - h : 1;
+        }
+      } else if (dif < 0) {
+        return 0;  // full: the slot still holds an unconsumed generation
+      } else {
+        // relaxed: as above — re-read the cursor another producer advanced.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeue-and-discard the oldest queued item (push_evict's overflow
+  /// leg). False when the ring turned out to be empty.
+  bool discard_oldest() {
+    // relaxed: cursor hint; the CAS below re-validates it.
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos + 1);
+      if (dif == 0) {
+        // relaxed: the slot's seq acquire/release pair carries the data;
+        // the cursor itself orders nothing.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.val = T{};  // release the displaced item's resources now
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty — the consumer drained it under us
+      } else {
+        // relaxed: as above.
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  /// Producer and consumer cursors on their own cache lines: the two sides
+  /// of the ring never false-share, which is most of the point.
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next slot to fill
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next slot to drain
+  alignas(64) std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+};
+
+}  // namespace elsa::serve

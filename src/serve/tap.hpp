@@ -17,6 +17,11 @@
 //     ShardedEngine::drain_shard guarantees exactly-once streaming even
 //     across injected worker deaths and restarts).
 //   * The tap must outlive the engine/service it is registered with.
+//
+// The sharded-ingest refactor (lock-free ShardRouter + per-shard
+// SpscRings, no dispatcher) did not change this contract: predictions are
+// still emitted from drain_shard under the same one-producer-per-shard
+// serialization, whatever thread is draining.
 #pragma once
 
 #include <cstddef>

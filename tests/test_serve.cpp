@@ -151,13 +151,66 @@ TEST(ShardedEngine, RoutesByMidplane) {
   serve::ShardOptions so;
   so.shards = 3;
   serve::ShardedEngine eng(topo, {}, {}, core::EngineConfig{}, so);
-  EXPECT_EQ(eng.shard_of(-1), 0u);  // system records ride on shard 0
-  EXPECT_EQ(eng.shard_of(0), 0u);
-  EXPECT_EQ(eng.shard_of(31), 0u);   // same midplane, same shard
-  EXPECT_EQ(eng.shard_of(32), 1u);   // next midplane
-  EXPECT_EQ(eng.shard_of(64), 2u);
-  EXPECT_EQ(eng.shard_of(96), 0u);   // wraps modulo shard count
+  // System records (partition -1) hash like any other key — the mapping is
+  // still a pure function, just not pinned to shard 0.
+  EXPECT_EQ(eng.shard_of(-1),
+            serve::ShardRouter::spread(
+                serve::ShardRouter::mix(static_cast<std::uint64_t>(-1)), 3));
+  // Every node of a midplane routes with its midplane, and the mapping is
+  // the documented stable hash of the midplane index — a pure function, so
+  // it cannot drift between runs, threads or processes.
+  for (std::int32_t mp = 0; mp < 4; ++mp) {
+    const auto expect = serve::ShardRouter::spread(
+        serve::ShardRouter::mix(static_cast<std::uint64_t>(mp)), 3);
+    SCOPED_TRACE(mp);
+    EXPECT_EQ(eng.router().partition_of(mp * 32), mp);
+    EXPECT_EQ(eng.shard_of(mp * 32), expect);       // first node of midplane
+    EXPECT_EQ(eng.shard_of(mp * 32 + 31), expect);  // last node, same shard
+  }
   eng.finish(0);
+}
+
+// The router hashes the partition key instead of taking it modulo the
+// shard count: structured (rack-major) midplane indices must not alias
+// into hot shards. With many midplanes, every shard gets work.
+TEST(ShardRouter, HashSpreadsStructuredKeys) {
+  const serve::ShardRouter router(/*nodes_per_midplane=*/1, /*shards=*/8);
+  std::vector<int> hits(8, 0);
+  for (std::int32_t part = 0; part < 4096; ++part)
+    ++hits[router.shard_of(part)];
+  for (std::size_t s = 0; s < hits.size(); ++s) {
+    SCOPED_TRACE(s);
+    EXPECT_GT(hits[s], 0);
+    // Near-uniform: within ±50% of the 512 expected per shard.
+    EXPECT_GT(hits[s], 256);
+    EXPECT_LT(hits[s], 768);
+  }
+  // Strided keys (every 8th midplane — the aliasing worst case for
+  // `part % shards`) still touch every shard.
+  std::fill(hits.begin(), hits.end(), 0);
+  for (std::int32_t part = 0; part < 4096; part += 8)
+    ++hits[router.shard_of(part)];
+  for (std::size_t s = 0; s < hits.size(); ++s) {
+    SCOPED_TRACE(s);
+    EXPECT_GT(hits[s], 0);
+  }
+}
+
+// A real machine has only a handful of midplanes (the BG/L-like bench
+// topology has 8 plus the system partition), so the router must also
+// spread *dense, few* keys: an avalanche-style hash draws shards
+// independently and routinely piles most of 9 keys onto one shard, which
+// re-inverts the scaling curve. The Fibonacci walk is low-discrepancy, so
+// 8 dense keys over 4 shards land at most 3 deep and miss no shard.
+TEST(ShardRouter, DenseFewKeysStayBalanced) {
+  const serve::ShardRouter router(/*nodes_per_midplane=*/1, /*shards=*/4);
+  std::vector<int> hits(4, 0);
+  for (std::int32_t part = 0; part < 8; ++part) ++hits[router.shard_of(part)];
+  for (std::size_t s = 0; s < hits.size(); ++s) {
+    SCOPED_TRACE(s);
+    EXPECT_GT(hits[s], 0);
+    EXPECT_LE(hits[s], 3);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -207,8 +260,8 @@ TEST(PredictionService, MultiProducerNoLoss) {
   service.finish(0);  // idempotent
 }
 
-// The full service path (classify -> ingest ring -> dispatcher -> shards)
-// reproduces the single-engine predictions on the real campaign.
+// The full service path (classify -> route -> per-shard ring -> shard
+// worker) reproduces the single-engine predictions on the real campaign.
 TEST(PredictionService, EndToEndMatchesSingleEngine) {
   const Campaign& c = campaign();
   serve::ServiceConfig cfg;
@@ -349,6 +402,37 @@ TEST(PredictionService, EmptyPlanIsByteIdentical) {
   EXPECT_TRUE(m.records_conserved());
 }
 
+// Serve-side faults that do not lose records (a worker kill recovered by
+// the watchdog, a transient stall) must leave the merged output
+// byte-identical: the lock-free rings, the hash router and the restart
+// machinery may reshuffle *when* records are processed, never *what* the
+// merged stream contains.
+TEST(PredictionService, ServeSideFaultsStayByteIdentical) {
+  const Campaign& c = campaign();
+  const auto plan =
+      faultinject::FaultPlan::parse("failworker=0@500,stall=1@300:150", 7);
+
+  serve::ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.engine = c.engine;
+  cfg.faults = &plan;
+  cfg.watchdog_interval_ms = 10;  // revive the killed worker promptly
+  serve::PredictionService service(c.trace.topology, c.model, cfg);
+
+  serve::ReplayOptions ro;
+  ro.from_ms = c.train_end;
+  const std::size_t accepted =
+      serve::TraceReplayer(c.trace, ro).replay_into(service);
+  service.finish(c.trace.t_end_ms);
+
+  EXPECT_EQ(accepted, c.stream.size());
+  expect_identical(run_single(), service.predictions());
+  const auto m = service.metrics();
+  EXPECT_EQ(m.records_out, c.stream.size());
+  EXPECT_EQ(m.shed, 0u);
+  EXPECT_TRUE(m.records_conserved());
+}
+
 // Drop-oldest backpressure: wedge the (single) shard with an injected
 // stall so the ingest ring fills, and verify overflow evicts instead of
 // blocking and the evictions are accounted as shed.
@@ -359,15 +443,14 @@ TEST(PredictionService, DropOldestEvictsUnderOverflow) {
   serve::ServiceConfig cfg;
   cfg.shards = 1;
   cfg.ingest_capacity = 8;
-  cfg.shard_queue_capacity = 2;
   cfg.batch = 4;
   cfg.overflow = serve::OverflowPolicy::kDropOldest;
   cfg.faults = &plan;
   serve::PredictionService service(topo, model, cfg);
 
   // 500 immediate submits while the worker sleeps 400 ms after record 1:
-  // the shard queue (2 batches of 4) and ingest ring (8) fill long before
-  // the stall ends, so later submits must displace older queued records.
+  // the single shard's 8-record ring fills long before the stall ends, so
+  // later submits must displace older queued records.
   for (int i = 0; i < 500; ++i) {
     const auto r = service.submit_result(synth_record(i, 4), true);
     ASSERT_NE(r, serve::SubmitResult::kClosed);
@@ -396,8 +479,7 @@ TEST(PredictionService, ShedPolicyRetriesAndConserves) {
   core::OfflineModel model;
   serve::ServiceConfig cfg;
   cfg.shards = 1;
-  cfg.ingest_capacity = 4;
-  cfg.shard_queue_capacity = 2;
+  cfg.ingest_capacity = 4;  // floor lifts this to one 8-record ring
   cfg.batch = 4;
   cfg.overflow = serve::OverflowPolicy::kShed;
   cfg.faults = &plan;

@@ -1,8 +1,10 @@
 // Serving-layer primitives under contention: FIFO and close semantics of
-// the bounded MPMC ring, no-loss/no-duplication under producer/consumer
-// hammering, the drop-with-counter overflow policy, and the lock-free
-// metrics recorders. This is the file CI additionally runs under
-// ASan/UBSan and ThreadSanitizer.
+// the bounded MPMC ring and of the lock-free per-shard SpscRing (wrap
+// around, overflow policies, close-while-full, 1P1C stress),
+// no-loss/no-duplication under producer/consumer hammering, the
+// drop-with-counter overflow policy, and the striped lock-free metrics
+// recorders. This is the file CI additionally runs under ASan/UBSan and
+// ThreadSanitizer.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,6 +15,7 @@
 
 #include "serve/metrics.hpp"
 #include "serve/ring.hpp"
+#include "serve/spsc_ring.hpp"
 
 namespace {
 
@@ -159,6 +162,202 @@ TEST(RingStress, OfferAccountingAddsUp) {
   EXPECT_EQ(accepted.load() + ring.dropped(),
             static_cast<std::uint64_t>(kProducers) * kPerProducer);
   EXPECT_EQ(consumed.load(), accepted.load());
+}
+
+// ---------------------------------------------------------------------------
+// SpscRing: the lock-free per-shard ingest lane.
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_THROW(SpscRing<int>(0), std::invalid_argument);
+}
+
+// Several full fill/drain cycles drive the cursors well past the capacity,
+// exercising the slot sequence-number wrap-around the masking relies on.
+TEST(SpscRing, FifoSurvivesWrapAround) {
+  SpscRing<int> ring(4);
+  int next_in = 0, next_out = 0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (int i = 0; i < 4; ++i) EXPECT_GT(ring.push(next_in++), 0u);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.push_evict(next_in), 4u);  // full: evicts next_out
+    ++next_in;
+    ++next_out;
+    for (int i = 0; i < 4; ++i) {
+      auto v = ring.try_pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next_out++);
+    }
+    EXPECT_EQ(ring.try_pop(), std::nullopt);
+  }
+  EXPECT_EQ(ring.evicted(), 10u);
+}
+
+TEST(SpscRing, OfferDropsAndCountsOnOverflow) {
+  SpscRing<int> ring(8);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 100; ++i) accepted += ring.offer(i) != 0;
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(ring.dropped(), 92u);
+  // FIFO of the survivors.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ring.try_pop(), i);
+}
+
+// Same contract as the mutex ring: a full ring displaces its OLDEST item
+// (counted, reported), never the newcomer; only close rejects.
+TEST(SpscRing, PushEvictDisplacesOldest) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_GT(ring.push_evict(i), 0u);
+  EXPECT_EQ(ring.evicted(), 0u);
+
+  bool kicked = false;
+  EXPECT_GT(ring.push_evict(4, &kicked), 0u);  // displaces 0
+  EXPECT_TRUE(kicked);
+  EXPECT_GT(ring.push_evict(5, &kicked), 0u);  // displaces 1
+  EXPECT_TRUE(kicked);
+  EXPECT_EQ(ring.evicted(), 2u);
+  EXPECT_EQ(ring.size(), 4u);
+
+  // The freshest window survives, still FIFO.
+  for (int i = 2; i < 6; ++i) EXPECT_EQ(ring.try_pop(), i);
+
+  kicked = true;
+  EXPECT_GT(ring.push_evict(9, &kicked), 0u);  // room again: no eviction
+  EXPECT_FALSE(kicked);
+
+  ring.close();
+  EXPECT_EQ(ring.push_evict(10, &kicked), 0u);  // only closed rejects
+  EXPECT_FALSE(kicked);
+  EXPECT_EQ(ring.evicted(), 2u);
+}
+
+// close() while a producer is blocked in push() on a full ring: the
+// producer unblocks with 0 (item not enqueued), queued items stay
+// poppable, and pop_wait reports closed-and-drained.
+TEST(SpscRing, CloseWhileFullUnblocksProducer) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_GT(ring.push(i), 0u);
+
+  std::atomic<bool> blocked_push_returned{false};
+  std::thread producer([&] {
+    EXPECT_EQ(ring.push(99), 0u);  // full -> blocks -> close fails it
+    blocked_push_returned.store(true);
+  });
+  // Give the producer time to actually block on the full ring.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(blocked_push_returned.load());
+  ring.close();
+  producer.join();
+  EXPECT_TRUE(blocked_push_returned.load());
+
+  std::vector<int> out;
+  EXPECT_TRUE(ring.pop_wait(out, 64));  // drains the 4 survivors...
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_FALSE(ring.pop_wait(out, 64));  // ...then reports closed+empty
+  EXPECT_EQ(ring.offer(7), 0u);          // closed: counted as a drop
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+// The deployed topology: one producer, one consumer, batched pops. Every
+// item arrives exactly once, in order. (CI also runs this under TSan —
+// it is the data-race acceptance test for the Vyukov slot protocol.)
+TEST(SpscRingStress, SingleProducerSingleConsumerExactFifo) {
+  constexpr int kItems = 200'000;
+  SpscRing<int> ring(1024);
+
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_GT(ring.push(i), 0u);
+    ring.close();
+  });
+
+  std::vector<int> got;
+  got.reserve(kItems);
+  std::vector<int> buf;
+  while (ring.pop_wait(buf, 64)) {
+    got.insert(got.end(), buf.begin(), buf.end());
+    buf.clear();
+  }
+  producer.join();
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) ASSERT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+// submit() is a public thread-safe API, so the ring must also hold up
+// under multi-producer shedding: accepted + dropped adds up exactly, and
+// consumers see each accepted item once.
+TEST(SpscRingStress, MultiProducerOfferAccountingAddsUp) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 10'000;
+  SpscRing<int> ring(128);
+  std::atomic<std::uint64_t> accepted{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i)
+        if (ring.offer(i) != 0) accepted.fetch_add(1);
+    });
+  std::atomic<std::uint64_t> consumed{0};
+  std::thread consumer([&] {
+    std::vector<int> buf;
+    while (ring.pop_wait(buf, 32)) {
+      consumed.fetch_add(buf.size());
+      buf.clear();
+    }
+  });
+  for (auto& t : producers) t.join();
+  ring.close();
+  consumer.join();
+
+  EXPECT_EQ(accepted.load() + ring.dropped(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(consumed.load(), accepted.load());
+}
+
+// push_evict racing a live consumer: every push lands (never rejected
+// while open), and at the end every pushed item is accounted consumed or
+// evicted — the eviction counter never over- or under-counts.
+TEST(SpscRingStress, PushEvictAccountingUnderConcurrentConsumer) {
+  constexpr int kItems = 50'000;
+  SpscRing<int> ring(64);
+
+  std::atomic<std::uint64_t> consumed{0};
+  std::thread consumer([&] {
+    std::vector<int> buf;
+    while (ring.pop_wait(buf, 16)) {
+      consumed.fetch_add(buf.size());
+      buf.clear();
+    }
+  });
+
+  for (int i = 0; i < kItems; ++i) ASSERT_GT(ring.push_evict(i), 0u);
+  ring.close();
+  consumer.join();
+
+  EXPECT_EQ(consumed.load() + ring.evicted(),
+            static_cast<std::uint64_t>(kItems));
+}
+
+// ---------------------------------------------------------------------------
+// Striped metrics.
+
+// More threads than stripes: increments collapse onto shared stripes
+// without losing a single count.
+TEST(StripedCounter, ConcurrentAddsSumExactly) {
+  StripedCounter c;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 12; ++t)
+    ts.emplace_back([&c] {
+      for (int i = 0; i < 10'000; ++i) c.add();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.read(), 120'000u);
+  c.add(42);
+  EXPECT_EQ(c.read(), 120'042u);
 }
 
 TEST(AtomicHistogram, CountsAndSnapshots) {

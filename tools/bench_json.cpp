@@ -205,8 +205,11 @@ CompareReport compare(const BenchMap& baseline, const BenchMap& current,
     const BenchPoint& cur = it->second;
     const double floor = base.items_per_sec * (1.0 - tolerance);
     if (cur.items_per_sec < floor) {
+      // %.6g keeps throughput rows readable (no exponent below 1e6-ish)
+      // while still distinguishing scaling-ratio rows like 0.62 vs 2.36,
+      // which %.0f would both print as a meaningless rounded integer.
       std::snprintf(buf, sizeof buf,
-                    "%s: %.0f items/s < floor %.0f (baseline %.0f, "
+                    "%s: %.6g items/s < floor %.6g (baseline %.6g, "
                     "tolerance %.0f%%)",
                     name.c_str(), cur.items_per_sec, floor,
                     base.items_per_sec, tolerance * 100.0);
