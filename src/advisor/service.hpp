@@ -75,9 +75,12 @@ class AdvisorService final : public serve::PredictionTap {
 
   CheckpointAdvisor advisor_;
   std::vector<std::unique_ptr<SpscRing<core::Prediction>>> rings_;
+  // elsa-atomic: monotonic-relaxed — tap overflow counter, summed only.
   std::atomic<std::uint64_t> dropped_{0};
   serve::ServeMetrics* metrics_ = nullptr;  ///< service_'s, cached for publish
   std::unique_ptr<serve::PredictionService> service_;
+  // elsa-atomic: release-acquire-flag — finish()'s release store is the
+  // pump thread's acquire-loaded exit signal.
   std::atomic<bool> stop_{false};
   std::thread pump_;
   bool finished_ = false;  ///< controlling thread only

@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/interleave.hpp"
+
 namespace elsa::advisor {
 
 template <typename T>
@@ -32,14 +34,17 @@ class SpscRing {
 
   /// Producer side. False (and no effect) when the ring is full.
   bool try_push(const T& v) {
+    util::sched_point();
     // relaxed: tail_ is only written by this thread; no ordering needed to
     // read our own last store.
     const std::size_t t = tail_.load(std::memory_order_relaxed);
+    util::sched_point();
     // acquire: pairs with the consumer's head_ release so the slot we are
     // about to overwrite has really been read out.
     const std::size_t h = head_.load(std::memory_order_acquire);
     if (t - h > mask_) return false;  // full
     buf_[t & mask_] = v;
+    util::sched_point();
     // release: publishes the slot write above to the consumer's
     // tail_ acquire.
     tail_.store(t + 1, std::memory_order_release);
@@ -48,13 +53,16 @@ class SpscRing {
 
   /// Consumer side. False when the ring is empty.
   bool try_pop(T& out) {
+    util::sched_point();
     // relaxed: head_ is only written by this thread.
     const std::size_t h = head_.load(std::memory_order_relaxed);
+    util::sched_point();
     // acquire: pairs with the producer's tail_ release; makes the slot
     // contents visible before we read them.
     const std::size_t t = tail_.load(std::memory_order_acquire);
     if (h == t) return false;  // empty
     out = buf_[h & mask_];
+    util::sched_point();
     // release: hands the consumed slot back to the producer's
     // head_ acquire.
     head_.store(h + 1, std::memory_order_release);
@@ -67,7 +75,11 @@ class SpscRing {
   std::vector<T> buf_;
   std::size_t mask_ = 0;
   // Separate cache lines so producer and consumer do not false-share.
+  // elsa-atomic: spsc-seq — consumer-owned cursor: release store hands the
+  // consumed slot back to the producer's acquire load.
   alignas(64) std::atomic<std::size_t> head_{0};  ///< next slot to pop
+  // elsa-atomic: spsc-seq — producer-owned cursor: release store publishes
+  // the slot write to the consumer's acquire load.
   alignas(64) std::atomic<std::size_t> tail_{0};  ///< next slot to push
 };
 

@@ -54,6 +54,8 @@ class FaultClock {
   explicit FaultClock(bool manual) : manual_(manual) {}
 
   bool manual_ = false;
+  // elsa-atomic: monotonic-relaxed — standalone skew accumulator; readers
+  // never order other memory against it.
   std::atomic<std::int64_t> offset_ns_{0};
 };
 

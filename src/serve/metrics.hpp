@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "util/histogram.hpp"
+#include "util/interleave.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace elsa::serve {
@@ -40,6 +41,7 @@ inline constexpr std::size_t kMetricStripes = 8;
 /// evenly across stripes. Two threads *may* share a stripe — that costs
 /// contention, never correctness.
 inline std::size_t metric_stripe() {
+  // elsa-atomic: monotonic-relaxed — thread-creation ticket dispenser.
   static std::atomic<std::size_t> next{0};
   // relaxed: the ticket only needs uniqueness-per-increment, not ordering
   // with any other memory.
@@ -54,6 +56,7 @@ inline std::size_t metric_stripe() {
 class StripedCounter {
  public:
   void add(std::uint64_t n = 1) {
+    util::sched_point();
     // relaxed: standalone monotonic statistic; no reader orders other
     // memory against it, and scrapes tolerate in-flight adds.
     cells_[metric_stripe()].v.fetch_add(n, std::memory_order_relaxed);
@@ -61,15 +64,19 @@ class StripedCounter {
 
   std::uint64_t read() const {
     std::uint64_t t = 0;
-    for (const Cell& c : cells_)
+    for (const Cell& c : cells_) {
+      util::sched_point();
       // relaxed: monitoring sum; same contract as add().
       t += c.v.load(std::memory_order_relaxed);
+    }
     return t;
   }
 
  private:
   /// One full cache line per stripe so writers never false-share.
   struct alignas(64) Cell {
+    // elsa-atomic: striped-relaxed-counter — per-stripe shard of one
+    // monotonic statistic; only ever summed, never ordered against.
     std::atomic<std::uint64_t> v{0};
   };
   Cell cells_[kMetricStripes];
@@ -96,6 +103,8 @@ class AtomicHistogram {
 
   std::vector<double> edges_;
   std::size_t stride_ = 0;  ///< bins per stripe row, padded to 8 (one line)
+  // elsa-atomic: striped-relaxed-counter — per-stripe histogram bins,
+  // summed at snapshot time only.
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< stripes × stride
 };
 

@@ -216,7 +216,9 @@ class Ring {
   std::size_t head_ ELSA_GUARDED_BY(mu_) = 0;
   std::size_t count_ ELSA_GUARDED_BY(mu_) = 0;
   bool closed_ ELSA_GUARDED_BY(mu_) = false;
+  // elsa-atomic: monotonic-relaxed — shed counter, summed for monitoring.
   std::atomic<std::uint64_t> dropped_{0};
+  // elsa-atomic: monotonic-relaxed — eviction counter, summed only.
   std::atomic<std::uint64_t> evicted_{0};
 };
 

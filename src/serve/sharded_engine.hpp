@@ -203,8 +203,14 @@ class ShardedEngine {
     std::size_t preds_streamed = 0;   ///< predictions already sunk
     std::size_t dupes_reported = 0;   ///< dedupe hits already counted
     std::size_t ooo_reported = 0;     ///< out-of-order already counted
+    // elsa-atomic: monotonic-relaxed — progress counter the watchdog
+    // samples; staleness only delays a deadline trip by one poll.
     std::atomic<std::uint64_t> processed{0};  ///< records fed to the engine
+    // elsa-atomic: monotonic-relaxed — advisory liveness hint, sampled
+    // relaxed on every side by design; never used to publish data.
     std::atomic<bool> busy{false};    ///< worker holds an unfinished batch
+    // elsa-atomic: release-acquire-flag — the release store at worker exit
+    // publishes the shard's carryover to the watchdog's acquire load.
     std::atomic<bool> alive{false};   ///< worker thread is running
   };
 
@@ -230,7 +236,9 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<core::Prediction> merged_;
   core::EngineStats stats_;
+  // elsa-atomic: monotonic-relaxed — conservation counter, summed only.
   std::atomic<std::uint64_t> dropped_records_{0};
+  // elsa-atomic: monotonic-relaxed — watchdog restart counter, summed only.
   std::atomic<std::uint64_t> restarts_{0};
   bool finished_ = false;
 

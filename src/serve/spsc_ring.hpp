@@ -49,6 +49,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/interleave.hpp"
+
 namespace elsa::serve {
 
 namespace detail {
@@ -104,9 +106,11 @@ class SpscRing {
 
   /// Items currently queued (racy by nature; for monitoring).
   std::size_t size() const {
+    util::sched_point();
     // relaxed: monitoring read of two independently advancing cursors; a
     // torn pair can only be off by in-flight operations.
     const std::size_t t = tail_.load(std::memory_order_relaxed);
+    util::sched_point();
     // relaxed: as above.
     const std::size_t h = head_.load(std::memory_order_relaxed);
     return t > h ? t - h : 0;
@@ -114,6 +118,7 @@ class SpscRing {
 
   /// Records shed by offer() on overflow (or after close).
   std::uint64_t dropped() const {
+    util::sched_point();
     // relaxed: standalone monotonic counter read for monitoring; no other
     // memory depends on its value.
     return dropped_.load(std::memory_order_relaxed);
@@ -121,12 +126,16 @@ class SpscRing {
 
   /// Queued items displaced by push_evict() on overflow.
   std::uint64_t evicted() const {
+    util::sched_point();
     // relaxed: standalone monotonic counter read for monitoring; no other
     // memory depends on its value.
     return evicted_.load(std::memory_order_relaxed);
   }
 
-  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  bool closed() const {
+    util::sched_point();
+    return closed_.load(std::memory_order_acquire);
+  }
 
   /// Blocking push. Returns the queue depth after insertion (>= 1), or 0
   /// if the ring was closed — the item was not enqueued.
@@ -147,6 +156,7 @@ class SpscRing {
       const std::size_t depth = try_push(item);
       if (depth != 0) return depth;
     }
+    util::sched_point();
     // relaxed: monotonic shed counter; readers only ever sum it, never
     // order other accesses against it.
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -172,6 +182,7 @@ class SpscRing {
       // way space is (about to be) available — retry the push.
     }
     if (kicked) {
+      util::sched_point();
       // relaxed: monotonic eviction counter; readers only ever sum it,
       // never order other accesses against it.
       evicted_.fetch_add(1, std::memory_order_relaxed);
@@ -182,26 +193,31 @@ class SpscRing {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
+    util::sched_point();
     // relaxed: own-side cursor hint; the CAS below re-validates it.
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Slot& slot = slots_[pos & mask_];
+      util::sched_point();
       const std::size_t seq = slot.seq.load(std::memory_order_acquire);
       const auto dif = static_cast<std::ptrdiff_t>(seq) -
                        static_cast<std::ptrdiff_t>(pos + 1);
       if (dif == 0) {
+        util::sched_point();
         // relaxed: the slot's seq acquire/release pair carries the data;
         // the cursor itself orders nothing.
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           T out = std::move(slot.val);
           slot.val = T{};  // release the popped item's resources now
+          util::sched_point();
           slot.seq.store(pos + mask_ + 1, std::memory_order_release);
           return out;
         }
       } else if (dif < 0) {
         return std::nullopt;  // empty
       } else {
+        util::sched_point();
         // relaxed: as above — re-read the cursor another consumer advanced.
         pos = head_.load(std::memory_order_relaxed);
       }
@@ -240,10 +256,15 @@ class SpscRing {
   /// Stop accepting items: every later push attempt fails fast (push and
   /// push_evict return 0, offer counts a drop). Idempotent. Items already
   /// queued remain poppable.
-  void close() { closed_.store(true, std::memory_order_release); }
+  void close() {
+    util::sched_point();
+    closed_.store(true, std::memory_order_release);
+  }
 
  private:
   struct Slot {
+    // elsa-atomic: seqlock — per-slot generation number (Vyukov protocol):
+    // the release store of seq publishes val, the acquire load consumes it.
     std::atomic<std::size_t> seq;
     T val;
   };
@@ -251,20 +272,25 @@ class SpscRing {
   /// One enqueue attempt. Returns the approximate depth after insertion
   /// (clamped to >= 1), or 0 when the ring is full.
   std::size_t try_push(T& item) {
+    util::sched_point();
     // relaxed: own-side cursor hint; the CAS below re-validates it.
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Slot& slot = slots_[pos & mask_];
+      util::sched_point();
       const std::size_t seq = slot.seq.load(std::memory_order_acquire);
       const auto dif = static_cast<std::ptrdiff_t>(seq) -
                        static_cast<std::ptrdiff_t>(pos);
       if (dif == 0) {
+        util::sched_point();
         // relaxed: the slot's seq acquire/release pair carries the data;
         // the cursor itself orders nothing.
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           slot.val = std::move(item);
+          util::sched_point();
           slot.seq.store(pos + 1, std::memory_order_release);
+          util::sched_point();
           // relaxed: depth is a monitoring statistic; clamp covers the
           // consumer racing past our slot.
           const std::size_t h = head_.load(std::memory_order_relaxed);
@@ -273,6 +299,7 @@ class SpscRing {
       } else if (dif < 0) {
         return 0;  // full: the slot still holds an unconsumed generation
       } else {
+        util::sched_point();
         // relaxed: as above — re-read the cursor another producer advanced.
         pos = tail_.load(std::memory_order_relaxed);
       }
@@ -282,25 +309,30 @@ class SpscRing {
   /// Dequeue-and-discard the oldest queued item (push_evict's overflow
   /// leg). False when the ring turned out to be empty.
   bool discard_oldest() {
+    util::sched_point();
     // relaxed: cursor hint; the CAS below re-validates it.
     std::size_t pos = head_.load(std::memory_order_relaxed);
     for (;;) {
       Slot& slot = slots_[pos & mask_];
+      util::sched_point();
       const std::size_t seq = slot.seq.load(std::memory_order_acquire);
       const auto dif = static_cast<std::ptrdiff_t>(seq) -
                        static_cast<std::ptrdiff_t>(pos + 1);
       if (dif == 0) {
+        util::sched_point();
         // relaxed: the slot's seq acquire/release pair carries the data;
         // the cursor itself orders nothing.
         if (head_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
           slot.val = T{};  // release the displaced item's resources now
+          util::sched_point();
           slot.seq.store(pos + mask_ + 1, std::memory_order_release);
           return true;
         }
       } else if (dif < 0) {
         return false;  // empty — the consumer drained it under us
       } else {
+        util::sched_point();
         // relaxed: as above.
         pos = head_.load(std::memory_order_relaxed);
       }
@@ -311,10 +343,16 @@ class SpscRing {
   std::unique_ptr<Slot[]> slots_;
   /// Producer and consumer cursors on their own cache lines: the two sides
   /// of the ring never false-share, which is most of the point.
+  // elsa-atomic: monotonic-relaxed — cursors order nothing themselves; all
+  // publication rides the per-slot seq (seqlock), so relaxed CAS is sound.
   alignas(64) std::atomic<std::size_t> tail_{0};  ///< next slot to fill
+  // elsa-atomic: monotonic-relaxed — as tail_; seq carries the ordering.
   alignas(64) std::atomic<std::size_t> head_{0};  ///< next slot to drain
+  // elsa-atomic: release-acquire-flag — close() publishes, closed() pairs.
   alignas(64) std::atomic<bool> closed_{false};
+  // elsa-atomic: monotonic-relaxed — shed counter, summed for monitoring.
   std::atomic<std::uint64_t> dropped_{0};
+  // elsa-atomic: monotonic-relaxed — eviction counter, summed only.
   std::atomic<std::uint64_t> evicted_{0};
 };
 

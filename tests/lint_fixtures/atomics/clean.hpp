@@ -1,0 +1,22 @@
+// Atomics-protocol pass: clean fixture — every field declared with a known
+// protocol and every pairing sound. Fed through lint_atomics() under a
+// src-module path (src/util/clean.hpp) by test_elsa_lint.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+class CleanFlags {
+ public:
+  void stop() { stop_.store(true, std::memory_order_release); }
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+  void count() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  // elsa-atomic: release-acquire-flag
+  std::atomic<bool> stop_{false};
+  // elsa-atomic: monotonic-relaxed
+  std::atomic<std::uint64_t> hits_{0};
+};

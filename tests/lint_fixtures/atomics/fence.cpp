@@ -1,0 +1,13 @@
+// Atomics-protocol pass: fence-undocumented fixture. The bare fence fires;
+// the allow()ed one is the documented escape hatch.
+#include <atomic>
+
+inline void undocumented_flush() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+inline void documented_flush() {
+  // elsa-lint: allow(fence-undocumented): pairs with the signal handler's
+  // compiler barrier; no per-field order can express it.
+  std::atomic_thread_fence(std::memory_order_release);
+}

@@ -1,0 +1,14 @@
+// Atomics-protocol pass: atomic-undeclared fixture. `bare_` carries no
+// declaration, `weird_` names a protocol outside the closed set, and
+// `excused_` rides a reasoned allow() — two findings expected.
+#pragma once
+
+#include <atomic>
+
+struct Undeclared {
+  std::atomic<int> bare_{0};
+  // elsa-atomic: totally-made-up
+  std::atomic<int> weird_{0};
+  // elsa-lint: allow(atomic-undeclared): migration fixture, protocol TBD.
+  std::atomic<int> excused_{0};
+};

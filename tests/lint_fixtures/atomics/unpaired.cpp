@@ -1,0 +1,32 @@
+// Atomics-protocol pass: acquire-release-unpaired fixture. `lonely_pub_`'s
+// release store is never acquire-loaded and `lonely_sub_`'s acquire load is
+// never release-published — one finding each. `paired_` has both sides and
+// `excused_` rides a reasoned allow(); both stay quiet.
+#include <atomic>
+
+class Unpaired {
+ public:
+  void publish() { lonely_pub_.store(1, std::memory_order_release); }
+  int peek() { return lonely_pub_.load(std::memory_order_relaxed); }
+
+  int consume() { return lonely_sub_.load(std::memory_order_acquire); }
+  void poke() { lonely_sub_.store(2, std::memory_order_relaxed); }
+
+  void ok_pub() { paired_.store(3, std::memory_order_release); }
+  int ok_sub() { return paired_.load(std::memory_order_acquire); }
+
+  void excused_pub() {
+    // elsa-lint: allow(acquire-release-unpaired): reader lands next PR.
+    excused_.store(4, std::memory_order_release);
+  }
+
+ private:
+  // elsa-atomic: release-acquire-flag
+  std::atomic<int> lonely_pub_{0};
+  // elsa-atomic: release-acquire-flag
+  std::atomic<int> lonely_sub_{0};
+  // elsa-atomic: release-acquire-flag
+  std::atomic<int> paired_{0};
+  // elsa-atomic: release-acquire-flag
+  std::atomic<int> excused_{0};
+};

@@ -1,0 +1,38 @@
+// Atomics-protocol pass: rmw-order-too-weak fixture. The relaxed fetch_or
+// on a release-acquire-flag field fires; the relaxed fetch_add on a
+// monotonic-relaxed counter IS its declared protocol; the acq_rel CAS on a
+// spsc-seq field is strong enough; the allow()ed relaxed CAS stays quiet.
+#include <atomic>
+#include <cstdint>
+
+class WeakRmw {
+ public:
+  bool raise() { return flag_.fetch_or(1, std::memory_order_relaxed) == 0; }
+  void lower() { flag_.store(0, std::memory_order_release); }
+  bool observe() { return flag_.load(std::memory_order_acquire) != 0; }
+
+  void count() { ticks_.fetch_add(1, std::memory_order_relaxed); }
+
+  bool claim() {
+    int want = 0;
+    return slot_.compare_exchange_strong(want, 1, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  bool sloppy_claim() {
+    int want = 0;
+    // elsa-lint: allow(rmw-order-too-weak): caller's join supplies ordering.
+    return slot2_.compare_exchange_strong(want, 1, std::memory_order_relaxed,
+                                          std::memory_order_relaxed);
+  }
+
+ private:
+  // elsa-atomic: release-acquire-flag
+  std::atomic<int> flag_{0};
+  // elsa-atomic: monotonic-relaxed
+  std::atomic<std::uint64_t> ticks_{0};
+  // elsa-atomic: spsc-seq
+  std::atomic<int> slot_{0};
+  // elsa-atomic: spsc-seq
+  std::atomic<int> slot2_{0};
+};

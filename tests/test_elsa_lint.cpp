@@ -258,6 +258,144 @@ TEST(ElsaLintLockGraph, FixtureTreesAreExemptFromWalkers) {
 }
 
 // ---------------------------------------------------------------------------
+// Atomics-protocol rules (fixtures under lint_fixtures/atomics/)
+
+/// Run the whole-project atomics pass over a single fixture, mounted at a
+/// src-module path (only src modules own atomic protocols).
+std::vector<Finding> atomics_fixture(const std::string& name) {
+  return elsa::lint::lint_atomics(
+      {{"src/util/" + name, read_fixture("atomics/" + name)}});
+}
+
+TEST(ElsaLintAtomics, CleanFixtureIsQuiet) {
+  const auto fs = atomics_fixture("clean.hpp");
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintAtomics, UndeclaredAndUnknownProtocolFire) {
+  const auto fs = atomics_fixture("undeclared.hpp");
+  // The bare field and the made-up protocol; the allow()ed field is quiet.
+  ASSERT_EQ(count_rule(fs, "atomic-undeclared"), 2u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 2u) << elsa::lint::format(fs);
+  EXPECT_NE(fs[0].message.find("Undeclared::bare_"), std::string::npos)
+      << fs[0].message;
+  EXPECT_NE(fs[1].message.find("totally-made-up"), std::string::npos)
+      << fs[1].message;
+}
+
+TEST(ElsaLintAtomics, UnpairedReleaseAndAcquireFire) {
+  const auto fs = atomics_fixture("unpaired.cpp");
+  ASSERT_EQ(count_rule(fs, "acquire-release-unpaired"), 2u)
+      << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 2u) << elsa::lint::format(fs);
+  // One finding per lonely side, at the offending access site.
+  const std::string all = elsa::lint::format(fs);
+  EXPECT_NE(all.find("lonely_pub_"), std::string::npos) << all;
+  EXPECT_NE(all.find("lonely_sub_"), std::string::npos) << all;
+}
+
+TEST(ElsaLintAtomics, PairingFusesAcrossFiles) {
+  // Release side and acquire side live in different TUs; only the
+  // project-wide union proves the pairing. The header declares the field.
+  const std::string hdr =
+      "#pragma once\n"
+      "#include <atomic>\n"
+      "class Handoff {\n"
+      " public:\n"
+      "  void pub();\n"
+      "  bool sub();\n"
+      " private:\n"
+      "  // elsa-atomic: release-acquire-flag\n"
+      "  std::atomic<bool> ready_{false};\n"
+      "};\n";
+  const std::string pub_tu =
+      "#include \"handoff.hpp\"\n"
+      "void Handoff::pub() { ready_.store(true, std::memory_order_release); }\n";
+  const std::string sub_tu =
+      "#include \"handoff.hpp\"\n"
+      "bool Handoff::sub() { return ready_.load(std::memory_order_acquire); }\n";
+
+  const auto whole = elsa::lint::lint_atomics({{"src/util/handoff.hpp", hdr},
+                                               {"src/util/pub.cpp", pub_tu},
+                                               {"src/util/sub.cpp", sub_tu}});
+  EXPECT_TRUE(whole.empty()) << elsa::lint::format(whole);
+
+  // Drop the consumer and the release store becomes unpaired.
+  const auto half = elsa::lint::lint_atomics(
+      {{"src/util/handoff.hpp", hdr}, {"src/util/pub.cpp", pub_tu}});
+  ASSERT_EQ(count_rule(half, "acquire-release-unpaired"), 1u)
+      << elsa::lint::format(half);
+  EXPECT_EQ(half[0].file, "src/util/pub.cpp");
+}
+
+TEST(ElsaLintAtomics, WeakRmwFires) {
+  const auto fs = atomics_fixture("weak_rmw.cpp");
+  ASSERT_EQ(count_rule(fs, "rmw-order-too-weak"), 1u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 1u) << elsa::lint::format(fs);
+  EXPECT_NE(fs[0].message.find("WeakRmw::flag_"), std::string::npos)
+      << fs[0].message;
+  EXPECT_NE(fs[0].message.find("release-acquire-flag"), std::string::npos)
+      << fs[0].message;
+}
+
+TEST(ElsaLintAtomics, BareFenceFires) {
+  const auto fs = atomics_fixture("fence.cpp");
+  ASSERT_EQ(count_rule(fs, "fence-undocumented"), 1u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 1u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintAtomics, NonModuleFilesDoNotOwnProtocols) {
+  // The same violating fixture under a tests/ path is out of scope: bench,
+  // tests and tools consume protocols, they do not declare them.
+  const auto fs = elsa::lint::lint_atomics(
+      {{"tests/undeclared.hpp", read_fixture("atomics/undeclared.hpp")}});
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintAtomics, RegistryCoversTheLiveTree) {
+  // The pass must not be vacuously clean on src/: the registry built from
+  // the real files carries the known fields with their declared protocols,
+  // fused by qualified id.
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const char* rel : {"/serve/spsc_ring.hpp", "/advisor/spsc.hpp",
+                          "/serve/metrics.hpp", "/serve/sharded_engine.hpp"}) {
+    std::ifstream in(std::string(ELSA_SRC_DIR) + rel, std::ios::binary);
+    ASSERT_TRUE(in.good()) << rel;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.emplace_back("src" + std::string(rel), ss.str());
+  }
+  const auto reg = elsa::lint::atomic_registry(files);
+  ASSERT_GE(reg.size(), 12u);
+  const auto protocol_of = [&reg](const std::string& id) -> std::string {
+    for (const auto& f : reg)
+      if (f.id == id) return f.protocol;
+    return "<absent>";
+  };
+  EXPECT_EQ(protocol_of("elsa::serve::SpscRing::Slot::seq"), "seqlock");
+  EXPECT_EQ(protocol_of("elsa::serve::SpscRing::tail_"), "monotonic-relaxed");
+  EXPECT_EQ(protocol_of("elsa::serve::SpscRing::closed_"),
+            "release-acquire-flag");
+  EXPECT_EQ(protocol_of("elsa::advisor::SpscRing::head_"), "spsc-seq");
+  EXPECT_EQ(protocol_of("elsa::serve::StripedCounter::Cell::v"),
+            "striped-relaxed-counter");
+  EXPECT_EQ(protocol_of("elsa::serve::ShardedEngine::Shard::alive"),
+            "release-acquire-flag");
+  // Every live field is declared — an empty protocol would mean an
+  // atomic-undeclared finding in the gate.
+  for (const auto& f : reg) EXPECT_FALSE(f.protocol.empty()) << f.id;
+}
+
+TEST(ElsaLint, LintRootsReportsInternalErrors) {
+  std::vector<std::string> errors;
+  const auto fs =
+      lint_roots({"definitely/not/a/directory/anywhere"}, &errors);
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("not a directory"), std::string::npos) << errors[0];
+}
+
+// ---------------------------------------------------------------------------
 // GitHub annotation output
 
 TEST(ElsaLint, GithubFormatEmitsWorkflowCommands) {

@@ -1,9 +1,14 @@
 // elsa-lint driver: lints one or more directories (default: src) with the
-// per-file rules plus one whole-project lock-graph pass over their union,
-// and exits non-zero when any finding survives suppression. Wired as a
-// ctest gate (`elsa_lint_src`), the `lint` convenience target, and a CI
-// job, so every future PR is checked against the project's concurrency
-// conventions.
+// per-file rules plus one whole-project lock-graph pass and one
+// atomics-protocol pass over their union. Wired as a ctest gate
+// (`elsa_lint_src`), the `lint` convenience target, and a CI job, so every
+// future PR is checked against the project's concurrency conventions.
+//
+// Exit codes (the CI job relies on the distinction):
+//   0  clean — every root scanned, no findings
+//   1  findings survived suppression (printed to stderr)
+//   2  internal error — a root is not a directory or a file could not be
+//      read; the scan was incomplete, so "no findings" would be vacuous
 //
 // Usage: elsa_lint [--github] [dir ...]
 //   --github   additionally emit GitHub Actions workflow annotations
@@ -27,16 +32,25 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) roots.emplace_back("src");
 
+  std::vector<std::string> errors;
   const std::vector<elsa::lint::Finding> findings =
-      elsa::lint::lint_roots(roots);
+      elsa::lint::lint_roots(roots, &errors);
 
-  if (findings.empty()) {
-    std::printf("elsa-lint: clean (%zu director%s checked)\n", roots.size(),
-                roots.size() == 1 ? "y" : "ies");
-    return 0;
+  if (!findings.empty()) {
+    std::fputs(elsa::lint::format(findings).c_str(), stderr);
+    if (github)
+      std::fputs(elsa::lint::format_github(findings).c_str(), stdout);
+    std::fprintf(stderr, "elsa-lint: %zu finding(s)\n", findings.size());
   }
-  std::fputs(elsa::lint::format(findings).c_str(), stderr);
-  if (github) std::fputs(elsa::lint::format_github(findings).c_str(), stdout);
-  std::fprintf(stderr, "elsa-lint: %zu finding(s)\n", findings.size());
-  return 1;
+  if (!errors.empty()) {
+    for (const std::string& e : errors)
+      std::fprintf(stderr, "elsa-lint: error: %s\n", e.c_str());
+    std::fprintf(stderr, "elsa-lint: %zu internal error(s) — scan incomplete\n",
+                 errors.size());
+    return 2;  // incomplete scan outranks "findings": the gate cannot vouch
+  }
+  if (!findings.empty()) return 1;
+  std::printf("elsa-lint: clean (%zu director%s checked)\n", roots.size(),
+              roots.size() == 1 ? "y" : "ies");
+  return 0;
 }

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <set>
 #include <sstream>
@@ -544,6 +545,33 @@ class ScopeWalker {
     return "";
   }
 
+  /// Fully qualified context (namespaces + classes, outermost first), e.g.
+  /// "elsa::serve::SpscRing". An out-of-class member definition
+  /// (`void X::fn() { ... }`) contributes its class the same way an
+  /// in-class body does, so accesses in both spellings fuse to one id.
+  std::string ctx_qualified() const {
+    std::string q;
+    const auto append = [&q](const std::string& part) {
+      if (part.empty()) return;
+      if (!q.empty()) q += "::";
+      q += part;
+    };
+    bool saw_class = false;
+    for (const Scope& s : scopes_) {
+      if (s.kind == Scope::kNamespace) {
+        append(s.name);
+      } else if (s.kind == Scope::kClass) {
+        append(s.name);
+        saw_class = true;
+      } else if (s.kind == Scope::kFunction && !s.cls.empty() && !saw_class) {
+        // Out-of-class definition: the `X::` qualifier is the class scope.
+        append(s.cls);
+        saw_class = true;
+      }
+    }
+    return q;
+  }
+
   bool in_code() const {
     for (const Scope& s : scopes_) {
       if (s.kind == Scope::kFunction || s.kind == Scope::kLambda) return true;
@@ -573,9 +601,24 @@ class ScopeWalker {
       if (tk.ident && (tk.text == "class" || tk.text == "struct") &&
           (i == lo || !(t_[i - 1].ident && t_[i - 1].text == "enum")) &&
           i + 1 < open && t_[i + 1].ident) {
-        last_class_ident = i + 1;
+        // The name may be pushed right by an alignas-specifier:
+        // `struct alignas(64) Cell {`.
+        std::size_t j = i + 1;
+        if (t_[j].text == "alignas" && j + 1 < open && !t_[j + 1].ident &&
+            t_[j + 1].text == "(") {
+          int d = 0;
+          for (j = j + 1; j < open; ++j) {
+            if (t_[j].ident) continue;
+            if (t_[j].text == "(") ++d;
+            else if (t_[j].text == ")" && --d == 0) { ++j; break; }
+          }
+        }
+        if (j < open && t_[j].ident) last_class_ident = j;
       }
-      if (!tk.ident && tk.text == "(" && first_paren == open) first_paren = i;
+      // An alignas-specifier's parens are not a function parameter list.
+      if (!tk.ident && tk.text == "(" && first_paren == open &&
+          !(i > lo && t_[i - 1].ident && t_[i - 1].text == "alignas"))
+        first_paren = i;
       // Lambda introducer: '[' at statement start or after (, comma, =,
       // return — but not '[[' attributes or array subscripts.
       if (!tk.ident && tk.text == "[") {
@@ -595,6 +638,20 @@ class ScopeWalker {
     }
     if (has_namespace) {
       s.kind = Scope::kNamespace;
+      // Capture the (possibly nested, possibly anonymous) namespace name:
+      // identifiers joined by "::" between `namespace` and the brace.
+      for (std::size_t i = lo; i < open; ++i) {
+        if (!(t_[i].ident && t_[i].text == "namespace")) continue;
+        for (std::size_t j = i + 1; j < open; ++j) {
+          if (t_[j].ident) {
+            if (!s.name.empty()) s.name += "::";
+            s.name += t_[j].text;
+          } else if (t_[j].text != "::") {
+            break;
+          }
+        }
+        break;
+      }
       return s;
     }
     if (last_class_ident < open && last_class_ident > lo &&
@@ -1079,6 +1136,274 @@ std::string include_target(const std::string& raw_line) {
   return raw_line.substr(p + 1, close - p - 1);
 }
 
+// ---------------------------------------------------------------------------
+// Atomics-protocol analysis (atomic-undeclared / acquire-release-unpaired /
+// rmw-order-too-weak / fence-undocumented)
+//
+// A third whole-project pass, built like the lock-graph one: tokenize every
+// src/-module file, find std::atomic field declarations with the scope
+// walker (fusing identity as namespace::Class::field), read the declared
+// "// elsa-atomic: <protocol>" off the surrounding raw lines, then classify
+// every atomic member-operation call site (load/store/exchange/fetch_*/
+// compare_exchange_*) by its memory_order arguments and check the
+// project-wide pairing invariants against the declared protocols.
+
+bool in_fixture_dir(const std::string& path);  // defined with tree_files below
+
+const std::set<std::string>& atomic_protocol_set() {
+  static const std::set<std::string> protos(atomic_protocols().begin(),
+                                            atomic_protocols().end());
+  return protos;
+}
+
+struct AtomicDecl {
+  std::string id;        ///< qualified "ns::Class::field" (or "file::field")
+  std::string field;     ///< bare field name
+  std::string file;
+  std::size_t line = 0;  ///< 1-based
+  std::string protocol;  ///< parsed protocol name ("" when absent)
+  bool annotated = false;  ///< an elsa-atomic: marker was present
+  bool known = false;      ///< protocol is in atomic_protocols()
+};
+
+struct AtomicAccess {
+  enum Kind { kLoad, kStore, kRmw, kCas } kind = kLoad;
+  std::string decl_id;  ///< resolved AtomicDecl::id
+  std::string file;
+  std::size_t line = 0;
+  std::vector<std::string> orders;  ///< memory_order_* idents, call order
+};
+
+bool is_atomic_op(const std::string& name, AtomicAccess::Kind* kind) {
+  if (name == "load") { *kind = AtomicAccess::kLoad; return true; }
+  if (name == "store") { *kind = AtomicAccess::kStore; return true; }
+  if (name == "exchange" || name.rfind("fetch_", 0) == 0) {
+    if (name == "exchange" || name == "fetch_add" || name == "fetch_sub" ||
+        name == "fetch_and" || name == "fetch_or" || name == "fetch_xor") {
+      *kind = AtomicAccess::kRmw;
+      return true;
+    }
+    return false;
+  }
+  if (name == "compare_exchange_weak" || name == "compare_exchange_strong") {
+    *kind = AtomicAccess::kCas;
+    return true;
+  }
+  return false;
+}
+
+/// Pass 1: std::atomic field/variable declarations in one file. A
+/// declaration is `std::atomic<...>` (possibly wrapped deeper in a
+/// template such as unique_ptr<std::atomic<T>[]>) whose declarator name is
+/// followed by `;`, `{` or `=` — which excludes function parameters and
+/// `new std::atomic<...>[n]` expressions (also guarded by the `new` check).
+void collect_atomic_decls(const std::string& path, const std::vector<Tok>& t,
+                          const std::vector<std::string>& raw,
+                          std::vector<AtomicDecl>& decls) {
+  ScopeWalker w(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    w.step(i);
+    const Tok& tk = t[i];
+    if (!tk.ident || tk.text != "atomic") continue;
+    if (i < 2 || t[i - 1].ident || t[i - 1].text != "::" || !t[i - 2].ident ||
+        t[i - 2].text != "std")
+      continue;
+    if (i >= 3 && t[i - 3].ident && t[i - 3].text == "new") continue;
+    if (i + 1 >= t.size() || t[i + 1].ident || t[i + 1].text != "<") continue;
+    // Balance the template argument list.
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < t.size(); ++j) {
+      if (t[j].ident) continue;
+      if (t[j].text == "<") ++depth;
+      else if (t[j].text == ">" && --depth == 0) { ++j; break; }
+    }
+    // Skip declarator decoration: closes of an enclosing template
+    // (unique_ptr<...[]>), array brackets, pointers/references.
+    while (j < t.size() && !t[j].ident &&
+           (t[j].text == ">" || t[j].text == "[" || t[j].text == "]" ||
+            t[j].text == "*" || t[j].text == "&"))
+      ++j;
+    if (j >= t.size() || !t[j].ident) continue;
+    const std::string name = t[j].text;
+    if (j + 1 >= t.size() || t[j + 1].ident) continue;
+    const std::string& after = t[j + 1].text;
+    if (after != ";" && after != "{" && after != "=") continue;
+
+    AtomicDecl d;
+    d.field = name;
+    d.file = path;
+    d.line = tk.line;
+    const std::string ctx = w.ctx_qualified();
+    d.id = (ctx.empty() ? path : ctx) + "::" + name;
+    // Annotation: "// elsa-atomic: <protocol>" on the declaration line or
+    // within the three lines above (same window as allow()).
+    const std::size_t idx = tk.line - 1;
+    const std::size_t lo = idx >= 3 ? idx - 3 : 0;
+    for (std::size_t k = lo; k <= idx && k < raw.size(); ++k) {
+      const std::size_t p = raw[k].find("elsa-atomic:");
+      if (p == std::string::npos) continue;
+      d.annotated = true;
+      std::size_t q = p + 12;
+      while (q < raw[k].size() && raw[k][q] == ' ') ++q;
+      std::string proto;
+      while (q < raw[k].size() &&
+             (std::islower(static_cast<unsigned char>(raw[k][q])) ||
+              std::isdigit(static_cast<unsigned char>(raw[k][q])) ||
+              raw[k][q] == '-'))
+        proto += raw[k][q++];
+      d.protocol = proto;
+    }
+    d.known = atomic_protocol_set().count(d.protocol) > 0;
+    decls.push_back(std::move(d));
+  }
+}
+
+/// Pass 2: atomic member-operation call sites in one file, resolved
+/// against the project-wide declaration registry. Resolution order:
+/// exact qualified id at the access context, then a unique same-file
+/// field-name match, then a unique project-wide match; ambiguous or
+/// unknown receivers are skipped (no false positives — a `.load()` on a
+/// non-atomic never matches a declared field, or matches ambiguously and
+/// is dropped).
+void collect_atomic_accesses(
+    const std::string& path, const std::vector<Tok>& t,
+    const std::map<std::string, const AtomicDecl*>& by_id,
+    const std::multimap<std::string, const AtomicDecl*>& by_field,
+    std::vector<AtomicAccess>& accesses, std::vector<std::size_t>* fences) {
+  ScopeWalker w(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    w.step(i);
+    const Tok& tk = t[i];
+    if (!tk.ident) continue;
+    if (tk.text == "atomic_thread_fence" && fences != nullptr) {
+      fences->push_back(tk.line);
+      continue;
+    }
+    AtomicAccess::Kind kind;
+    if (!is_atomic_op(tk.text, &kind)) continue;
+    if (i + 1 >= t.size() || t[i + 1].ident || t[i + 1].text != "(") continue;
+    if (i < 2 || t[i - 1].ident ||
+        (t[i - 1].text != "." && t[i - 1].text != "->"))
+      continue;
+    // Receiver: the identifier before the access operator, walking back
+    // through a subscript (counts_[i].fetch_add → counts_).
+    std::size_t r = i - 2;
+    if (!t[r].ident && t[r].text == "]") {
+      int bdepth = 0;
+      for (;;) {
+        if (!t[r].ident) {
+          if (t[r].text == "]") ++bdepth;
+          else if (t[r].text == "[" && --bdepth == 0) break;
+        }
+        if (r == 0) break;
+        --r;
+      }
+      if (r == 0) continue;
+      --r;
+    }
+    if (!t[r].ident) continue;
+    const std::string& field = t[r].text;
+
+    // Resolve to a declared field.
+    const AtomicDecl* decl = nullptr;
+    const std::string qual = w.ctx_qualified();
+    if (!qual.empty()) {
+      const auto it = by_id.find(qual + "::" + field);
+      if (it != by_id.end()) decl = it->second;
+    }
+    if (decl == nullptr) {
+      const AtomicDecl* same_file = nullptr;
+      const AtomicDecl* unique = nullptr;
+      std::size_t same_file_n = 0, total = 0;
+      const auto [b, e] = by_field.equal_range(field);
+      for (auto it = b; it != e; ++it) {
+        ++total;
+        unique = it->second;
+        if (it->second->file == path) {
+          ++same_file_n;
+          same_file = it->second;
+        }
+      }
+      if (same_file_n == 1) decl = same_file;
+      else if (same_file_n == 0 && total == 1) decl = unique;
+    }
+    if (decl == nullptr) continue;
+
+    AtomicAccess a;
+    a.kind = kind;
+    a.decl_id = decl->id;
+    a.file = path;
+    a.line = tk.line;
+    // memory_order arguments anywhere inside the call's parentheses.
+    int depth = 0;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (!t[j].ident) {
+        if (t[j].text == "(") ++depth;
+        else if (t[j].text == ")" && --depth == 0) break;
+        continue;
+      }
+      if (t[j].text.rfind("memory_order_", 0) == 0)
+        a.orders.push_back(t[j].text.substr(13));
+    }
+    accesses.push_back(std::move(a));
+  }
+}
+
+/// True when the access's order set contains any of the given orders.
+bool has_order(const AtomicAccess& a, std::initializer_list<const char*> any) {
+  for (const std::string& o : a.orders)
+    for (const char* want : any)
+      if (o == want) return true;
+  return false;
+}
+
+/// All stated orders are relaxed (a CAS's failure order included); an
+/// access with no stated order is seq_cst, never "all relaxed".
+bool all_relaxed(const AtomicAccess& a) {
+  if (a.orders.empty()) return false;
+  for (const std::string& o : a.orders)
+    if (o != "relaxed") return false;
+  return true;
+}
+
+struct AtomicsScan {
+  std::vector<AtomicDecl> decls;
+  std::vector<AtomicAccess> accesses;
+  /// Fence sites as (file, line) in scan order.
+  std::vector<std::pair<std::string, std::size_t>> fences;
+  std::map<std::string, std::vector<std::string>> raw_by_file;
+};
+
+/// Shared front half of lint_atomics/atomic_registry: scan every
+/// src/-module file for declarations, then for accesses and fences.
+AtomicsScan scan_atomics(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  AtomicsScan scan;
+  std::vector<std::pair<std::string, std::vector<Tok>>> toks;
+  for (const auto& [path, contents] : files) {
+    if (module_of(path).empty()) continue;  // src modules own protocols
+    if (in_fixture_dir(path)) continue;
+    toks.emplace_back(path, tokenize(strip_code(contents)));
+    scan.raw_by_file[path] = split_lines(contents);
+    collect_atomic_decls(path, toks.back().second,
+                         scan.raw_by_file.at(path), scan.decls);
+  }
+  std::map<std::string, const AtomicDecl*> by_id;
+  std::multimap<std::string, const AtomicDecl*> by_field;
+  for (const AtomicDecl& d : scan.decls) {
+    by_id.emplace(d.id, &d);
+    by_field.emplace(d.field, &d);
+  }
+  for (const auto& [path, t] : toks) {
+    std::vector<std::size_t> fence_lines;
+    collect_atomic_accesses(path, t, by_id, by_field, scan.accesses,
+                            &fence_lines);
+    for (std::size_t line : fence_lines) scan.fences.emplace_back(path, line);
+  }
+  return scan;
+}
+
 }  // namespace
 
 std::vector<Finding> lint_file(const std::string& path,
@@ -1222,9 +1547,11 @@ bool in_fixture_dir(const std::string& path) {
 }
 
 /// Sorted (root-prefixed path, contents) pairs for every source file under
-/// `root`, skipping lint_fixtures trees.
+/// `root`, skipping lint_fixtures trees. A file that cannot be opened or
+/// read is appended to `errors` (when given) and omitted from the result —
+/// a silently skipped file would make the gate pass vacuously.
 std::vector<std::pair<std::string, std::string>> tree_files(
-    const std::string& root) {
+    const std::string& root, std::vector<std::string>* errors = nullptr) {
   namespace fs = std::filesystem;
   std::vector<fs::path> paths;
   for (const auto& entry : fs::recursive_directory_iterator(root)) {
@@ -1240,8 +1567,16 @@ std::vector<std::pair<std::string, std::string>> tree_files(
   std::vector<std::pair<std::string, std::string>> out;
   for (const fs::path& p : paths) {
     std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      if (errors) errors->push_back("cannot open " + p.generic_string());
+      continue;
+    }
     std::ostringstream ss;
     ss << in.rdbuf();
+    if (in.bad()) {
+      if (errors) errors->push_back("cannot read " + p.generic_string());
+      continue;
+    }
     const std::string rel = fs::relative(p, root).generic_string();
     out.emplace_back((fs::path(root) / rel).generic_string(), ss.str());
   }
@@ -1299,13 +1634,177 @@ std::vector<Finding> lint_lock_graph(
   return findings;
 }
 
+const std::vector<std::string>& atomic_protocols() {
+  static const std::vector<std::string> protos = {
+      "seqlock", "spsc-seq", "release-acquire-flag", "striped-relaxed-counter",
+      "monotonic-relaxed"};
+  return protos;
+}
+
+std::vector<Finding> lint_atomics(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  const AtomicsScan scan = scan_atomics(files);
+  std::vector<Finding> findings;
+  const auto suppressed = [&scan](const std::string& file, std::size_t line,
+                                  const char* rule) {
+    const auto it = scan.raw_by_file.find(file);
+    return it != scan.raw_by_file.end() &&
+           is_suppressed(it->second, line - 1, rule);
+  };
+  const auto protocol_list = [] {
+    std::string s;
+    for (const std::string& p : atomic_protocols())
+      s += (s.empty() ? "" : ", ") + p;
+    return s;
+  }();
+
+  // -- atomic-undeclared ----------------------------------------------------
+  for (const AtomicDecl& d : scan.decls) {
+    if (d.annotated && d.known) continue;
+    if (suppressed(d.file, d.line, "atomic-undeclared")) continue;
+    const std::string what =
+        d.annotated ? "declares unknown protocol `" + d.protocol + "`"
+                    : "has no `// elsa-atomic: <protocol>` declaration";
+    findings.push_back({d.file, d.line, "atomic-undeclared",
+                        "std::atomic field `" + d.id + "` " + what +
+                            " (protocols: " + protocol_list +
+                            "; see DESIGN.md §15)"});
+  }
+
+  std::map<std::string, const AtomicDecl*> decl_by_id;
+  for (const AtomicDecl& d : scan.decls) decl_by_id.emplace(d.id, &d);
+  std::map<std::string, std::vector<const AtomicAccess*>> uses;
+  for (const AtomicAccess& a : scan.accesses) uses[a.decl_id].push_back(&a);
+
+  // An access that reads the field with at least acquire semantics / writes
+  // it with at least release semantics. No stated order means seq_cst.
+  const auto acquiring = [](const AtomicAccess& a) {
+    return a.kind != AtomicAccess::kStore &&
+           (a.orders.empty() ||
+            has_order(a, {"acquire", "acq_rel", "seq_cst", "consume"}));
+  };
+  const auto releasing = [](const AtomicAccess& a) {
+    return a.kind != AtomicAccess::kLoad &&
+           (a.orders.empty() || has_order(a, {"release", "acq_rel", "seq_cst"}));
+  };
+  const auto first_site = [](std::vector<const AtomicAccess*> sites) {
+    std::sort(sites.begin(), sites.end(),
+              [](const AtomicAccess* a, const AtomicAccess* b) {
+                return std::tie(a->file, a->line) < std::tie(b->file, b->line);
+              });
+    return sites.front();
+  };
+
+  // -- acquire-release-unpaired ---------------------------------------------
+  for (const auto& [id, accesses] : uses) {
+    bool any_acquire = false, any_release = false;
+    for (const AtomicAccess* a : accesses) {
+      any_acquire = any_acquire || acquiring(*a);
+      any_release = any_release || releasing(*a);
+    }
+    // Explicit release publications nothing ever acquire-loads…
+    std::vector<const AtomicAccess*> rel_stores, acq_loads;
+    for (const AtomicAccess* a : accesses) {
+      if (a->kind == AtomicAccess::kStore &&
+          has_order(*a, {"release", "acq_rel"}))
+        rel_stores.push_back(a);
+      if (a->kind == AtomicAccess::kLoad &&
+          has_order(*a, {"acquire", "consume"}))
+        acq_loads.push_back(a);
+    }
+    if (!rel_stores.empty() && !any_acquire) {
+      const AtomicAccess* site = first_site(rel_stores);
+      if (!suppressed(site->file, site->line, "acquire-release-unpaired"))
+        findings.push_back(
+            {site->file, site->line, "acquire-release-unpaired",
+             "release store of `" + id +
+                 "` has no acquire-side load anywhere in the project — "
+                 "nothing synchronizes-with this publication"});
+    }
+    // …and explicit acquire loads nothing ever release-publishes.
+    if (!acq_loads.empty() && !any_release) {
+      const AtomicAccess* site = first_site(acq_loads);
+      if (!suppressed(site->file, site->line, "acquire-release-unpaired"))
+        findings.push_back(
+            {site->file, site->line, "acquire-release-unpaired",
+             "acquire load of `" + id +
+                 "` has no release-side store anywhere in the project — "
+                 "this load never synchronizes-with a publication"});
+    }
+
+    // -- rmw-order-too-weak -------------------------------------------------
+    const auto decl_it = decl_by_id.find(id);
+    if (decl_it != decl_by_id.end() &&
+        (decl_it->second->protocol == "release-acquire-flag" ||
+         decl_it->second->protocol == "spsc-seq")) {
+      for (const AtomicAccess* a : accesses) {
+        if (a->kind != AtomicAccess::kRmw && a->kind != AtomicAccess::kCas)
+          continue;
+        if (!all_relaxed(*a)) continue;
+        if (suppressed(a->file, a->line, "rmw-order-too-weak")) continue;
+        findings.push_back(
+            {a->file, a->line, "rmw-order-too-weak",
+             "fully relaxed RMW on `" + id + "`, declared `" +
+                 decl_it->second->protocol +
+                 "` — hand-off protocols need ordering on the mutating side"});
+      }
+    }
+  }
+
+  // -- fence-undocumented ---------------------------------------------------
+  for (const auto& [file, line] : scan.fences) {
+    if (suppressed(file, line, "fence-undocumented")) continue;
+    findings.push_back(
+        {file, line, "fence-undocumented",
+         "bare std::atomic_thread_fence orders *all* surrounding accesses "
+         "and defeats per-field protocol reasoning; prefer per-field orders "
+         "or justify with allow(fence-undocumented)"});
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+std::vector<AtomicField> atomic_registry(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  const AtomicsScan scan = scan_atomics(files);
+  std::vector<AtomicField> out;
+  out.reserve(scan.decls.size());
+  for (const AtomicDecl& d : scan.decls) {
+    AtomicField f;
+    f.id = d.id;
+    f.protocol = d.known ? d.protocol : "";
+    f.file = d.file;
+    f.line = d.line;
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AtomicField& a, const AtomicField& b) {
+              return std::tie(a.id, a.file, a.line) <
+                     std::tie(b.id, b.file, b.line);
+            });
+  return out;
+}
+
 std::vector<Finding> lint_roots(const std::vector<std::string>& roots) {
+  return lint_roots(roots, nullptr);
+}
+
+std::vector<Finding> lint_roots(const std::vector<std::string>& roots,
+                                std::vector<std::string>* errors) {
   namespace fs = std::filesystem;
   std::vector<Finding> findings;
   std::vector<std::pair<std::string, std::string>> all_files;
   for (const std::string& root : roots) {
-    if (!fs::is_directory(root)) continue;
-    for (auto& file : tree_files(root)) {
+    if (!fs::is_directory(root)) {
+      if (errors) errors->push_back("lint root is not a directory: " + root);
+      continue;
+    }
+    for (auto& file : tree_files(root, errors)) {
       auto file_findings = lint_file(file.first, file.second);
       findings.insert(findings.end(), file_findings.begin(),
                       file_findings.end());
@@ -1314,6 +1813,9 @@ std::vector<Finding> lint_roots(const std::vector<std::string>& roots) {
   }
   auto lock_findings = lint_lock_graph(all_files);
   findings.insert(findings.end(), lock_findings.begin(), lock_findings.end());
+  auto atomic_findings = lint_atomics(all_files);
+  findings.insert(findings.end(), atomic_findings.begin(),
+                  atomic_findings.end());
   return findings;
 }
 

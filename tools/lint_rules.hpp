@@ -30,6 +30,29 @@
 //   blocking-under-lock — a blocking call (Ring push/pop/pop_all, thread
 //                         join, sleep, blocking I/O) under a held Mutex.
 //
+// Whole-project atomics-protocol rules (lint_atomics / lint_roots): a
+// third pass scans every src/-module file for std::atomic field
+// declarations and classifies every atomic load/store/RMW by its memory
+// order, fusing field identity across files by qualified name (the way
+// the lock-graph pass fuses lock sites):
+//   atomic-undeclared        — a std::atomic field with no
+//                              "// elsa-atomic: <protocol>" declaration
+//                              naming one of: seqlock, spsc-seq,
+//                              release-acquire-flag,
+//                              striped-relaxed-counter, monotonic-relaxed
+//                              (taxonomy: DESIGN.md §15).
+//   acquire-release-unpaired — a release store of a field with no
+//                              acquire/seq_cst load of it anywhere in the
+//                              project (nothing consumes the
+//                              publication), and vice versa.
+//   rmw-order-too-weak       — a fully relaxed CAS/fetch on a field
+//                              declared release-acquire-flag or spsc-seq
+//                              (hand-off protocols need ordering on the
+//                              mutating side).
+//   fence-undocumented       — a bare std::atomic_thread_fence; fences
+//                              order *all* surrounding accesses and
+//                              defeat per-field protocol reasoning.
+//
 // A finding is suppressed by a comment on the same line or within the
 // three lines above:  // elsa-lint: allow(<rule>): <reason>
 // The reason is mandatory; an allow() without one does not suppress. For
@@ -72,9 +95,42 @@ std::vector<Finding> lint_tree(const std::string& root);
 std::vector<Finding> lint_lock_graph(
     const std::vector<std::pair<std::string, std::string>>& files);
 
-/// Full gate: per-file rules on every tree plus one lock-graph pass over
-/// the union of all files (cross-root lock orders are real orders).
+/// One std::atomic field declaration found by the atomics pass, fused
+/// across files by qualified id. This registry is the surface future
+/// lock-free work (the RCU/epoch hot-swap of ROADMAP item 2) registers
+/// its protocols through.
+struct AtomicField {
+  std::string id;        ///< "namespace::Class::field" (or "file::field")
+  std::string protocol;  ///< declared protocol; "" if undeclared/unknown
+  std::string file;
+  std::size_t line = 0;  ///< 1-based declaration line
+};
+
+/// The closed set of declarable atomic protocols (DESIGN.md §15).
+const std::vector<std::string>& atomic_protocols();
+
+/// Whole-project atomics-protocol pass over (path, contents) pairs:
+/// atomic-undeclared / acquire-release-unpaired / rmw-order-too-weak /
+/// fence-undocumented. Only files belonging to a src/ module participate
+/// (bench/tests/tools are consumers, not protocol owners).
+std::vector<Finding> lint_atomics(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// The declared-field registry the atomics pass builds, for tooling and
+/// tests. Sorted by id; includes undeclared fields (empty protocol).
+std::vector<AtomicField> atomic_registry(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// Full gate: per-file rules on every tree plus one lock-graph pass and
+/// one atomics pass over the union of all files (cross-root lock orders
+/// and cross-file atomic pairings are real).
 std::vector<Finding> lint_roots(const std::vector<std::string>& roots);
+
+/// As above, but internal problems (a lint root that is not a directory,
+/// an unreadable file) are appended to `errors` instead of being silently
+/// skipped. The driver maps findings to exit 1 and errors to exit 2.
+std::vector<Finding> lint_roots(const std::vector<std::string>& roots,
+                                std::vector<std::string>* errors);
 
 /// Render as "file:line: [rule] message" lines.
 std::string format(const std::vector<Finding>& findings);
