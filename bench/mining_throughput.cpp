@@ -1,0 +1,161 @@
+// Incremental-miner throughput: how fast the online mining layer keeps up
+// with the serving path it taps. Four measurements on a BG/L-like
+// campaign, reported as items/s and emitted as BENCH_mining.json
+// (schema elsa-bench-v1) for the nightly bench-regression gate:
+//
+//   mining_throughput/fold              raw OnlineMiner::fold, events/s on
+//                                       a pre-classified canonical stream —
+//                                       the ceiling of the whole layer
+//   mining_throughput/build_model       model materialisations/s on the
+//                                       fully folded state (the publish-
+//                                       boundary cost the pump pays)
+//   mining_throughput/state_roundtrip   save_state+load_state cycles/s (the
+//                                       checkpoint/restore path)
+//   mining_throughput/end_to_end/shards=N
+//                                       records/s through a full
+//                                       MinerService — classification,
+//                                       sharded serving, lossless tap,
+//                                       watermark merge, periodic hub
+//                                       publishes — driven by the
+//                                       single-producer trace replayer
+//
+// No scaling-ratio rows on purpose: the miner is a single pump thread by
+// design (determinism comes from one canonical fold order), so shard-count
+// ratios here would gate the serving layer, not the miner — that curve is
+// serve_throughput's job.
+//
+// Not a google-benchmark microbench: each row is one long macro-run, so a
+// single timed pass (after a warm-up slice) is the measurement.
+//
+//   ./build/bench/mining_throughput [days] [--json PATH]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "mining/miner.hpp"
+#include "mining/service.hpp"
+#include "serve/replayer.hpp"
+#include "simlog/scenario.hpp"
+
+namespace {
+
+using namespace elsa;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double end_to_end_rps(const simlog::Trace& trace, std::size_t shards) {
+  mining::MinerServiceConfig cfg;
+  cfg.serve.shards = shards;
+  cfg.publish_every = 4096;
+  mining::MinerService ms(trace.topology, cfg);
+  const auto t0 = Clock::now();
+  serve::TraceReplayer(trace).replay_into(ms.service());
+  ms.finish(trace.t_end_ms);
+  const double secs = seconds_since(t0);
+  return secs > 0 ? static_cast<double>(ms.folded()) / secs : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+    else
+      positional.push_back(argv[i]);
+  }
+  const double days = !positional.empty() ? std::atof(positional[0]) : 8.0;
+
+  std::printf("generating %.1f-day BG/L-like campaign...\n", days);
+  auto sc = simlog::make_bluegene_scenario(2012, days, 110);
+  const auto trace = sc.generator.generate(sc.config);
+  std::printf("  %zu records\n", trace.records.size());
+
+  // Pre-classify once: the fold/build/state rows measure the miner alone,
+  // not HELO (the end-to-end row includes classification again).
+  helo::TemplateMiner classifier;
+  std::vector<serve::ClassifiedEvent> events;
+  events.reserve(trace.records.size());
+  for (const auto& rec : trace.records)
+    events.push_back({rec.time_ms, rec.node_id,
+                      classifier.classify(rec.message),
+                      static_cast<std::uint8_t>(rec.severity)});
+  std::stable_sort(events.begin(), events.end(), mining::canonical_less);
+
+  benchjson::BenchMap out;
+
+  // -- fold ---------------------------------------------------------------
+  {
+    const std::size_t warm = events.size() / 10;
+    mining::OnlineMiner warm_miner;
+    for (std::size_t i = 0; i < warm; ++i) warm_miner.fold(events[i]);
+
+    mining::OnlineMiner miner;
+    const auto t0 = Clock::now();
+    for (const auto& e : events) miner.fold(e);
+    const double secs = seconds_since(t0);
+    const double eps =
+        secs > 0 ? static_cast<double>(events.size()) / secs : 0.0;
+    std::printf("fold:            %12.0f events/s  (%zu templates, %zu "
+                "pairs)\n",
+                eps, miner.templates(), miner.pairs());
+    out["mining_throughput/fold"] = {eps, 0.0, 0.0};
+
+    // -- build_model on the folded state ----------------------------------
+    constexpr int kBuilds = 20;
+    (void)miner.build_model(nullptr);  // warm
+    const auto b0 = Clock::now();
+    std::size_t chains = 0;
+    for (int i = 0; i < kBuilds; ++i)
+      chains = miner.build_model(nullptr).chains.size();
+    const double bsecs = seconds_since(b0);
+    const double bps = bsecs > 0 ? kBuilds / bsecs : 0.0;
+    std::printf("build_model:     %12.1f models/s  (%zu chains)\n", bps,
+                chains);
+    out["mining_throughput/build_model"] = {bps, 0.0, 0.0};
+
+    // -- state round-trip -------------------------------------------------
+    constexpr int kCycles = 20;
+    const auto s0 = Clock::now();
+    for (int i = 0; i < kCycles; ++i) {
+      std::stringstream state;
+      miner.save_state(state);
+      mining::OnlineMiner reloaded;
+      reloaded.load_state(state);
+    }
+    const double ssecs = seconds_since(s0);
+    const double sps = ssecs > 0 ? kCycles / ssecs : 0.0;
+    std::printf("state_roundtrip: %12.1f cycles/s\n", sps);
+    out["mining_throughput/state_roundtrip"] = {sps, 0.0, 0.0};
+  }
+
+  // -- end to end through the MinerService --------------------------------
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    (void)end_to_end_rps(trace, shards);  // warm-up pass
+    const double rps = end_to_end_rps(trace, shards);
+    std::printf("end_to_end/shards=%zu: %10.0f records/s\n", shards, rps);
+    out["mining_throughput/end_to_end/shards=" + std::to_string(shards)] = {
+        rps, 0.0, 0.0};
+  }
+
+  if (!json_path.empty()) {
+    if (!benchjson::write_file(json_path, out)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -4,40 +4,109 @@
 
 namespace elsa::core {
 
-std::vector<Chain> mine_assoc_rules(
-    const std::vector<std::vector<std::int64_t>>& occurrences,
-    const std::vector<bool>& is_failure_template, std::int64_t dt_ms,
-    double train_days, const DmConfig& cfg, DmStats* stats) {
+namespace {
+
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t f) {
+  return (static_cast<std::uint64_t>(a) << 32) | f;
+}
+
+}  // namespace
+
+DmAccumulator::DmAccumulator(std::size_t num_templates,
+                             std::vector<bool> is_failure, DmConfig cfg)
+    : cfg_(cfg),
+      is_failure_(std::move(is_failure)),
+      recent_(num_templates),
+      total_(num_templates, 0),
+      prev_fail_(num_templates, 0),
+      has_prev_fail_(num_templates, 0) {
+  is_failure_.resize(num_templates, false);
+}
+
+void DmAccumulator::add(std::uint32_t tmpl, std::int64_t time_ms) {
+  if (tmpl >= recent_.size()) return;
+  if (open_ && time_ms != open_time_) flush();
+  open_ = true;
+  open_time_ = time_ms;
+  open_batch_.push_back(tmpl);
+}
+
+void DmAccumulator::flush() {
+  if (!open_ || open_batch_.empty()) {
+    open_batch_.clear();
+    return;
+  }
+  // Phase 1: all events at this timestamp become visible occurrences —
+  // batch-mining's lower_bound matches an antecedent to a failure at the
+  // SAME instant (delay 0), so a failure in this batch must see its
+  // co-timed antecedents regardless of intra-timestamp arrival order.
+  for (const std::uint32_t t : open_batch_) {
+    recent_[t].push_back(open_time_);
+    ++total_[t];
+  }
+  // Phase 2: failures in this batch consume matching antecedents. A
+  // duplicate failure at the same instant matches nothing the first one
+  // did not (lower_bound picks the first duplicate), which the prev_fail_
+  // bound reproduces.
+  for (const std::uint32_t t : open_batch_) {
+    if (is_failure_[t]) match_failure(t, open_time_);
+  }
+  // Prune: an occurrence older than the window can never match a failure
+  // at or after this instant. This is the bound that keeps memory O(window).
+  const std::int64_t horizon = open_time_ - cfg_.window_ms;
+  for (auto& dq : recent_) {
+    while (!dq.empty() && dq.front() < horizon) dq.pop_front();
+  }
+  open_batch_.clear();
+}
+
+void DmAccumulator::match_failure(std::uint32_t f, std::int64_t tf) {
+  // An antecedent occurrence t matches THIS failure exactly when tf is the
+  // first failure-of-this-template at or after t (lower_bound semantics)
+  // and tf - t <= window: i.e. t in [max(tf - window, prev_f + 1), tf].
+  std::int64_t lo = tf - cfg_.window_ms;
+  if (has_prev_fail_[f]) lo = std::max(lo, prev_fail_[f] + 1);
+  for (std::uint32_t a = 0; a < recent_.size(); ++a) {
+    if (a == f || recent_[a].empty()) continue;
+    const auto& dq = recent_[a];
+    auto it = std::lower_bound(dq.begin(), dq.end(), lo);
+    if (it == dq.end()) continue;
+    auto& ps = pairs_[pair_key(a, f)];
+    for (; it != dq.end() && *it <= tf; ++it) {
+      ++ps.support;
+      ps.delay_sum_ms += static_cast<double>(tf - *it);
+    }
+  }
+  prev_fail_[f] = tf;
+  has_prev_fail_[f] = 1;
+}
+
+std::vector<Chain> DmAccumulator::rules(std::int64_t dt_ms, double train_days,
+                                        DmStats* stats) {
+  flush();
   DmStats local;
   DmStats& st = stats ? *stats : local;
   st = {};
 
-  std::vector<Chain> rules;
-  const std::size_t n = occurrences.size();
+  std::vector<Chain> out;
+  const std::size_t n = total_.size();
   for (std::size_t f = 0; f < n; ++f) {
-    if (!is_failure_template[f] || occurrences[f].empty()) continue;
+    if (!is_failure_[f] || total_[f] == 0) continue;
     for (std::size_t a = 0; a < n; ++a) {
-      if (a == f || occurrences[a].empty()) continue;
-      const double per_day =
-          static_cast<double>(occurrences[a].size()) / train_days;
-      if (per_day > cfg.max_antecedent_per_day) continue;
+      if (a == f || total_[a] == 0) continue;
+      const double per_day = static_cast<double>(total_[a]) / train_days;
+      if (per_day > cfg_.max_antecedent_per_day) continue;
       ++st.pairs_scanned;
 
-      // For each antecedent occurrence, the first failure inside the window.
-      int support = 0;
-      double delay_sum_ms = 0.0;
-      const auto& fa = occurrences[f];
-      for (const std::int64_t t : occurrences[a]) {
-        const auto it = std::lower_bound(fa.begin(), fa.end(), t);
-        if (it != fa.end() && *it - t <= cfg.window_ms) {
-          ++support;
-          delay_sum_ms += static_cast<double>(*it - t);
-        }
-      }
-      if (support < cfg.min_support) continue;
-      const double conf = static_cast<double>(support) /
-                          static_cast<double>(occurrences[a].size());
-      if (conf < cfg.min_confidence) continue;
+      const auto it = pairs_.find(pair_key(static_cast<std::uint32_t>(a),
+                                           static_cast<std::uint32_t>(f)));
+      const int support = it == pairs_.end() ? 0 : it->second.support;
+      const double delay_sum_ms =
+          it == pairs_.end() ? 0.0 : it->second.delay_sum_ms;
+      if (support < cfg_.min_support || support == 0) continue;
+      const double conf =
+          static_cast<double>(support) / static_cast<double>(total_[a]);
+      if (conf < cfg_.min_confidence) continue;
 
       Chain c;
       const std::int32_t delay_samples = static_cast<std::int32_t>(
@@ -48,11 +117,34 @@ std::vector<Chain> mine_assoc_rules(
       c.support = support;
       c.confidence = conf;
       c.significance = conf;  // association rules carry no separate test
-      rules.push_back(std::move(c));
+      out.push_back(std::move(c));
       ++st.rules;
     }
   }
-  return rules;
+  return out;
+}
+
+std::vector<Chain> mine_assoc_rules(
+    const std::vector<std::vector<std::int64_t>>& occurrences,
+    const std::vector<bool>& is_failure_template, std::int64_t dt_ms,
+    double train_days, const DmConfig& cfg, DmStats* stats) {
+  // Merge the per-template occurrence lists into one time-sorted stream and
+  // replay it through the incremental accumulator. Per (antecedent,
+  // failure) pair the matched deltas arrive in the same order as the
+  // original antecedent-major scan (first-failure time is monotone in the
+  // antecedent time), so even the floating-point delay sums are identical.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> stream;
+  std::size_t total = 0;
+  for (const auto& occ : occurrences) total += occ.size();
+  stream.reserve(total);
+  for (std::uint32_t t = 0; t < occurrences.size(); ++t)
+    for (const std::int64_t ms : occurrences[t]) stream.push_back({ms, t});
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const auto& x, const auto& y) { return x.first < y.first; });
+
+  DmAccumulator acc(occurrences.size(), is_failure_template, cfg);
+  for (const auto& [ms, t] : stream) acc.add(t, ms);
+  return acc.rules(dt_ms, train_days, stats);
 }
 
 }  // namespace elsa::core

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "elsa/chain.hpp"
@@ -32,11 +34,64 @@ struct DmStats {
   std::size_t rules = 0;
 };
 
+/// Incremental association-rule state: feed (template, time) events in
+/// non-decreasing time order and extract rules at any point. This is the
+/// streaming entry point the offline mine_assoc_rules() is implemented on
+/// top of — by construction, feeding a time-sorted event stream yields
+/// rules identical (bit-for-bit, including the floating-point delay sums)
+/// to batch-mining the same occurrence lists.
+///
+/// Memory is bounded by the correlation window: per-template occurrence
+/// buffers are pruned below `now - window_ms` (an occurrence older than the
+/// window can never match a future failure), so steady-state footprint is
+/// O(events-per-window + live pairs), not O(stream).
+class DmAccumulator {
+ public:
+  DmAccumulator(std::size_t num_templates, std::vector<bool> is_failure,
+                DmConfig cfg);
+
+  /// Ingest one event. Times must be non-decreasing; all events sharing a
+  /// timestamp are treated as simultaneous (matching is order-independent
+  /// within a timestamp), mirroring the batch miner's list semantics.
+  void add(std::uint32_t tmpl, std::int64_t time_ms);
+
+  /// Extract the current rule set (flushes the open timestamp first).
+  /// Identical emission order and arithmetic to mine_assoc_rules().
+  std::vector<Chain> rules(std::int64_t dt_ms, double train_days,
+                           DmStats* stats = nullptr);
+
+ private:
+  struct PairStat {
+    int support = 0;
+    double delay_sum_ms = 0.0;
+  };
+
+  void flush();
+  void match_failure(std::uint32_t f, std::int64_t tf);
+
+  DmConfig cfg_;
+  std::vector<bool> is_failure_;
+  /// Occurrences still inside the correlation window, per template.
+  std::vector<std::deque<std::int64_t>> recent_;
+  /// Total occurrence count per template (for confidence / per-day prune).
+  std::vector<std::size_t> total_;
+  /// Previous occurrence time per failure template (an antecedent at or
+  /// before it already matched that earlier failure via lower_bound).
+  std::vector<std::int64_t> prev_fail_;
+  std::vector<char> has_prev_fail_;
+  std::unordered_map<std::uint64_t, PairStat> pairs_;
+
+  std::int64_t open_time_ = 0;
+  bool open_ = false;
+  std::vector<std::uint32_t> open_batch_;
+};
+
 /// Mine antecedent -> failure-template rules. `occurrences[t]` are sorted
 /// occurrence times (ms) of template t during training;
 /// `is_failure_template[t]` marks consequent candidates. Delays are stored
 /// in samples of `dt_ms` so the resulting chains plug into the same online
-/// predictor as the hybrid chains.
+/// predictor as the hybrid chains. Implemented as a feed of the merged
+/// time-sorted stream through DmAccumulator.
 std::vector<Chain> mine_assoc_rules(
     const std::vector<std::vector<std::int64_t>>& occurrences,
     const std::vector<bool>& is_failure_template, std::int64_t dt_ms,

@@ -14,12 +14,26 @@
 
 namespace elsa::core {
 
+std::int32_t grite_effective_tolerance(std::int32_t tolerance,
+                                       double tolerance_frac,
+                                       std::int32_t delay, std::int32_t cap) {
+  return std::min(cap,
+                  tolerance + static_cast<std::int32_t>(
+                                  tolerance_frac * static_cast<double>(delay)));
+}
+
+bool grite_delay_consistent(std::int32_t got, std::int32_t want,
+                            std::int32_t tolerance, double tolerance_frac) {
+  return std::abs(got - want) <=
+         tolerance + static_cast<std::int32_t>(
+                         tolerance_frac * static_cast<double>(want));
+}
+
 namespace {
 
 std::int32_t eff_tol(std::int32_t tolerance, double frac, std::int32_t delay,
                      std::int32_t cap = 24) {
-  return std::min(cap, tolerance + static_cast<std::int32_t>(
-                                       frac * static_cast<double>(delay)));
+  return grite_effective_tolerance(tolerance, frac, delay, cap);
 }
 
 bool all_items_near(const std::vector<ChainItem>& items,
@@ -143,9 +157,7 @@ std::vector<Chain> mine_gradual_itemsets(
         pair_delays.find((static_cast<std::uint64_t>(a) << 32) | b);
     if (it == pair_delays.end()) return false;
     for (const std::int32_t d : it->second)
-      if (std::abs(d - want) <=
-          cfg.tolerance + static_cast<std::int32_t>(
-                              cfg.tolerance_frac * static_cast<double>(want)))
+      if (grite_delay_consistent(d, want, cfg.tolerance, cfg.tolerance_frac))
         return true;
     return false;
   };

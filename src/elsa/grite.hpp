@@ -50,6 +50,21 @@ struct GriteStats {
   std::size_t subsumed_removed = 0;
 };
 
+/// Effective per-item delay slack: tolerance + tolerance_frac * delay,
+/// capped. This is THE tolerance formula of the GRITE adaptation — exposed
+/// so the incremental miner (src/mining) applies byte-identical arithmetic
+/// when it grows chains online.
+std::int32_t grite_effective_tolerance(std::int32_t tolerance,
+                                       double tolerance_frac,
+                                       std::int32_t delay,
+                                       std::int32_t cap = 24);
+
+/// GRITE join delay-consistency: is an observed inter-item delay `got`
+/// consistent with the expected delay `want`? (Uncapped slack — matches the
+/// level-wise join's pair check.)
+bool grite_delay_consistent(std::int32_t got, std::int32_t want,
+                            std::int32_t tolerance, double tolerance_frac);
+
 /// Support of an itemset: antecedent outliers (first item's stream) for
 /// which every later item has an outlier within tolerance of its delay.
 int itemset_support(const std::vector<ChainItem>& items,

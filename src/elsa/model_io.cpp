@@ -157,4 +157,23 @@ OfflineModel load_model_file(const std::string& path) {
   return load_model(is);
 }
 
+std::uint64_t fnv1a_digest(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string model_to_string(const OfflineModel& model) {
+  std::ostringstream os;
+  save_model(os, model);
+  return os.str();
+}
+
+std::uint64_t model_digest(const OfflineModel& model) {
+  return fnv1a_digest(model_to_string(model));
+}
+
 }  // namespace elsa::core

@@ -6,8 +6,10 @@
 // monitor loads the model file and follows the live stream.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "elsa/pipeline.hpp"
 
@@ -25,5 +27,19 @@ void save_model_file(const std::string& path, const OfflineModel& model);
 /// malformed or version-mismatched input.
 OfflineModel load_model(std::istream& is);
 OfflineModel load_model_file(const std::string& path);
+
+/// FNV-1a 64-bit over a byte string: the project's digest primitive (same
+/// constants as the advisor's schedule digest). `seed` chains digests:
+/// fnv1a_digest(b, fnv1a_digest(a)) hashes the concatenation a||b.
+std::uint64_t fnv1a_digest(std::string_view bytes,
+                           std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Serialise `model` and return the text (exactly what save_model writes).
+std::string model_to_string(const OfflineModel& model);
+
+/// FNV-1a digest of the serialised model text. THE model identity the
+/// online≡batch CI gate compares: byte-identical serialisation (including
+/// every floating-point digit) <=> equal digest.
+std::uint64_t model_digest(const OfflineModel& model);
 
 }  // namespace elsa::core

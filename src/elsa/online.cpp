@@ -17,30 +17,53 @@ double EngineStats::max_analysis_ms() const {
   return m;
 }
 
-OnlineEngine::OnlineEngine(const topo::Topology& topo,
-                           std::vector<Chain> chains,
-                           std::vector<SignalProfile> profiles,
-                           EngineConfig cfg)
-    : topo_(topo),
-      chains_(std::move(chains)),
-      profiles_(std::move(profiles)),
-      cfg_(cfg) {
-  chain_fires_.assign(chains_.size(), 0);
-  early_prefix_counts_.assign(chains_.size(), 0);
-  for (std::size_t c = 0; c < chains_.size(); ++c) {
-    const Chain& chain = chains_[c];
+ModelState ModelState::build(std::vector<Chain> chains,
+                             std::vector<SignalProfile> profiles) {
+  ModelState m;
+  m.chains = std::move(chains);
+  m.profiles = std::move(profiles);
+  m.early_prefix_counts.assign(m.chains.size(), 0);
+  for (std::size_t c = 0; c < m.chains.size(); ++c) {
+    const Chain& chain = m.chains[c];
     if (!chain.predictive()) continue;
     const std::int32_t fail_delay =
         chain.items[static_cast<std::size_t>(chain.failure_item)].delay;
     for (std::size_t j = 0;
          j < static_cast<std::size_t>(chain.failure_item); ++j) {
-      triggers_[chain.items[j].signal].push_back({c, j});
-      if (fail_delay - chain.items[j].delay >= 2) ++early_prefix_counts_[c];
+      m.triggers[chain.items[j].signal].push_back({c, j});
+      if (fail_delay - chain.items[j].delay >= 2) ++m.early_prefix_counts[c];
     }
   }
-  detectors_.reserve(profiles_.size());
-  for (const auto& p : profiles_)
+  return m;
+}
+
+OnlineEngine::OnlineEngine(const topo::Topology& topo,
+                           std::vector<Chain> chains,
+                           std::vector<SignalProfile> profiles,
+                           EngineConfig cfg)
+    : topo_(topo),
+      owned_(std::make_unique<const ModelState>(
+          ModelState::build(std::move(chains), std::move(profiles)))),
+      model_(owned_.get()),
+      cfg_(cfg) {
+  chain_fires_.assign(model_->chains.size(), 0);
+  detectors_.reserve(model_->profiles.size());
+  for (const auto& p : model_->profiles)
     detectors_.emplace_back(p, cfg_.median_window, cfg_.detector);
+}
+
+void OnlineEngine::swap_model(const ModelState* m) {
+  model_ = m;
+  // Chain ids are indexes into the new model's chain vector: pending
+  // partial matches and fire counts keyed by the old ids are void.
+  pending_.clear();
+  chain_fires_.assign(model_->chains.size(), 0);
+  // Detector histories survive for templates both models know — the
+  // observed signal stream did not change, only the rules reading it. New
+  // templates get fresh detectors from the new model's profiles.
+  for (std::size_t t = detectors_.size(); t < model_->profiles.size(); ++t)
+    detectors_.emplace_back(model_->profiles[t], cfg_.median_window,
+                            cfg_.detector);
 }
 
 void OnlineEngine::ensure_detector(std::uint32_t tmpl) {
@@ -50,7 +73,6 @@ void OnlineEngine::ensure_detector(std::uint32_t tmpl) {
     SignalProfile p;
     p.cls = sigkit::SignalClass::Silent;
     p.spike_delta = 0.5;
-    profiles_.push_back(p);
     detectors_.emplace_back(p, cfg_.median_window, cfg_.detector);
   }
 }
@@ -71,8 +93,8 @@ void OnlineEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
       started_ = true;
     }
     double service = cfg_.cost.per_event_ms;
-    const auto it = triggers_.find(tmpl);
-    std::size_t fanout = it == triggers_.end() ? 0 : it->second.size();
+    const auto it = model_->triggers.find(tmpl);
+    std::size_t fanout = it == model_->triggers.end() ? 0 : it->second.size();
     service += static_cast<double>(fanout) * cfg_.cost.per_chain_trigger_ms;
     server_free_ms_ =
         std::max(server_free_ms_, static_cast<double>(t_ms)) + service;
@@ -142,8 +164,8 @@ void OnlineEngine::close_one_bucket() {
       o.tmpl = tmpl;
       if (it != bucket_activity_.end()) o.nodes = it->second.second;
       work_ms += cfg_.cost.per_outlier_ms;
-      const auto trig = triggers_.find(tmpl);
-      if (trig != triggers_.end())
+      const auto trig = model_->triggers.find(tmpl);
+      if (trig != model_->triggers.end())
         work_ms += static_cast<double>(trig->second.size()) *
                    cfg_.cost.per_chain_trigger_ms;
       onsets.push_back(std::move(o));
@@ -160,8 +182,8 @@ void OnlineEngine::close_one_bucket() {
     stats_.analysis_window_ms.push_back(static_cast<float>(window));
 
     for (const Onset& o : onsets) {
-      const auto trig = triggers_.find(o.tmpl);
-      if (trig == triggers_.end()) continue;
+      const auto trig = model_->triggers.find(o.tmpl);
+      if (trig == model_->triggers.end()) continue;
       std::vector<std::int32_t> nodes;
       for (const std::int32_t n : o.nodes)
         if (n >= 0) nodes.push_back(n);
@@ -179,8 +201,8 @@ void OnlineEngine::trigger_chain(const Trigger& tr, std::int32_t sample,
                                  std::int64_t trigger_ms,
                                  std::int64_t issue_ms,
                                  const std::vector<std::int32_t>& nodes) {
-  const Chain& chain = chains_[tr.chain_id];
-  if (early_prefix_counts_[tr.chain_id] < cfg_.min_prefix_matches ||
+  const Chain& chain = model_->chains[tr.chain_id];
+  if (model_->early_prefix_counts[tr.chain_id] < cfg_.min_prefix_matches ||
       cfg_.min_prefix_matches <= 1) {
     emit(tr.chain_id, tr.item_index, trigger_ms, issue_ms, nodes);
     return;
@@ -220,7 +242,7 @@ void OnlineEngine::trigger_chain(const Trigger& tr, std::int32_t sample,
 void OnlineEngine::emit(std::size_t chain_id, std::size_t item_index,
                         std::int64_t trigger_ms, std::int64_t issue_ms,
                         const std::vector<std::int32_t>& nodes) {
-  const Chain& chain = chains_[chain_id];
+  const Chain& chain = model_->chains[chain_id];
   ++chain_fires_[chain_id];
 
   Prediction p;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +72,36 @@ struct Prediction {
   std::int64_t lead_ms = 0;
 };
 
+/// One (chain, prefix item) pair a signal can trigger.
+struct ChainTrigger {
+  std::size_t chain_id;
+  std::size_t item_index;
+};
+
+/// The immutable rule model an OnlineEngine predicts from: chains,
+/// per-signal profiles, and the derived trigger/prefix indexes. Built once
+/// (offline, or by the incremental miner in src/mining) and never mutated
+/// afterwards — engines only ever read it, which is what makes the RCU-style
+/// hot swap in serve/model_handle.hpp sound: a published ModelState is
+/// frozen, readers share it without synchronisation.
+struct ModelState {
+  std::vector<Chain> chains;
+  std::vector<SignalProfile> profiles;
+
+  /// Chain triggers indexed by signal id (derived from `chains`).
+  std::unordered_map<std::uint32_t, std::vector<ChainTrigger>> triggers;
+  /// Per chain: number of prefix items that precede the failure item by a
+  /// useful margin (>= 2 samples). Confirmation is only demanded when at
+  /// least EngineConfig::min_prefix_matches such items exist — waiting for
+  /// a corroborating item that arrives together with the failure would
+  /// forfeit the lead.
+  std::vector<int> early_prefix_counts;
+
+  /// Build the derived indexes from a chain/profile set.
+  static ModelState build(std::vector<Chain> chains,
+                          std::vector<SignalProfile> profiles);
+};
+
 struct EngineStats {
   std::size_t records = 0;
   std::size_t buckets = 0;
@@ -107,17 +138,23 @@ class OnlineEngine {
   /// Flush trailing buckets up to the end of the observation period.
   void finish(std::int64_t t_end_ms);
 
+  /// Replace the rule model the engine predicts from. `m` must stay alive
+  /// (and unmutated) until the next swap_model() call returns — exactly the
+  /// grace-period contract serve::RcuHub enforces. Detector histories are
+  /// kept for templates both models know (the observed signal is signal
+  /// regardless of which rules consume it) and extended for templates only
+  /// the new model names; partially-matched chain prefixes and per-chain
+  /// fire counts are reset — chain ids are meaningless across models.
+  void swap_model(const ModelState* m);
+
   const std::vector<Prediction>& predictions() const { return predictions_; }
   const EngineStats& stats() const { return stats_; }
-  const std::vector<Chain>& chains() const { return chains_; }
+  const std::vector<Chain>& chains() const { return model_->chains; }
   /// Per-chain fire counts (for the Table III "Seq Used" column).
   const std::vector<std::size_t>& chain_fires() const { return chain_fires_; }
 
  private:
-  struct Trigger {
-    std::size_t chain_id;
-    std::size_t item_index;
-  };
+  using Trigger = ChainTrigger;
 
   /// A partially observed chain occurrence awaiting confirmation.
   struct Pending {
@@ -140,17 +177,13 @@ class OnlineEngine {
             const std::vector<std::int32_t>& nodes);
 
   topo::Topology topo_;
-  std::vector<Chain> chains_;
-  std::vector<SignalProfile> profiles_;
-  /// Per chain: number of prefix items that precede the failure item by a
-  /// useful margin. Confirmation is only demanded when at least
-  /// min_prefix_matches such items exist — waiting for a corroborating
-  /// item that arrives together with the failure would forfeit the lead.
-  std::vector<int> early_prefix_counts_;
+  /// Model built by the legacy (chains, profiles) constructor. Engines fed
+  /// through swap_model() never touch it after the first swap.
+  std::unique_ptr<const ModelState> owned_;
+  /// The model currently predicted from — `owned_.get()` until swap_model()
+  /// repoints it. Never null.
+  const ModelState* model_;
   EngineConfig cfg_;
-
-  /// chain triggers indexed by signal id.
-  std::unordered_map<std::uint32_t, std::vector<Trigger>> triggers_;
 
   std::vector<OnlineDetector> detectors_;
   std::int64_t bucket_start_ms_ = 0;

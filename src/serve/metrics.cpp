@@ -136,6 +136,17 @@ void ServeMetrics::on_predicted_miss(std::uint64_t n) {
   predicted_misses_.add(n);
 }
 
+void ServeMetrics::on_miner_event(std::uint64_t n) { miner_events_.add(n); }
+
+void ServeMetrics::on_model_publish() {
+  model_publishes_.add();
+  util::MutexLock lk(clock_mu_);
+  model_published_ = true;
+  model_published_at_ = Clock::now();
+}
+
+void ServeMetrics::on_model_swap() { model_swaps_.add(); }
+
 void ServeMetrics::set_degraded(bool on) {
   util::MutexLock lk(clock_mu_);
   if (on == degraded_) return;
@@ -199,6 +210,9 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   s.interval_updates = interval_updates_.read();
   s.predicted_hits = predicted_hits_.read();
   s.predicted_misses = predicted_misses_.read();
+  s.miner_events = miner_events_.read();
+  s.model_publishes = model_publishes_.read();
+  s.model_swaps = model_swaps_.read();
 
   {
     util::MutexLock lk(clock_mu_);
@@ -209,6 +223,11 @@ MetricsSnapshot ServeMetrics::snapshot() const {
                 Clock::now() - degraded_since_)
                 .count();
     s.degraded_seconds = static_cast<double>(ns) * 1e-9;
+    s.model_age_seconds =
+        model_published_
+            ? std::chrono::duration<double>(Clock::now() - model_published_at_)
+                  .count()
+            : -1.0;
   }
 
   s.wall_seconds = uptime_seconds();
@@ -244,7 +263,9 @@ std::string ServeMetrics::text_report() const {
       "  prediction p50 %.0f us, p99 %.0f us (enqueue -> alarm)\n"
       "  queue depth p50 %.0f, p99 %.0f\n"
       "  advisor    events %llu (dropped %llu), directives %llu "
-      "(suppressed %llu), interval updates %llu, hits %llu, misses %llu\n",
+      "(suppressed %llu), interval updates %llu, hits %llu, misses %llu\n"
+      "  mining     events %llu, publishes %llu, swaps %llu, "
+      "model age %.2f s\n",
       s.wall_seconds, s.degraded ? ", DEGRADED" : "",
       static_cast<unsigned long long>(s.ingested),
       static_cast<unsigned long long>(s.records_in),
@@ -263,7 +284,10 @@ std::string ServeMetrics::text_report() const {
       static_cast<unsigned long long>(s.directives_suppressed),
       static_cast<unsigned long long>(s.interval_updates),
       static_cast<unsigned long long>(s.predicted_hits),
-      static_cast<unsigned long long>(s.predicted_misses));
+      static_cast<unsigned long long>(s.predicted_misses),
+      static_cast<unsigned long long>(s.miner_events),
+      static_cast<unsigned long long>(s.model_publishes),
+      static_cast<unsigned long long>(s.model_swaps), s.model_age_seconds);
   return buf;
 }
 

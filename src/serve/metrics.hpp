@@ -132,6 +132,12 @@ struct MetricsSnapshot {
   std::uint64_t interval_updates = 0;   ///< per-partition interval recomputes
   std::uint64_t predicted_hits = 0;     ///< directives matched to a real fault
   std::uint64_t predicted_misses = 0;   ///< directives with no fault in window
+  // Incremental-mining accounting (src/mining; zero when no miner is
+  // attached).
+  std::uint64_t miner_events = 0;   ///< classified events the miner folded
+  std::uint64_t model_publishes = 0;  ///< models the miner pushed to the hub
+  std::uint64_t model_swaps = 0;    ///< per-shard engine hot-swaps performed
+  double model_age_seconds = -1.0;  ///< since last publish; -1 = never
   bool degraded = false;           ///< a shard is currently unhealthy
   double degraded_seconds = 0.0;   ///< cumulative time spent degraded
   double wall_seconds = 0.0;       ///< service uptime (start -> stop/now)
@@ -177,6 +183,16 @@ class ServeMetrics {
   void on_interval_update();
   void on_predicted_hit(std::uint64_t n = 1);
   void on_predicted_miss(std::uint64_t n = 1);
+
+  // -- incremental-miner hooks (src/mining) --------------------------------
+  /// One classified event folded into the miner's correlation state.
+  void on_miner_event(std::uint64_t n = 1);
+  /// The miner published a fresh model into the hub (restarts the model-age
+  /// clock; takes clock_mu_, so call it from the publish path only — it is
+  /// per-model, not per-record).
+  void on_model_publish() ELSA_EXCLUDES(clock_mu_);
+  /// A shard engine hot-swapped onto a newer published model.
+  void on_model_swap();
 
   /// Degraded-mode flag, driven by the watchdog: set(true) on the first
   /// unhealthy shard, set(false) once every shard is making progress
@@ -226,6 +242,9 @@ class ServeMetrics {
   StripedCounter interval_updates_;
   StripedCounter predicted_hits_;
   StripedCounter predicted_misses_;
+  StripedCounter miner_events_;
+  StripedCounter model_publishes_;
+  StripedCounter model_swaps_;
   AtomicHistogram ingest_lat_;   ///< microseconds
   AtomicHistogram predict_lat_;  ///< microseconds
   AtomicHistogram depth_;        ///< shard ring depth
@@ -246,6 +265,11 @@ class ServeMetrics {
   bool degraded_ ELSA_GUARDED_BY(clock_mu_) = false;
   Clock::time_point degraded_since_ ELSA_GUARDED_BY(clock_mu_);
   std::int64_t degraded_ns_ ELSA_GUARDED_BY(clock_mu_) = 0;  ///< closed degraded spans
+  /// Instant of the last model publish; unset until the first one. A
+  /// time_point store is not atomic, and publishes are per-model rare, so
+  /// it rides under the same cold-state lock as the uptime clock.
+  bool model_published_ ELSA_GUARDED_BY(clock_mu_) = false;
+  Clock::time_point model_published_at_ ELSA_GUARDED_BY(clock_mu_);
 };
 
 }  // namespace elsa::serve

@@ -1,0 +1,258 @@
+// RCU-style model hot-swap hub: how the incremental miner (src/mining)
+// publishes freshly built rule models into a running ShardedEngine without
+// ever making the predict path block.
+//
+// Shape of the problem: N shard workers read the current model on every
+// batch; one publisher (the miner pump) replaces it occasionally. A lock
+// would put the publisher on the predict hot path; a bare atomic pointer
+// would leave the publisher unable to ever free a retired model (a reader
+// may still be using it). Classic RCU answer: readers *pin* the hub while
+// they hold the pointer, the publisher swaps the pointer instantly and
+// reclaims a retired model only after a grace period proves no reader can
+// still hold it.
+//
+// Protocol (all hub atomics seq_cst — the grace argument is a total-order
+// argument, see below; the cost is irrelevant at per-batch granularity):
+//
+//   reader r:   slots_[r] = PINNED            (A: seq_cst store)
+//               v = current_                  (B: seq_cst load)
+//               ... use *v ...
+//               slots_[r] = QUIESCENT         (C: seq_cst store)
+//
+//   publisher:  old = current_.exchange(new)  (X: seq_cst RMW)
+//               retired += {old, all-readers mask}
+//   collect():  for each retired entry, each still-pending reader r:
+//                 if slots_[r] == QUIESCENT   (Y: seq_cst load)
+//                   clear r's bit; free the entry when the mask empties
+//
+// Grace argument: a retired entry is freed only once every reader slot has
+// been OBSERVED QUIESCENT at least once after the exchange X. If Y (which
+// is after X in the publisher's program order, hence after X in the single
+// total order S over all seq_cst operations) reads QUIESCENT, then any
+// later pin-store A by that reader is after Y in S (otherwise Y would have
+// read PINNED), hence after X — so its paired pointer load B (after A in
+// program order, hence in S) necessarily reads the NEW pointer, never the
+// retired one. A reader still pinned keeps its bit set and blocks
+// reclamation of every model retired while it was in. Note the condition
+// is deliberately *observation*-based, not epoch-comparison-based: "slot
+// epoch looks newer than the swap" does NOT prove the reader's pointer
+// load saw the new pointer, and a counterexample schedule exists — do not
+// "optimise" this back in.
+//
+// Reclamation is deferred, not blocking: publish() never waits on readers
+// (it just queues the old model on the retired list), collect() is a
+// non-blocking scan the publisher calls opportunistically, and only the
+// destructor insists on draining the list (bounded spin + yield, by which
+// point all readers must have released their handles — the service joins
+// its workers before the hub dies). Every operation is bounded, which is
+// what lets the deterministic interleaving explorer (util/interleave.hpp)
+// enumerate this protocol exhaustively.
+//
+// Reader identity is a slot index < kMaxReaders (the shard index): per
+// slot, pins are serialized — exactly the one-producer-per-shard contract
+// the serve layer already maintains (worker thread, its watchdog-restarted
+// successor, or the finishing thread after joins). The single-publisher
+// contract mirrors it: publish()/collect()/retired() are called from one
+// thread at a time (the miner pump, then the finishing thread after the
+// pump joined).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/interleave.hpp"
+
+namespace elsa::serve {
+
+template <class T>
+class RcuHub {
+ private:
+  /// The unit of publication: a model plus its generation number, swapped
+  /// as one pointer so readers can never observe a pointer/epoch skew.
+  struct Versioned {
+    std::unique_ptr<const T> val;
+    std::uint64_t epoch;
+  };
+
+ public:
+  /// Maximum distinct reader slots (shards). 64 keeps the per-entry
+  /// pending set a single word.
+  static constexpr std::size_t kMaxReaders = 64;
+
+  /// A pinned view of the current model: guarantees the pointee stays
+  /// alive until release()/destruction. Hold across one batch, not longer —
+  /// a pinned reader blocks reclamation of every model retired meanwhile.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& o) noexcept
+        : hub_(std::exchange(o.hub_, nullptr)), v_(o.v_), slot_(o.slot_) {}
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        release();
+        hub_ = std::exchange(o.hub_, nullptr);
+        v_ = o.v_;
+        slot_ = o.slot_;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+    const T* get() const { return v_->val.get(); }
+    const T* operator->() const { return get(); }
+    /// Publication generation of the pinned model (0 = the initial model).
+    /// Compare against a remembered value to detect a swap — pointer
+    /// comparison is ABA-unsafe (a freed model's address can be reused).
+    std::uint64_t epoch() const { return v_->epoch; }
+
+    void release() {
+      if (hub_ == nullptr) return;
+      hub_->unpin(slot_);
+      hub_ = nullptr;
+    }
+
+   private:
+    friend class RcuHub;
+    Handle(RcuHub* hub, const Versioned* v, std::size_t slot)
+        : hub_(hub), v_(v), slot_(slot) {}
+    RcuHub* hub_ = nullptr;
+    const Versioned* v_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  explicit RcuHub(std::unique_ptr<const T> initial)
+      : current_(new Versioned{std::move(initial), 0}) {
+    for (auto& s : slots_)
+      // relaxed: pre-publication initialization; the constructor's caller
+      // publishes the hub to readers with its own synchronization.
+      s.state.store(kQuiescent, std::memory_order_relaxed);
+  }
+
+  RcuHub(const RcuHub&) = delete;
+  RcuHub& operator=(const RcuHub&) = delete;
+
+  ~RcuHub() {
+    // All readers must have released their handles by now (the service
+    // joins its workers before tearing the hub down); drain the retired
+    // list, then reclaim the current model.
+    int spins = 0;
+    while (true) {
+      collect();
+      if (retired_.empty()) break;
+      if (++spins > 64) std::this_thread::yield();
+    }
+    util::sched_point();
+    delete current_.load(std::memory_order_seq_cst);
+  }
+
+  /// Pin the current model for reader slot `slot` (< kMaxReaders). Wait-free.
+  Handle pin(std::size_t slot) {
+    util::sched_point();
+    // Order matters: declare PINNED *before* loading the pointer — the
+    // publisher's quiescence scan must not be able to miss us (see the
+    // grace argument in the file comment).
+    slots_[slot].state.store(kPinned, std::memory_order_seq_cst);
+    util::sched_point();
+    const Versioned* v = current_.load(std::memory_order_seq_cst);
+    return Handle(this, v, slot);
+  }
+
+  /// Swap in the next model; the old one joins the retired list and is
+  /// freed by a later collect() once every reader passed a quiescent
+  /// point. Never blocks. Single publisher. Returns the new epoch.
+  std::uint64_t publish(std::unique_ptr<const T> next) {
+    const std::uint64_t e = epoch_ + 1;
+    auto* v = new Versioned{std::move(next), e};
+    util::sched_point();
+    const Versioned* old = current_.exchange(v, std::memory_order_seq_cst);
+    retired_.push_back({old, kAllReaders});
+    epoch_ = e;
+    util::sched_point();
+    // relaxed: monotonic swap counter, summed for metrics only.
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    collect();
+    return e;
+  }
+
+  /// Scan the retired list and free every model whose grace period has
+  /// completed. Non-blocking; publisher thread only.
+  void collect() {
+    std::size_t kept = 0;
+    for (auto& r : retired_) {
+      std::uint64_t pending = r.pending;
+      for (std::size_t s = 0; pending != 0 && s < kMaxReaders; ++s) {
+        const std::uint64_t bit = 1ULL << s;
+        if ((pending & bit) == 0) continue;
+        util::sched_point();
+        if (slots_[s].state.load(std::memory_order_seq_cst) == kQuiescent)
+          pending &= ~bit;
+      }
+      r.pending = pending;
+      if (pending == 0) {
+        delete r.v;
+      } else {
+        retired_[kept++] = r;
+      }
+    }
+    retired_.resize(kept);
+  }
+
+  /// Epoch of the latest published model (publisher thread only).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Total publish() calls (any thread; monitoring).
+  std::uint64_t swaps() const {
+    util::sched_point();
+    // relaxed: standalone monotonic counter read for monitoring.
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+  /// Retired models awaiting their grace period (publisher thread only).
+  std::size_t retired() const { return retired_.size(); }
+
+ private:
+  struct Retired {
+    const Versioned* v;
+    std::uint64_t pending;  ///< reader slots not yet observed quiescent
+  };
+  struct alignas(64) Slot {
+    // Reader pin flag: the seq_cst PINNED store precedes the reader's
+    // seq_cst pointer load; the publisher's seq_cst quiescence scan orders
+    // against both (total-order grace argument in the file comment).
+    // elsa-atomic: rcu-handle
+    std::atomic<std::uint64_t> state;
+  };
+
+  static constexpr std::uint64_t kQuiescent = ~0ULL;
+  static constexpr std::uint64_t kPinned = 1;
+  // Low kMaxReaders bits set, written shift-down so the expression is
+  // well-formed at kMaxReaders == 64 (a left shift by 64 is UB even in a
+  // branch never taken).
+  static constexpr std::uint64_t kAllReaders = ~0ULL >> (64 - kMaxReaders);
+
+  void unpin(std::size_t slot) {
+    util::sched_point();
+    slots_[slot].state.store(kQuiescent, std::memory_order_seq_cst);
+  }
+
+  // elsa-atomic: rcu-handle — the published model pointer: readers load it
+  // seq_cst between pin and unpin; the publisher's seq_cst exchange swaps
+  // it and starts the grace period for the displaced value.
+  alignas(64) std::atomic<const Versioned*> current_;
+  // elsa-atomic: monotonic-relaxed — publish() count, summed for metrics.
+  std::atomic<std::uint64_t> swaps_{0};
+  Slot slots_[kMaxReaders];
+
+  // Publisher-thread-only state (no locks: single-publisher contract).
+  std::uint64_t epoch_ = 0;
+  std::vector<Retired> retired_;
+};
+
+}  // namespace elsa::serve

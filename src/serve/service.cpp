@@ -8,6 +8,7 @@ PredictionService::PredictionService(const topo::Topology& topo,
                                      const core::OfflineModel& model,
                                      ServiceConfig cfg)
     : classifier_(&model.helo),
+      live_classifier_(cfg.live_classifier),
       unknown_tmpl_(static_cast<std::uint32_t>(
           std::max(model.helo.size(), model.profiles.size()))),
       total_nodes_(topo.total_nodes()),
@@ -29,6 +30,8 @@ PredictionService::PredictionService(const topo::Topology& topo,
   so.faults = cfg.faults;
   so.clock = cfg.clock;
   so.tap = cfg.tap;
+  so.hub = cfg.hub;
+  so.event_tap = cfg.event_tap;
   sharded_ = std::make_unique<ShardedEngine>(
       topo, model.chains, model.profiles, cfg.engine, so, &metrics_,
       [this](const core::Prediction& p) {
@@ -41,6 +44,11 @@ PredictionService::PredictionService(const topo::Topology& topo,
 PredictionService::~PredictionService() = default;
 
 std::uint32_t PredictionService::classify(std::string_view message) const {
+  // Live path: learn unseen message shapes as fresh template ids (mutates
+  // the external miner — legal from this const member because constness
+  // stops at the pointer). Single producer thread by contract, so no
+  // synchronization is needed here.
+  if (live_classifier_ != nullptr) return live_classifier_->classify(message);
   const std::uint32_t tid = classifier_->classify_const(message);
   return tid == helo::TemplateMiner::kNoTemplate ? unknown_tmpl_ : tid;
 }
@@ -70,6 +78,7 @@ SubmitResult PredictionService::submit_result(const simlog::LogRecord& rec,
   // into the target shard's lock-free ring — no dispatcher hop, no mutex.
   const ShardedEngine::Item item{rec.time_ms, rec.node_id,
                                  classify(rec.message),
+                                 static_cast<std::uint8_t>(rec.severity),
                                  ServeMetrics::Clock::now()};
   SpscRing<ShardedEngine::Item>& ring =
       sharded_->ingest(sharded_->shard_of(rec.node_id));

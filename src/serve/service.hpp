@@ -91,6 +91,22 @@ struct ServiceConfig {
   /// the *streaming view only* (the merged list after finish() is always
   /// complete).
   std::size_t alarm_capacity = 4096;
+  /// Incremental HELO classifier (see helo.hpp). Null = the offline
+  /// model's frozen classifier (classify_const). When set, submits
+  /// classify through its *mutating* path, so unseen message shapes learn
+  /// fresh template ids on the fly instead of collapsing onto the one
+  /// reserved "unknown" id. The mutating classifier is not internally
+  /// synchronized: all submits must come from ONE producer thread (the
+  /// replayer/`elsa mine` contract). Must outlive the service.
+  helo::TemplateMiner* live_classifier = nullptr;
+  /// Live rule-model hub handed down to the sharded engine (see
+  /// serve/model_handle.hpp); null = serve the construction-time model
+  /// forever. Must outlive the service.
+  ModelHub* hub = nullptr;
+  /// Classified-event observer handed down to the sharded engine (the
+  /// incremental miner's intake; see serve/tap.hpp); null = none. Must
+  /// outlive the service.
+  EventTap* event_tap = nullptr;
   core::EngineConfig engine;
 
   /// Zeroes the engine's simulated analysis-cost model: the serving layer
@@ -192,6 +208,9 @@ class PredictionService {
   // must be called from one controlling thread (it joins the shard
   // workers), matching the destructor's contract.
   const helo::TemplateMiner* classifier_;
+  /// Mutating incremental classifier; non-null only under the
+  /// single-producer submit contract (ServiceConfig::live_classifier).
+  helo::TemplateMiner* live_classifier_ = nullptr;
   std::uint32_t unknown_tmpl_;
   std::int32_t total_nodes_ = 0;
   OverflowPolicy overflow_ = OverflowPolicy::kBlock;

@@ -68,6 +68,10 @@ ShardedEngine::ShardedEngine(const topo::Topology& topo,
       sink_(std::move(on_prediction)) {
   if (opt_.shards == 0) opt_.shards = 1;
   if (opt_.batch == 0) opt_.batch = 1;
+  // Reader slots in the RCU hub are a fixed-width word; more shards than
+  // slots cannot pin distinctly.
+  if (opt_.hub && opt_.shards > ModelHub::kMaxReaders)
+    opt_.shards = ModelHub::kMaxReaders;
   const std::int32_t nodes_per_midplane =
       std::max(1, topo.nodes_per_nodecard() * topo.nodecards_per_midplane());
   router_ = ShardRouter(nodes_per_midplane, opt_.shards);
@@ -96,7 +100,8 @@ ShardedEngine::~ShardedEngine() {
 void ShardedEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl,
                          ServeMetrics::Clock::time_point enq) {
   Shard& s = *shards_[router_.shard_of(rec.node_id)];
-  Item item{rec.time_ms, rec.node_id, tmpl, enq};
+  Item item{rec.time_ms, rec.node_id, tmpl,
+            static_cast<std::uint8_t>(rec.severity), enq};
   if (opt_.drop_on_overflow) {
     if (s.queue.offer(std::move(item)) == 0) {
       // relaxed: monotonic shed counter, monitoring only (see header).
@@ -118,6 +123,13 @@ void ShardedEngine::flush() {
   // rings, so there is no dispatcher-side partial batch to hand over.
 }
 
+void ShardedEngine::maybe_swap_model(Shard& s, const ModelHub::Handle& h) {
+  if (h.epoch() == s.model_epoch) return;
+  s.engine.swap_model(h.get());
+  s.model_epoch = h.epoch();
+  if (metrics_) metrics_->on_model_swap();
+}
+
 bool ShardedEngine::process_batch(Shard& s, std::size_t idx, Batch& batch) {
   simlog::LogRecord rec;  // only the fields the engine reads are filled
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -125,6 +137,13 @@ bool ShardedEngine::process_batch(Shard& s, std::size_t idx, Batch& batch) {
     rec.time_ms = item.time_ms;
     rec.node_id = item.node_id;
     s.engine.feed(rec, item.tmpl);
+    // Exactly-once event stream for the miner: publish adjacent to the
+    // engine feed, BEFORE the injected-death check — a killed worker parks
+    // only the unprocessed tail, so re-delivery cannot republish this item.
+    if (opt_.event_tap)
+      opt_.event_tap->publish(
+          idx, ClassifiedEvent{item.time_ms, item.node_id, item.tmpl,
+                               item.severity});
     // relaxed: monotonic progress counter; the watchdog only compares
     // successive samples, nothing orders against it.
     const std::uint64_t done =
@@ -156,7 +175,15 @@ void ShardedEngine::worker_loop(Shard& s, std::size_t idx) {
     // Resume the batch a previous incarnation abandoned mid-flight.
     Batch b;
     b.swap(s.carryover);
-    if (!process_batch(s, idx, b)) return;
+    bool ok;
+    if (opt_.hub) {
+      const ModelHub::Handle h = opt_.hub->pin(idx);
+      maybe_swap_model(s, h);
+      ok = process_batch(s, idx, b);
+    } else {
+      ok = process_batch(s, idx, b);
+    }
+    if (!ok) return;
     // relaxed: advisory liveness hint the watchdog samples.
     s.busy.store(false, std::memory_order_relaxed);
   }
@@ -169,7 +196,18 @@ void ShardedEngine::worker_loop(Shard& s, std::size_t idx) {
     // samples; item data is handed off through the ring's own
     // synchronization.
     s.busy.store(true, std::memory_order_relaxed);
-    if (!process_batch(s, idx, batch)) return;
+    bool ok;
+    if (opt_.hub) {
+      // Pin once per batch: the engine's model pointer stays valid for the
+      // whole batch, the hub swap costs one seq_cst store+load, and no lock
+      // ever appears on the predict path.
+      const ModelHub::Handle h = opt_.hub->pin(idx);
+      maybe_swap_model(s, h);
+      ok = process_batch(s, idx, batch);
+    } else {
+      ok = process_batch(s, idx, batch);
+    }
+    if (!ok) return;
     // relaxed: as above.
     s.busy.store(false, std::memory_order_relaxed);
   }
@@ -315,11 +353,22 @@ void ShardedEngine::finish(std::int64_t t_end_ms) {
   // (workers joined, producers quiesced by the caller).
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& s = *shards_[i];
+    // Pinning per shard keeps the one-pin-per-slot contract: the worker
+    // for slot i has joined, so this thread is slot i's sole reader now.
+    ModelHub::Handle h;
+    if (opt_.hub) {
+      h = opt_.hub->pin(i);
+      maybe_swap_model(s, h);
+    }
     simlog::LogRecord rec;
     const auto drain_item = [&](const Item& item) {
       rec.time_ms = item.time_ms;
       rec.node_id = item.node_id;
       s.engine.feed(rec, item.tmpl);
+      if (opt_.event_tap)
+        opt_.event_tap->publish(
+            i, ClassifiedEvent{item.time_ms, item.node_id, item.tmpl,
+                               item.severity});
       // relaxed: monotonic progress counter, monitoring only.
       s.processed.fetch_add(1, std::memory_order_relaxed);
       if (metrics_) metrics_->on_processed(item.enq);
@@ -334,10 +383,17 @@ void ShardedEngine::finish(std::int64_t t_end_ms) {
   }
 
   // Closing trailing buckets can still emit predictions; workers are gone,
-  // so finish and drain serially here.
+  // so finish and drain serially here. The pin keeps the engine's model
+  // alive across the trailing-bucket flush.
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    shards_[i]->engine.finish(t_end_ms);
-    drain_shard(*shards_[i], i, ServeMetrics::Clock::now());
+    Shard& s = *shards_[i];
+    ModelHub::Handle h;
+    if (opt_.hub) {
+      h = opt_.hub->pin(i);
+      maybe_swap_model(s, h);
+    }
+    s.engine.finish(t_end_ms);
+    drain_shard(s, i, ServeMetrics::Clock::now());
   }
 
   // Deterministic merge.

@@ -39,12 +39,19 @@
 #include "faultinject/clock.hpp"
 #include "faultinject/plan.hpp"
 #include "serve/metrics.hpp"
+#include "serve/model_handle.hpp"
 #include "serve/router.hpp"
 #include "serve/spsc_ring.hpp"
 #include "serve/tap.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace elsa::serve {
+
+/// The RCU hub specialised to the rule model the shard engines read. The
+/// incremental miner publishes into it; each shard worker pins it once per
+/// batch (reader slot = shard index) and hot-swaps its engine when the
+/// epoch moved.
+using ModelHub = RcuHub<core::ModelState>;
 
 struct ShardOptions {
   std::size_t shards = 4;
@@ -84,6 +91,16 @@ struct ShardOptions {
   /// helps on dedicated multi-core serving boxes and hurts on shared or
   /// oversubscribed ones.
   bool pin_workers = false;
+  /// Live rule-model source (see serve/model_handle.hpp); null = engines
+  /// serve the construction-time model forever. When set, every shard pins
+  /// the hub once per batch and hot-swaps its engine on an epoch change —
+  /// no lock anywhere on the predict path. Caps shards at
+  /// ModelHub::kMaxReaders. Must outlive the engine.
+  ModelHub* hub = nullptr;
+  /// Classified-event observer on the consume side (see serve/tap.hpp);
+  /// null = none. The incremental miner subscribes through this. Must
+  /// outlive the engine.
+  EventTap* event_tap = nullptr;
 };
 
 class ShardedEngine {
@@ -95,6 +112,7 @@ class ShardedEngine {
     std::int64_t time_ms = 0;
     std::int32_t node_id = -1;
     std::uint32_t tmpl = 0;
+    std::uint8_t severity = 0;  ///< simlog::Severity ordinal (miner tap)
     ServeMetrics::Clock::time_point enq{};
   };
 
@@ -198,6 +216,11 @@ class ShardedEngine {
         : queue(queue_capacity), engine(std::move(eng)) {}
     SpscRing<Item> queue;
     core::OnlineEngine engine;
+    /// Epoch of the hub model the engine currently serves (worker-confined,
+    /// like `engine`; handed across incarnations by thread join). The
+    /// sentinel forces a swap on the first pinned batch — epoch comparison,
+    /// never pointer comparison: a freed model's address can be reused.
+    std::uint64_t model_epoch = ~0ULL;
     std::thread worker;
     Batch carryover;                  ///< unprocessed tail of a dead worker's batch
     std::size_t preds_streamed = 0;   ///< predictions already sunk
@@ -219,6 +242,9 @@ class ShardedEngine {
   /// kFailWorker fault killed the worker mid-batch (the unprocessed tail is
   /// parked in `carryover` for the restarted worker).
   bool process_batch(Shard& s, std::size_t idx, Batch& batch);
+  /// Hot-swap the shard engine onto the pinned model if its epoch moved.
+  /// Caller must hold the pin for the whole batch the engine serves.
+  void maybe_swap_model(Shard& s, const ModelHub::Handle& h);
   void watchdog_loop();
   void stop_watchdog();
   /// Stream engine-side deltas (new predictions, dedupe, out-of-order) to

@@ -40,4 +40,33 @@ class PredictionTap {
   virtual void publish(std::size_t shard, const core::Prediction& p) = 0;
 };
 
+/// One classified record as the shard engine consumed it: everything the
+/// incremental miner (src/mining) needs, nothing else.
+struct ClassifiedEvent {
+  std::int64_t time_ms = 0;
+  std::int32_t node_id = -1;
+  std::uint32_t tmpl = 0;
+  std::uint8_t severity = 0;  ///< simlog::Severity ordinal
+};
+
+/// The ingest-side sibling of PredictionTap: observes every classified
+/// event exactly once, adjacent to the engine feed, under the same
+/// one-producer-per-shard serialization (worker thread, its
+/// watchdog-restarted successor, or the finishing thread after joins — a
+/// fault-killed worker's unprocessed carryover is re-published by whoever
+/// processes it, never twice).
+///
+/// Unlike PredictionTap, publish() MAY block (bounded backpressure into a
+/// per-shard SPSC ring): the miner's determinism proof needs a lossless
+/// stream, so the contract trades wait-freedom for conservation. An
+/// implementation must guarantee eventual progress (a draining consumer or
+/// a closed ring), never a lock shared across shards.
+class EventTap {
+ public:
+  virtual ~EventTap() = default;
+
+  /// One classified event from shard `shard`, in shard-stream order.
+  virtual void publish(std::size_t shard, const ClassifiedEvent& e) = 0;
+};
+
 }  // namespace elsa::serve

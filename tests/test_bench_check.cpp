@@ -106,4 +106,47 @@ TEST(BenchCheck, NewBenchOnlyWarns) {
   EXPECT_NE(rep.warnings[0].find("no baseline yet"), std::string::npos);
 }
 
+TEST(BenchCheck, RequiredCoresParsesScalingRows) {
+  using elsa::benchjson::required_cores;
+  EXPECT_EQ(required_cores("serve_throughput/scaling=2v1"), 2u);
+  EXPECT_EQ(required_cores("serve_throughput/scaling=8v4"), 8u);
+  EXPECT_EQ(required_cores("mining_throughput/scaling=16v1"), 16u);
+  // Plain rows and malformed scaling names gate unconditionally.
+  EXPECT_EQ(required_cores("serve_throughput/shards=8"), 1u);
+  EXPECT_EQ(required_cores("analysis_time/bgl_normal"), 1u);
+  EXPECT_EQ(required_cores("x/scaling=abc"), 1u);
+  EXPECT_EQ(required_cores("x/scaling=4"), 1u);
+  EXPECT_EQ(required_cores("x/scaling=0v1"), 1u);
+}
+
+TEST(BenchCheck, DropUnsupportedSkipsOnlyStarvedScalingRows) {
+  BenchMap m = sample();
+  m["serve_throughput/scaling=2v1"] = {1.8, 0.0, 0.0};
+  m["serve_throughput/scaling=4v1"] = {3.1, 0.0, 0.0};
+  const auto dropped = elsa::benchjson::drop_unsupported(m, 2);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], "serve_throughput/scaling=4v1");
+  EXPECT_TRUE(m.count("serve_throughput/scaling=2v1"));
+  EXPECT_TRUE(m.count("serve_throughput/shards=4"));  // absolute rows stay
+}
+
+TEST(BenchCheck, CoreFilteredCompareIgnoresAnInvertedRatioOnOneCore) {
+  // On a 1-core runner the 4-way run can only tie or lose: the ratio row
+  // collapses below its floor. Filtering both sides must turn that into a
+  // clean pass — and must not report the baseline's row as missing.
+  BenchMap base = sample();
+  base["serve_throughput/scaling=4v1"] = {3.0, 0.0, 0.0};
+  BenchMap cur = sample();
+  cur["serve_throughput/scaling=4v1"] = {0.9, 0.0, 0.0};  // inverted
+
+  ASSERT_FALSE(compare(base, cur, 0.15).ok());  // unfiltered: gate fires
+
+  const auto dropped = elsa::benchjson::drop_unsupported(base, 1);
+  (void)elsa::benchjson::drop_unsupported(cur, 1);
+  ASSERT_EQ(dropped.size(), 1u);
+  const auto rep = compare(base, cur, 0.15);
+  EXPECT_TRUE(rep.ok()) << elsa::benchjson::format(rep);
+  EXPECT_TRUE(rep.warnings.empty()) << elsa::benchjson::format(rep);
+}
+
 }  // namespace

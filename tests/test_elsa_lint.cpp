@@ -358,7 +358,8 @@ TEST(ElsaLintAtomics, RegistryCoversTheLiveTree) {
   // fused by qualified id.
   std::vector<std::pair<std::string, std::string>> files;
   for (const char* rel : {"/serve/spsc_ring.hpp", "/advisor/spsc.hpp",
-                          "/serve/metrics.hpp", "/serve/sharded_engine.hpp"}) {
+                          "/serve/metrics.hpp", "/serve/sharded_engine.hpp",
+                          "/serve/model_handle.hpp", "/mining/service.hpp"}) {
     std::ifstream in(std::string(ELSA_SRC_DIR) + rel, std::ios::binary);
     ASSERT_TRUE(in.good()) << rel;
     std::ostringstream ss;
@@ -380,6 +381,11 @@ TEST(ElsaLintAtomics, RegistryCoversTheLiveTree) {
   EXPECT_EQ(protocol_of("elsa::serve::StripedCounter::Cell::v"),
             "striped-relaxed-counter");
   EXPECT_EQ(protocol_of("elsa::serve::ShardedEngine::Shard::alive"),
+            "release-acquire-flag");
+  EXPECT_EQ(protocol_of("elsa::serve::RcuHub::Slot::state"), "rcu-handle");
+  EXPECT_EQ(protocol_of("elsa::serve::RcuHub::current_"), "rcu-handle");
+  EXPECT_EQ(protocol_of("elsa::serve::RcuHub::swaps_"), "monotonic-relaxed");
+  EXPECT_EQ(protocol_of("elsa::mining::MinerService::stop_"),
             "release-acquire-flag");
   // Every live field is declared — an empty protocol would mean an
   // atomic-undeclared finding in the gate.

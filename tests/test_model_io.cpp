@@ -135,6 +135,33 @@ TEST(ModelIo, RejectsDanglingChainReference) {
   EXPECT_THROW(core::load_model(ss), std::runtime_error);
 }
 
+TEST(ModelIo, DigestIsStableAndSeparatesModels) {
+  // model_digest is the identity the online≡batch mining gate compares:
+  // repeatable on the same model, unchanged by a serialisation round trip,
+  // different the moment any persisted field differs.
+  const auto& model = trained_model();
+  const std::uint64_t d = core::model_digest(model);
+  EXPECT_EQ(d, core::model_digest(model));
+
+  std::stringstream ss;
+  core::save_model(ss, model);
+  const auto loaded = core::load_model(ss);
+  EXPECT_EQ(core::model_digest(loaded), d);
+
+  auto tweaked = loaded;
+  ASSERT_FALSE(tweaked.chains.empty());
+  tweaked.chains[0].support += 1;
+  EXPECT_NE(core::model_digest(tweaked), d);
+}
+
+TEST(ModelIo, Fnv1aDigestChainsConcatenation) {
+  const std::uint64_t whole = core::fnv1a_digest("abcdef");
+  const std::uint64_t chained =
+      core::fnv1a_digest("def", core::fnv1a_digest("abc"));
+  EXPECT_EQ(whole, chained);
+  EXPECT_NE(core::fnv1a_digest("abc"), core::fnv1a_digest("abd"));
+}
+
 TEST(ModelIo, FileRoundTrip) {
   const auto& model = trained_model();
   const std::string path = "/tmp/elsa_model_io_test.model";

@@ -26,7 +26,8 @@ LogRecord rec(std::int64_t t_ms, std::int32_t node = 5) {
   LogRecord r;
   r.time_ms = t_ms;
   r.node_id = node;
-  r.message = "x";
+  r.message.assign(1, 'x');  // not `= "x"`: dodges GCC 12's -Wrestrict
+                             // false positive (PR105329) under -Werror
   return r;
 }
 
@@ -285,6 +286,86 @@ TEST(OnlineEngine, RawModeClampsBackwardTime) {
   ASSERT_EQ(eng.predictions().size(), 1u);
   EXPECT_EQ(eng.predictions()[0].trigger_time_ms, 50'000);
   EXPECT_EQ(eng.stats().duplicates_suppressed, 1u);
+}
+
+TEST(OnlineEngine, SwapModelAdoptsNewRulesOverLiveDetectorHistory) {
+  // Start rule-less: the detector for template 0 accumulates signal but
+  // nothing can fire. Swap in the chain model BEFORE the trigger bucket
+  // closes: the new rules must consume the history the old model observed.
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {}, {silent_profile(), silent_profile()},
+                   fast_config());
+  eng.feed(rec(25'000, 7), 0);
+  const auto armed = ModelState::build(
+      {simple_chain()}, {silent_profile(), silent_profile()});
+  eng.swap_model(&armed);
+  eng.finish(400'000);
+  ASSERT_EQ(eng.predictions().size(), 1u);
+  EXPECT_EQ(eng.predictions()[0].tmpl, 1u);
+  EXPECT_EQ(eng.predictions()[0].trigger_time_ms, 30'000);
+}
+
+TEST(OnlineEngine, SwapModelDisarmsWhenTheNewModelHasNoRules) {
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, fast_config());
+  eng.feed(rec(25'000, 7), 0);
+  const auto disarmed =
+      ModelState::build({}, {silent_profile(), silent_profile()});
+  eng.swap_model(&disarmed);
+  eng.finish(400'000);
+  EXPECT_TRUE(eng.predictions().empty());
+}
+
+TEST(OnlineEngine, SwapModelResetsPendingChainPrefixes) {
+  // 2-item prefix with confirmation: first item matched, then a swap to an
+  // IDENTICAL model. Chain ids don't survive a swap, so the half-matched
+  // occurrence must be forgotten — the second item alone cannot confirm.
+  Chain c;
+  c.items = {{0, 0}, {2, 4}, {1, 10}};
+  c.failure_item = 2;
+  c.confidence = 0.8;
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  auto cfg = fast_config();
+  cfg.min_prefix_matches = 2;
+  const std::vector<SignalProfile> profs = {
+      silent_profile(), silent_profile(), silent_profile()};
+  OnlineEngine eng(t, {c}, profs, cfg);
+  eng.feed(rec(25'000, 3), 0);
+  eng.feed(rec(35'000, 3), 0);  // close the first item's bucket: prefix armed
+  const auto same = ModelState::build({c}, profs);
+  eng.swap_model(&same);
+  eng.feed(rec(25'000 + 4 * kDt, 9), 2);
+  eng.finish(400'000);
+  EXPECT_TRUE(eng.predictions().empty());
+
+  // Control: without the swap the identical stream confirms and fires.
+  OnlineEngine ctl(t, {c}, profs, cfg);
+  ctl.feed(rec(25'000, 3), 0);
+  ctl.feed(rec(35'000, 3), 0);
+  ctl.feed(rec(25'000 + 4 * kDt, 9), 2);
+  ctl.finish(400'000);
+  EXPECT_EQ(ctl.predictions().size(), 1u);
+}
+
+TEST(OnlineEngine, SwapModelExtendsDetectorsForNewTemplates) {
+  // The new model names template 2 that the old one never saw; records for
+  // it must get a detector (and predict) after the swap, not crash.
+  Chain c;
+  c.items = {{2, 0}, {1, 6}};
+  c.failure_item = 1;
+  c.support = 10;
+  c.confidence = 0.9;
+  const auto t = topo::Topology::bluegene(1, 1, 4, 8);
+  OnlineEngine eng(t, {simple_chain()},
+                   {silent_profile(), silent_profile()}, fast_config());
+  const auto wider = ModelState::build(
+      {c}, {silent_profile(), silent_profile(), silent_profile()});
+  eng.swap_model(&wider);
+  eng.feed(rec(25'000, 7), 2);
+  eng.finish(400'000);
+  ASSERT_EQ(eng.predictions().size(), 1u);
+  EXPECT_EQ(eng.predictions()[0].tmpl, 1u);
 }
 
 }  // namespace

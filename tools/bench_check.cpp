@@ -4,7 +4,16 @@
 // disappears entirely). Latency drift warns but never fails — CI tail
 // latency is noise.
 //
+// --cores N makes the gate core-count aware: a "scaling=AvB" ratio row is
+// only gated when the runner has at least A cores — on fewer, the A-way
+// configuration multiplexes onto the same CPUs, the ratio collapses to
+// ~1x, and gating it would fail every healthy run on a small runner. Each
+// skipped row is reported as a ::notice workflow command so the skip is
+// visible in the job log, never silent. Pass the runner's own count
+// (`--cores "$(nproc)"`); omit the flag to gate every row unconditionally.
+//
 // Usage: bench_check --baseline FILE --current FILE [--tol 0.15]
+//                    [--cores N]
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -14,10 +23,13 @@
 int main(int argc, char** argv) {
   std::string baseline, current;
   double tol = 0.15;
+  std::size_t cores = 0;  // 0 = gate everything
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--baseline") == 0) baseline = argv[i + 1];
     else if (std::strcmp(argv[i], "--current") == 0) current = argv[i + 1];
     else if (std::strcmp(argv[i], "--tol") == 0) tol = std::stod(argv[i + 1]);
+    else if (std::strcmp(argv[i], "--cores") == 0)
+      cores = std::strtoul(argv[i + 1], nullptr, 10);
     else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -26,13 +38,24 @@ int main(int argc, char** argv) {
   if (baseline.empty() || current.empty()) {
     std::fprintf(stderr,
                  "usage: bench_check --baseline FILE --current FILE "
-                 "[--tol 0.15]\n");
+                 "[--tol 0.15] [--cores N]\n");
     return 2;
   }
 
   try {
-    const auto base = elsa::benchjson::read_file(baseline);
-    const auto cur = elsa::benchjson::read_file(current);
+    auto base = elsa::benchjson::read_file(baseline);
+    auto cur = elsa::benchjson::read_file(current);
+    if (cores > 0) {
+      // Filter both sides: a baseline-only scaling row must not read as
+      // "missing bench", and a current-only one must not warn as new.
+      const auto skipped = elsa::benchjson::drop_unsupported(base, cores);
+      (void)elsa::benchjson::drop_unsupported(cur, cores);
+      for (const auto& name : skipped)
+        std::printf(
+            "::notice title=bench_check::skipped %s — needs %zu cores, "
+            "runner has %zu\n",
+            name.c_str(), elsa::benchjson::required_cores(name), cores);
+    }
     const auto rep = elsa::benchjson::compare(base, cur, tol);
     std::fputs(elsa::benchjson::format(rep).c_str(),
                rep.ok() ? stdout : stderr);

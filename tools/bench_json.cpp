@@ -239,4 +239,34 @@ std::string format(const CompareReport& report) {
   return out.str();
 }
 
+std::size_t required_cores(const std::string& bench_name) {
+  const std::size_t at = bench_name.rfind("scaling=");
+  if (at == std::string::npos) return 1;
+  std::size_t i = at + 8;  // past "scaling="
+  std::size_t hi = 0;
+  bool any = false;
+  while (i < bench_name.size() && bench_name[i] >= '0' &&
+         bench_name[i] <= '9') {
+    hi = hi * 10 + static_cast<std::size_t>(bench_name[i] - '0');
+    any = true;
+    ++i;
+  }
+  // Anything not shaped like "scaling=<A>v..." gates unconditionally.
+  if (!any || i >= bench_name.size() || bench_name[i] != 'v') return 1;
+  return hi > 0 ? hi : 1;
+}
+
+std::vector<std::string> drop_unsupported(BenchMap& m, std::size_t cores) {
+  std::vector<std::string> dropped;
+  for (auto it = m.begin(); it != m.end();) {
+    if (required_cores(it->first) > cores) {
+      dropped.push_back(it->first);
+      it = m.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 }  // namespace elsa::benchjson

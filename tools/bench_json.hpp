@@ -68,4 +68,16 @@ CompareReport compare(const BenchMap& baseline, const BenchMap& current,
 /// Human-readable multi-line report.
 std::string format(const CompareReport& report);
 
+/// Cores a bench row needs before its number means anything: a
+/// "scaling=AvB" ratio row needs A cores (on fewer, the A-way run
+/// multiplexes onto the same CPUs and can only tie or lose — gating the
+/// ratio would fail every healthy run on a small runner); everything else
+/// is meaningful on one core. Parsed from the name's final
+/// "scaling=<A>v<B>" component.
+std::size_t required_cores(const std::string& bench_name);
+
+/// Drop every row of `m` needing more than `cores` (bench_check --cores).
+/// Returns the dropped names, in map order, for ::notice reporting.
+std::vector<std::string> drop_unsupported(BenchMap& m, std::size_t cores);
+
 }  // namespace elsa::benchjson

@@ -47,6 +47,22 @@
 //       unless the adaptive schedule strictly beats the static baseline
 //       at every cost point.
 //
+//   elsa mine --system bluegene|mercury --days N [--seed S]
+//             [--shards LIST] [--publish-every K] [--plan SPEC|none]
+//             [--chaos-seed S] [--out MODEL] [--check 1]
+//       Online incremental mining with RCU model hot-swap: replay the
+//       regenerated campaign through the MinerService (live HELO
+//       classification, per-shard lossless event taps, watermark-merged
+//       incremental rule mining, models published into the serving
+//       engines through the lock-free ModelHub) at each shard count in
+//       LIST, and prove online ≡ batch: the final model digest AND the
+//       interim publish-stream digest must equal batch-mining the
+//       canonically sorted trace, and predictions served through the hub
+//       must equal predictions served directly. --plan adds a leg under
+//       serve-side chaos (stall/failworker only — faults that mutate the
+//       record stream change the mined input legitimately). --check 1
+//       exits 1 on any divergence: the CI gate.
+//
 // The --system flag supplies the machine topology (real deployments would
 // read it from the site's configuration database).
 
@@ -63,6 +79,7 @@
 
 #include "advisor/service.hpp"
 #include "ckpt/simulator.hpp"
+#include "mining/service.hpp"
 #include "elsa/model_io.hpp"
 #include "elsa/online.hpp"
 #include "faultinject/injector.hpp"
@@ -97,7 +114,10 @@ int usage() {
          "[--policy block|drop-oldest|shed] [--speedup X]\n"
          "  elsa advise   --system bluegene|mercury --days N --model MODEL "
          "[--seed S] [--shards N] [--plan SPEC|all|none] [--chaos-seed S] "
-         "[--policy block|drop-oldest|shed] [--speedup X] [--check 1]\n";
+         "[--policy block|drop-oldest|shed] [--speedup X] [--check 1]\n"
+         "  elsa mine     --system bluegene|mercury --days N [--seed S] "
+         "[--shards LIST] [--publish-every K] [--plan SPEC|none] "
+         "[--chaos-seed S] [--out MODEL] [--check 1]\n";
   return 2;
 }
 
@@ -378,6 +398,190 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+std::vector<std::size_t> parse_shard_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::stoul(s.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  if (out.empty()) throw std::runtime_error("empty --shards list");
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Field-for-field equality of two deterministic prediction streams.
+bool predictions_equal(const std::vector<core::Prediction>& a,
+                       const std::vector<core::Prediction>& b,
+                       std::string* why) {
+  if (a.size() != b.size()) {
+    *why = "count " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    if (x.trigger_time_ms != y.trigger_time_ms ||
+        x.issue_time_ms != y.issue_time_ms ||
+        x.predicted_time_ms != y.predicted_time_ms || x.tmpl != y.tmpl ||
+        x.nodes != y.nodes || x.scope != y.scope ||
+        x.chain_id != y.chain_id || x.confidence != y.confidence ||
+        x.lead_ms != y.lead_ms) {
+      *why = "prediction " + std::to_string(i) + " differs";
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_mine(const std::map<std::string, std::string>& flags) {
+  const auto system = flags.at("system");
+  const double days = std::stod(flags.at("days"));
+  const std::uint64_t seed =
+      flags.count("seed") ? std::stoull(flags.at("seed")) : 2012;
+  const bool check = flags.count("check") && flags.at("check") != "0";
+  const std::size_t publish_every =
+      flags.count("publish-every") ? std::stoul(flags.at("publish-every"))
+                                   : 2048;
+  const auto shard_list =
+      flags.count("shards") ? parse_shard_list(flags.at("shards"))
+                            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  // Regenerate the campaign (deterministic in system/days/seed) — the
+  // online≡batch comparison needs the exact record stream, not a log file
+  // whose parse could diverge.
+  auto scenario = system == "mercury"
+                      ? simlog::make_mercury_scenario(seed, days)
+                      : simlog::make_bluegene_scenario(seed, days);
+  const auto trace = scenario.generator.generate(scenario.config);
+
+  const mining::MinerConfig mcfg;
+
+  // ---- Batch reference leg: classify the trace in order with a fresh
+  // incremental classifier, sort canonically, fold through a fresh miner
+  // with the same publish cadence.
+  helo::TemplateMiner classifier;
+  std::vector<serve::ClassifiedEvent> events;
+  events.reserve(trace.records.size());
+  for (const auto& rec : trace.records)
+    events.push_back({rec.time_ms, rec.node_id,
+                      classifier.classify(rec.message),
+                      static_cast<std::uint8_t>(rec.severity)});
+  std::stable_sort(events.begin(), events.end(), mining::canonical_less);
+  const auto batch =
+      mining::batch_mine(events, mcfg, publish_every, classifier);
+  std::cout << "batch       model " << hex64(batch.model_digest)
+            << "  stream " << hex64(batch.publish_digest) << "  ("
+            << events.size() << " events, " << batch.publishes
+            << " publishes, " << batch.model.chains.size() << " chains)\n";
+
+  bool ok = true;
+  const auto run_online = [&](std::size_t shards,
+                              const faultinject::FaultPlan* plan,
+                              const std::string& label) {
+    mining::MinerServiceConfig cfg;
+    cfg.serve.shards = shards;
+    cfg.miner = mcfg;
+    cfg.publish_every = publish_every;
+    if (plan != nullptr) {
+      cfg.serve.faults = plan;
+      cfg.serve.watchdog_interval_ms = 20;
+      cfg.serve.watchdog_deadline_ms = 250;
+    }
+    mining::MinerService ms(trace.topology, cfg);
+    const serve::TraceReplayer replayer(trace);
+    replayer.replay_into(ms.service());
+    ms.finish(trace.t_end_ms);
+    const bool leg_ok = ms.final_digest() == batch.model_digest &&
+                        ms.publish_stream_digest() == batch.publish_digest &&
+                        ms.folded() == events.size() &&
+                        ms.publishes() == batch.publishes;
+    const auto m = ms.service().metrics();
+    std::cout << label << "  model " << hex64(ms.final_digest())
+              << "  stream " << hex64(ms.publish_stream_digest()) << "  ("
+              << ms.folded() << " events, " << ms.publishes()
+              << " publishes, " << m.model_swaps << " swaps)  "
+              << (leg_ok ? "MATCH" : "MISMATCH") << "\n";
+    ok = ok && leg_ok;
+  };
+
+  for (const std::size_t n : shard_list) {
+    char label[32];
+    std::snprintf(label, sizeof label, "online %2zu", n);
+    run_online(n, nullptr, label);
+  }
+
+  if (flags.count("plan") && flags.at("plan") != "none") {
+    const std::uint64_t chaos_seed =
+        flags.count("chaos-seed") ? std::stoull(flags.at("chaos-seed")) : 42;
+    const auto plan =
+        faultinject::FaultPlan::parse(flags.at("plan"), chaos_seed);
+    for (const auto& spec : plan.specs())
+      if (spec.kind != faultinject::FaultKind::kStallShard &&
+          spec.kind != faultinject::FaultKind::kFailWorker)
+        throw std::runtime_error(
+            "mine --plan accepts serve-side faults only (stall/failworker): "
+            "record-mutating faults legitimately change the mined stream");
+    run_online(shard_list.back(), &plan, "chaos    ");
+  }
+
+  // ---- Prediction-equality leg: serving the final model THROUGH the hub
+  // must predict identically to serving it directly — the hub indirection
+  // is transparent. (Live-swap output is inherently timing-dependent, so
+  // the witness is a static hub, pre-published before any feed.)
+  {
+    serve::ServiceConfig scfg;
+    scfg.shards = shard_list.back();
+    scfg.engine.use_location = false;
+    scfg.engine.raw_event_matching = true;
+
+    serve::ModelHub hub(std::make_unique<const core::ModelState>(
+        core::ModelState::build({}, {})));
+    hub.publish(std::make_unique<const core::ModelState>(
+        core::ModelState::build(batch.model.chains, batch.model.profiles)));
+    core::OfflineModel hollow = batch.model;  // classifier only; the rules
+    hollow.chains.clear();                    // must come from the hub
+    hollow.profiles.clear();
+
+    serve::ServiceConfig acfg = scfg;
+    acfg.hub = &hub;
+    serve::PredictionService via_hub(trace.topology, hollow, acfg);
+    serve::TraceReplayer(trace).replay_into(via_hub);
+    via_hub.finish(trace.t_end_ms);
+
+    serve::PredictionService direct(trace.topology, batch.model, scfg);
+    serve::TraceReplayer(trace).replay_into(direct);
+    direct.finish(trace.t_end_ms);
+
+    std::string why;
+    const bool pred_ok =
+        predictions_equal(via_hub.predictions(), direct.predictions(), &why);
+    std::cout << "predict     hub " << via_hub.predictions().size()
+              << " alarms vs direct " << direct.predictions().size()
+              << "  " << (pred_ok ? "MATCH" : "MISMATCH (" + why + ")")
+              << "\n";
+    ok = ok && pred_ok;
+  }
+
+  if (flags.count("out")) {
+    core::save_model_file(flags.at("out"), batch.model);
+    std::cout << "wrote model -> " << flags.at("out") << "\n";
+  }
+  std::cout << (ok ? "OK: online mining == batch mining"
+                   : "FAIL: online/batch divergence")
+            << "\n";
+  return check && !ok ? 1 : 0;
+}
+
 /// Eq. 4 interval at an MTTF estimate, re-derived per checkpoint cost so
 /// one recorded est_mttf stream prices every Table IV cost point.
 double interval_at(const advisor::AdvisorConfig& ad, double C,
@@ -637,6 +841,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(flags);
     if (cmd == "chaos") return cmd_chaos(flags);
     if (cmd == "advise") return cmd_advise(flags);
+    if (cmd == "mine") return cmd_mine(flags);
   } catch (const std::out_of_range&) {
     std::cerr << "missing required flag for '" << cmd << "'\n";
     return usage();

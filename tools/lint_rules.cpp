@@ -168,6 +168,9 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
       {"advisor",
        {"util", "topology", "simlog", "helo", "signalkit", "ckpt", "elsa",
         "faultinject", "serve"}},
+      {"mining",
+       {"util", "topology", "simlog", "helo", "signalkit", "ckpt", "elsa",
+        "faultinject", "serve"}},
   };
   return deps;
 }
@@ -1637,7 +1640,7 @@ std::vector<Finding> lint_lock_graph(
 const std::vector<std::string>& atomic_protocols() {
   static const std::vector<std::string> protos = {
       "seqlock", "spsc-seq", "release-acquire-flag", "striped-relaxed-counter",
-      "monotonic-relaxed"};
+      "monotonic-relaxed", "rcu-handle"};
   return protos;
 }
 
