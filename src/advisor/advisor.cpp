@@ -73,6 +73,8 @@ std::string CheckpointSchedule::to_string() const {
   return s;
 }
 
+// elsa-deterministic: the advisor acceptance digest (79779a08db6fa192 in
+// the replay gate) — any order- or clock-dependence here breaks CI.
 std::uint64_t CheckpointSchedule::digest() const {
   const std::string s = to_string();
   std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
@@ -131,6 +133,8 @@ CheckpointAdvisor::Partition& CheckpointAdvisor::slot(std::int32_t partition) {
   return parts_[idx];
 }
 
+// elsa-deterministic: schedule state must depend only on the prediction
+// stream — the replay digest compares runs across shard counts.
 void CheckpointAdvisor::on_prediction(const core::Prediction& p) {
   const std::int32_t part =
       p.nodes.empty() ? -1 : partition_of(p.nodes.front());

@@ -35,6 +35,8 @@ AdvisorService::~AdvisorService() {
   // is simply never pumped — the advisor was abandoned, not finished.
 }
 
+// elsa-realtime: runs on the shard worker inside the prediction hot loop —
+// one SPSC try_push plus drop accounting, never a lock or an allocation.
 void AdvisorService::publish(std::size_t shard, const core::Prediction& p) {
   if (shard < rings_.size() && rings_[shard]->try_push(p)) return;
   // relaxed: standalone monotonic counter; the pump never orders other

@@ -33,6 +33,7 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   /// Producer side. False (and no effect) when the ring is full.
+  // elsa-realtime: the shard worker publishes predictions through here.
   bool try_push(const T& v) {
     util::sched_point();
     // relaxed: tail_ is only written by this thread; no ordering needed to
@@ -52,6 +53,7 @@ class SpscRing {
   }
 
   /// Consumer side. False when the ring is empty.
+  // elsa-realtime: the pump thread's drain side; two loads and a store.
   bool try_pop(T& out) {
     util::sched_point();
     // relaxed: head_ is only written by this thread.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -185,7 +186,7 @@ ScheduleSimResult simulate_schedule(const ScheduleSimConfig& cfg) {
     ++r.checkpoints;
   };
 
-  enum { kChange = 0, kProactive = 1, kFailure = 2, kNone = 3 };
+  enum : std::uint8_t { kChange = 0, kProactive = 1, kFailure = 2, kNone = 3 };
   std::size_t ci = 0, pi = 0, fi = 0;
   // Events before the window start are outside the replay; skip them.
   while (ci < cfg.changes.size() && cfg.changes[ci].time < cfg.t_begin) ++ci;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace elsa::core {
@@ -10,7 +11,7 @@ namespace {
 
 struct Event {
   double t_s;
-  enum class Kind { Failure, ProtectedFailure, FalseAlarm } kind;
+  enum class Kind : std::uint8_t { Failure, ProtectedFailure, FalseAlarm } kind;
 };
 
 }  // namespace

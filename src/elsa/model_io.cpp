@@ -157,6 +157,8 @@ OfflineModel load_model_file(const std::string& path) {
   return load_model(is);
 }
 
+// elsa-deterministic: pure byte fold — the digest primitive everything
+// else's reproducibility bottoms out in.
 std::uint64_t fnv1a_digest(std::string_view bytes, std::uint64_t seed) {
   std::uint64_t h = seed;
   for (const char c : bytes) {
@@ -172,6 +174,8 @@ std::string model_to_string(const OfflineModel& model) {
   return os.str();
 }
 
+// elsa-deterministic: the cross-config model fingerprint (DESIGN.md §13) —
+// must hash identical bytes whatever the shard count or ingest order.
 std::uint64_t model_digest(const OfflineModel& model) {
   return fnv1a_digest(model_to_string(model));
 }

@@ -73,10 +73,15 @@ void OnlineEngine::ensure_detector(std::uint32_t tmpl) {
     SignalProfile p;
     p.cls = sigkit::SignalClass::Silent;
     p.spike_delta = 0.5;
+    // elsa-lint: allow(realtime-allocates): grows once per never-seen
+    // template id — a model-size event, not a per-record one.
     detectors_.emplace_back(p, cfg_.median_window, cfg_.detector);
   }
 }
 
+// elsa-realtime: the per-record ingest hot loop — only reused scratch and
+// bounded accumulators grow, each behind a reasoned allow at its site.
+// elsa-deterministic: output depends only on the records and the model.
 void OnlineEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
   ++stats_.records;
 
@@ -100,13 +105,16 @@ void OnlineEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
         std::max(server_free_ms_, static_cast<double>(t_ms)) + service;
     if (fanout > 0) {
       ++stats_.raw_triggers;
-      std::vector<std::int32_t> nodes;
-      if (rec.node_id >= 0) nodes.push_back(rec.node_id);
+      scratch_nodes_.clear();
+      // elsa-lint: allow(realtime-allocates): one int into a reused
+      // scratch buffer — capacity survives clear(), steady state is free.
+      if (rec.node_id >= 0) scratch_nodes_.push_back(rec.node_id);
       const std::int32_t sample =
           static_cast<std::int32_t>(t_ms / cfg_.dt_ms);
       for (const Trigger& tr : it->second)
         trigger_chain(tr, sample, t_ms,
-                      static_cast<std::int64_t>(server_free_ms_), nodes);
+                      static_cast<std::int64_t>(server_free_ms_),
+                      scratch_nodes_);
     }
     return;
   }
@@ -135,6 +143,8 @@ void OnlineEngine::feed(const simlog::LogRecord& rec, std::uint32_t tmpl) {
   ++count;
   if (rec.node_id >= 0 && nodes.size() < 8 &&
       std::find(nodes.begin(), nodes.end(), rec.node_id) == nodes.end())
+    // elsa-lint: allow(realtime-allocates): bounded dedup — at most eight
+    // distinct node ids are remembered per (template, bucket).
     nodes.push_back(rec.node_id);
 }
 
@@ -147,11 +157,7 @@ void OnlineEngine::close_one_bucket() {
   ++stats_.buckets;
 
   double work_ms = 0.0;
-  struct Onset {
-    std::uint32_t tmpl;
-    std::vector<std::int32_t> nodes;
-  };
-  std::vector<Onset> onsets;
+  scratch_onset_count_ = 0;
 
   for (std::uint32_t tmpl = 0; tmpl < detectors_.size(); ++tmpl) {
     const auto it = bucket_activity_.find(tmpl);
@@ -160,38 +166,51 @@ void OnlineEngine::close_one_bucket() {
     const auto r = detectors_[tmpl].feed(y);
     if (r.kind != OutlierKind::None && r.onset) {
       ++stats_.outlier_onsets;
-      Onset o;
+      if (scratch_onset_count_ == scratch_onsets_.size())
+        // elsa-lint: allow(realtime-allocates): amortised — the slot pool
+        // grows to the peak onsets-per-bucket once, then is reused forever.
+        scratch_onsets_.emplace_back();
+      Onset& o = scratch_onsets_[scratch_onset_count_++];
       o.tmpl = tmpl;
-      if (it != bucket_activity_.end()) o.nodes = it->second.second;
+      o.nodes.clear();
+      if (it != bucket_activity_.end())
+        // elsa-lint: allow(realtime-allocates): assign into a slot whose
+        // capacity survived clear(); copies at most eight ids, no realloc
+        // after warm-up.
+        o.nodes.assign(it->second.second.begin(), it->second.second.end());
       work_ms += cfg_.cost.per_outlier_ms;
       const auto trig = model_->triggers.find(tmpl);
       if (trig != model_->triggers.end())
         work_ms += static_cast<double>(trig->second.size()) *
                    cfg_.cost.per_chain_trigger_ms;
-      onsets.push_back(std::move(o));
     }
   }
   bucket_activity_.clear();
 
-  if (!onsets.empty()) {
+  if (scratch_onset_count_ > 0) {
     // The outlier batch enters the analysis queue when the bucket closes.
     const double completion =
         std::max(server_free_ms_, static_cast<double>(bucket_end)) + work_ms;
     server_free_ms_ = completion;
     const double window = completion - static_cast<double>(bucket_end);
+    // elsa-lint: allow(realtime-allocates): the §VI.A per-bucket metric —
+    // one float per outlier-bearing bucket, an output the caller reads.
     stats_.analysis_window_ms.push_back(static_cast<float>(window));
 
-    for (const Onset& o : onsets) {
+    for (std::size_t oi = 0; oi < scratch_onset_count_; ++oi) {
+      const Onset& o = scratch_onsets_[oi];
       const auto trig = model_->triggers.find(o.tmpl);
       if (trig == model_->triggers.end()) continue;
-      std::vector<std::int32_t> nodes;
+      scratch_nodes_.clear();
       for (const std::int32_t n : o.nodes)
-        if (n >= 0) nodes.push_back(n);
+        // elsa-lint: allow(realtime-allocates): filtered copy into the
+        // reused scratch buffer; capacity survives clear().
+        if (n >= 0) scratch_nodes_.push_back(n);
       const std::int32_t sample =
           static_cast<std::int32_t>((bucket_end - cfg_.dt_ms) / cfg_.dt_ms);
       for (const Trigger& tr : trig->second)
         trigger_chain(tr, sample, bucket_end,
-                      static_cast<std::int64_t>(completion), nodes);
+                      static_cast<std::int64_t>(completion), scratch_nodes_);
     }
   }
   bucket_start_ms_ = bucket_end;
@@ -230,12 +249,16 @@ void OnlineEngine::trigger_chain(const Trigger& tr, std::int32_t sample,
     std::vector<std::int32_t> merged = p.nodes;
     for (const std::int32_t n : nodes)
       if (std::find(merged.begin(), merged.end(), n) == merged.end())
+        // elsa-lint: allow(realtime-allocates): merging two <=8-id
+        // location sets on the rare confirmed-prefix path.
         merged.push_back(n);
     pend.erase(pend.begin() + static_cast<std::ptrdiff_t>(i));
     emit(tr.chain_id, tr.item_index, trigger_ms, issue_ms, merged);
     return;
   }
   // First sighting: remember it and wait for corroboration.
+  // elsa-lint: allow(realtime-allocates): bounded pending set — at most 64
+  // partial matches are remembered per chain.
   if (pend.size() < 64) pend.push_back({sample, tr.item_index, nodes});
 }
 
@@ -293,6 +316,8 @@ void OnlineEngine::emit(std::size_t chain_id, std::size_t item_index,
     }
   }
 
+  // elsa-lint: allow(realtime-allocates): the engine's output accumulator
+  // — one Prediction per emitted alarm, read back by the caller.
   predictions_.push_back(std::move(p));
   ++stats_.predictions_emitted;
 }

@@ -163,6 +163,12 @@ class OnlineEngine {
     std::vector<std::int32_t> nodes;
   };
 
+  /// One outlier onset collected while closing a bucket.
+  struct Onset {
+    std::uint32_t tmpl = 0;
+    std::vector<std::int32_t> nodes;
+  };
+
   void ensure_detector(std::uint32_t tmpl);
   void close_buckets_through(std::int64_t t_ms);
   void close_one_bucket();
@@ -200,6 +206,13 @@ class OnlineEngine {
 
   // Analysis-queue state.
   double server_free_ms_ = 0.0;
+
+  // Reused scratch buffers: feed() runs per record and close_one_bucket()
+  // per bucket; after warm-up neither allocates. Slots in scratch_onsets_
+  // beyond scratch_onset_count_ are dead but keep their nodes capacity.
+  std::vector<std::int32_t> scratch_nodes_;
+  std::vector<Onset> scratch_onsets_;
+  std::size_t scratch_onset_count_ = 0;
 
   std::vector<Prediction> predictions_;
   std::vector<std::size_t> chain_fires_;

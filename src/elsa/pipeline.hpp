@@ -24,7 +24,7 @@
 namespace elsa::core {
 
 /// The three prediction approaches compared in Table III.
-enum class Method { Hybrid, SignalOnly, DataMining };
+enum class Method : std::uint8_t { Hybrid, SignalOnly, DataMining };
 
 const char* to_string(Method m);
 

@@ -51,6 +51,8 @@ double OnlineMiner::decay_to_now(std::uint64_t last) const {
                    cfg_.half_life_events);
 }
 
+// elsa-deterministic: fold state is a pure function of the event sequence
+// — the online==batch equivalence gate replays it event for event.
 void OnlineMiner::fold(const serve::ClassifiedEvent& e) {
   if (folded_ == 0) first_time_ms_ = e.time_ms;
   ++folded_;
@@ -92,6 +94,9 @@ void OnlineMiner::evict_pairs() {
   const std::size_t target = cfg_.max_pairs - cfg_.max_pairs / 8;
   std::vector<std::pair<double, std::uint64_t>> weights;
   weights.reserve(pairs_.size());
+  // elsa-lint: allow(det-unordered-escape): collect-then-sort — every
+  // (weight, key) lands in `weights`, which is sorted before any use, so
+  // hash order never reaches the eviction decision.
   for (const auto& [key, p] : pairs_)
     weights.emplace_back(p.count * decay_to_now(p.last), key);
   std::sort(weights.begin(), weights.end());
@@ -106,6 +111,8 @@ simlog::Severity OnlineMiner::majority_severity(const TemplateStat& t) const {
   return static_cast<simlog::Severity>(best);
 }
 
+// elsa-deterministic: equal fold state must serialise to equal bytes —
+// model_digest over this output is the cross-shard acceptance check.
 core::OfflineModel OnlineMiner::build_model(
     const helo::TemplateMiner* classifier) const {
   core::OfflineModel model;
@@ -130,6 +137,8 @@ core::OfflineModel OnlineMiner::build_model(
   // equal state therefore always serialises to equal bytes.
   std::vector<std::uint64_t> keys;
   keys.reserve(pairs_.size());
+  // elsa-lint: allow(det-unordered-escape): collect-then-sort — the keys
+  // are sorted on the next line; emission walks the sorted order only.
   for (const auto& [key, p] : pairs_) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
   std::vector<std::vector<std::uint32_t>> adj(T);
@@ -211,6 +220,8 @@ core::OfflineModel OnlineMiner::build_model(
   return model;
 }
 
+// elsa-deterministic: the state file is canonical — a save/load round trip
+// must reproduce byte-identical saves whatever the map's hash order.
 void OnlineMiner::save_state(std::ostream& os) const {
   os << "elsa-miner-state 1\n";
   os << "folded " << folded_ << " first " << first_time_ms_ << " last "
@@ -226,6 +237,8 @@ void OnlineMiner::save_state(std::ostream& os) const {
                                      << "\n";
   std::vector<std::uint64_t> keys;
   keys.reserve(pairs_.size());
+  // elsa-lint: allow(det-unordered-escape): collect-then-sort — the pair
+  // rows are emitted in sorted-key order, never in hash order.
   for (const auto& [key, p] : pairs_) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
   os << "pairs " << keys.size() << "\n";
@@ -290,6 +303,8 @@ void OnlineMiner::load_state(std::istream& is) {
   pairs_ = std::move(pairs);
 }
 
+// elsa-deterministic: the rolling publish-history digest the CI equivalence
+// job compares across the online and batch legs.
 std::uint64_t chain_publish_digest(std::uint64_t stream, std::uint64_t model) {
   char bytes[8];
   for (int i = 0; i < 8; ++i)
@@ -299,6 +314,8 @@ std::uint64_t chain_publish_digest(std::uint64_t stream, std::uint64_t model) {
              : core::fnv1a_digest(std::string_view(bytes, 8), stream);
 }
 
+// elsa-deterministic: the single-threaded reference leg of the
+// online==batch gate — by construction a function of `events` alone.
 BatchMineResult batch_mine(const std::vector<serve::ClassifiedEvent>& events,
                            const MinerConfig& cfg, std::size_t publish_every,
                            const helo::TemplateMiner& classifier) {

@@ -55,6 +55,8 @@ MinerService::~MinerService() {
   if (pump_.joinable()) pump_.join();
 }
 
+// elsa-realtime: runs on the shard worker inside the classify hot loop —
+// one SPSC push (whose bounded spin is allowed at its site), nothing else.
 void MinerService::publish(std::size_t shard, const serve::ClassifiedEvent& e) {
   // Blocking push: the mined stream is lossless. Returns 0 only when the
   // ring was closed by an abandoning destructor — then losing the event is
@@ -81,6 +83,9 @@ void MinerService::drain_rings(bool& any) {
   }
 }
 
+// elsa-deterministic: the watermark fold is the online leg of the
+// online==batch digest gate — shard count and arrival jitter must not
+// reach the fold order (hence the canonical stable_sort below).
 void MinerService::fold_below(std::int64_t watermark_ms) {
   scratch_.clear();
   for (std::vector<serve::ClassifiedEvent>& p : pending_) {
@@ -109,6 +114,8 @@ void MinerService::fold_below(std::int64_t watermark_ms) {
   }
 }
 
+// elsa-deterministic: every interim publish digests into publish_digest_
+// (32a218226f958d79 in the CI gate) — bytes must be fold-history-only.
 void MinerService::publish_model() {
   // Interim publishes carry no classifier (the producer thread owns the
   // live HELO miner; the hub only needs chains + profiles) — the batch leg

@@ -142,6 +142,8 @@ void ServeMetrics::on_model_publish() {
   model_publishes_.add();
   util::MutexLock lk(clock_mu_);
   model_published_ = true;
+  // elsa-lint: allow(det-wall-clock): dashboard timestamp recorded beside
+  // the data path — it never feeds a digest or a model byte.
   model_published_at_ = Clock::now();
 }
 

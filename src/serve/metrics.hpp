@@ -55,6 +55,7 @@ inline std::size_t metric_stripe() {
 /// a concurrent add may or may not be included).
 class StripedCounter {
  public:
+  // elsa-realtime: one relaxed fetch_add on the caller's own stripe.
   void add(std::uint64_t n = 1) {
     util::sched_point();
     // relaxed: standalone monotonic statistic; no reader orders other

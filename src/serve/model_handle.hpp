@@ -153,6 +153,7 @@ class RcuHub {
   }
 
   /// Pin the current model for reader slot `slot` (< kMaxReaders). Wait-free.
+  // elsa-realtime: the RCU read side — two seq_cst accesses, nothing else.
   Handle pin(std::size_t slot) {
     util::sched_point();
     // Order matters: declare PINNED *before* loading the pointer — the
@@ -237,6 +238,7 @@ class RcuHub {
   // branch never taken).
   static constexpr std::uint64_t kAllReaders = ~0ULL >> (64 - kMaxReaders);
 
+  // elsa-realtime: the RCU read-side release — a single seq_cst store.
   void unpin(std::size_t slot) {
     util::sched_point();
     slots_[slot].state.store(kQuiescent, std::memory_order_seq_cst);

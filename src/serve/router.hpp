@@ -59,6 +59,8 @@ class ShardRouter {
 
   /// The partition key: global midplane index, or -1 for system-scoped
   /// records. This is also the advisor's per-partition MTTF key.
+  // elsa-realtime: pure integer arithmetic on the producer thread.
+  // elsa-deterministic: the advisor's MTTF key must be stable across runs.
   std::int64_t partition_of(std::int32_t node_id) const {
     if (node_id < 0) return -1;
     return static_cast<std::int64_t>(node_id / nodes_per_midplane_);
@@ -68,6 +70,9 @@ class ShardRouter {
   /// System-scoped records (partition -1) hash like any other key — on a
   /// real RAS stream they are a sizeable slice of the traffic, so pinning
   /// them to shard 0 would stack them on whatever midplanes hash there.
+  // elsa-realtime: per-record routing on the producer thread.
+  // elsa-deterministic: shard placement feeds the digest-checked shard
+  // model streams; it must not vary run to run.
   std::size_t shard_of(std::int32_t node_id) const {
     const std::int64_t part = partition_of(node_id);
     return spread(mix(static_cast<std::uint64_t>(part)), shards_);

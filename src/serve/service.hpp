@@ -37,7 +37,7 @@ namespace elsa::serve {
 /// What a blocking submit does when the target shard's ring is full.
 /// try_submit always sheds (that is its contract); submit consults this
 /// policy.
-enum class OverflowPolicy {
+enum class OverflowPolicy : std::uint8_t {
   kBlock,       ///< wait for space (backpressure onto the producer)
   kDropOldest,  ///< evict the oldest queued record to admit the new one
   kShed,        ///< refuse the new record, counted in metrics
@@ -46,7 +46,7 @@ enum class OverflowPolicy {
 /// Fate of one submit attempt. Conservation: every attempt except kClosed
 /// increments `ingested` and exactly one of the queued/quarantined/shed
 /// legs; kClosed attempts are invisible to the metrics.
-enum class SubmitResult {
+enum class SubmitResult : std::uint8_t {
   kQueued,       ///< accepted into its shard's ingest ring
   kQuarantined,  ///< malformed record set aside (validator rejected it)
   kShed,         ///< lost to overflow under kShed / non-blocking submit

@@ -68,6 +68,9 @@ class SpinBackoff {
       std::this_thread::yield();
       return;
     }
+    // elsa-lint: allow(realtime-blocks): the bounded 100µs nap is the ring's
+    // designed backpressure strategy — only the explicitly blocking variants
+    // (push, pop_wait) reach it; the wait-free ones never construct a backoff.
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
   void reset() { spins_ = 0; }
@@ -139,6 +142,8 @@ class SpscRing {
 
   /// Blocking push. Returns the queue depth after insertion (>= 1), or 0
   /// if the ring was closed — the item was not enqueued.
+  // elsa-realtime: producer ingest; allocation- and lock-free (its one
+  // blocking effect, the backoff nap, carries a reasoned allow above).
   std::size_t push(T item) {
     detail::SpinBackoff backoff;
     for (;;) {
@@ -151,6 +156,7 @@ class SpscRing {
 
   /// Non-blocking push. On a full (or closed) ring the item is dropped and
   /// counted; returns the depth after insertion, or 0 on drop.
+  // elsa-realtime: wait-free shed-on-overflow ingest.
   std::size_t offer(T item) {
     if (!closed()) {
       const std::size_t depth = try_push(item);
@@ -167,6 +173,7 @@ class SpscRing {
   /// its oldest queued item (counted; `*evicted_out` set when it happens)
   /// to make room. Returns the depth after insertion, or 0 iff the ring is
   /// closed — only then was the item not enqueued.
+  // elsa-realtime: wait-free freshness-first ingest.
   std::size_t push_evict(T item, bool* evicted_out = nullptr) {
     bool kicked = false;
     std::size_t depth = 0;
@@ -192,6 +199,7 @@ class SpscRing {
   }
 
   /// Non-blocking pop.
+  // elsa-realtime: consumer fast path.
   std::optional<T> try_pop() {
     util::sched_point();
     // relaxed: own-side cursor hint; the CAS below re-validates it.
@@ -226,11 +234,15 @@ class SpscRing {
 
   /// Batched non-blocking pop: append up to `max` items to `out` in FIFO
   /// order; returns how many were taken.
+  // elsa-realtime: batched consumer drain into a caller-owned buffer.
   std::size_t pop_n(std::vector<T>& out, std::size_t max) {
     std::size_t n = 0;
     while (n < max) {
       auto item = try_pop();
       if (!item) break;
+      // elsa-lint: allow(realtime-allocates): appends into the caller's
+      // long-lived drain buffer — worker loops reserve once and reuse it,
+      // so steady state never grows capacity.
       out.push_back(std::move(*item));
       ++n;
     }
@@ -240,6 +252,7 @@ class SpscRing {
   /// Batched blocking pop: wait until at least one item is available (then
   /// drain up to `max` of them into `out`), or the ring is closed and
   /// empty — the false return, the consumer's exit signal.
+  // elsa-realtime: worker wait loop (bounded backoff naps allowed above).
   bool pop_wait(std::vector<T>& out, std::size_t max) {
     detail::SpinBackoff backoff;
     for (;;) {
@@ -256,6 +269,7 @@ class SpscRing {
   /// Stop accepting items: every later push attempt fails fast (push and
   /// push_evict return 0, offer counts a drop). Idempotent. Items already
   /// queued remain poppable.
+  // elsa-realtime: a single store-release.
   void close() {
     util::sched_point();
     closed_.store(true, std::memory_order_release);

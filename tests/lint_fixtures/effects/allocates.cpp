@@ -1,0 +1,19 @@
+// realtime-allocates: the annotated closure reaches container growth; the
+// reasoned allow() suppresses the second, identical site.
+#include <vector>
+
+class Allocates {
+ public:
+  // elsa-realtime: must not touch the heap.
+  void hot(int v) { buf_.push_back(v); }
+
+  // elsa-realtime: same growth call, but justified at the site.
+  void hot_allowed(int v) {
+    // elsa-lint: allow(realtime-allocates): bounded scratch buffer whose
+    // capacity is reused across calls.
+    buf_.push_back(v);
+  }
+
+ private:
+  std::vector<int> buf_;
+};

@@ -1,0 +1,13 @@
+// realtime-blocks: a sleep and a stream write inside annotated closures.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+class Blocks {
+ public:
+  // elsa-realtime: may not block.
+  void hot() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }
+
+  // elsa-realtime: may not do I/O.
+  void hot2(int x) { std::cout << x; }
+};

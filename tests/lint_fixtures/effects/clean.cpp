@@ -1,0 +1,18 @@
+// A hot path honouring both contracts: arithmetic, bit mixing, and an
+// unannotated-but-clean helper — nothing the effect pass may record.
+#include <cstdint>
+
+class CleanPath {
+ public:
+  // elsa-realtime: pure arithmetic.
+  // elsa-deterministic: pure arithmetic.
+  std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+    return rotate(h);
+  }
+
+ private:
+  // Unannotated helper on the path: clean callees keep the closure clean.
+  std::uint64_t rotate(std::uint64_t v) { return (v << 7) | (v >> 57); }
+};

@@ -1,0 +1,6 @@
+// The annotated half of the cross-file case: the closure crosses into
+// cross_helper.cpp, whose push_back becomes this root's finding.
+#include <vector>
+
+// elsa-realtime: must stay allocation-free end to end.
+void hot_entry(std::vector<int>& sink, int v) { remember(sink, v); }

@@ -1,0 +1,6 @@
+// The unannotated half of the cross-file case: allocation is legal here in
+// isolation — the violation only exists through an elsa-realtime caller in
+// another file (cross_caller.cpp).
+#include <vector>
+
+void remember(std::vector<int>& sink, int v) { sink.push_back(v); }

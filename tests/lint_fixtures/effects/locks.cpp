@@ -1,0 +1,18 @@
+// realtime-locks: a MutexLock acquisition and a bare .lock() inside
+// annotated closures.
+class Locks {
+ public:
+  // elsa-realtime: wait-free contract.
+  int hot() {
+    util::MutexLock lk(mu_);
+    return x_;
+  }
+
+  // elsa-realtime: wait-free contract.
+  void hot2() { impl_.lock(); }
+
+ private:
+  util::Mutex mu_;
+  int x_ = 0;
+  int impl_ = 0;  // lexically, any .lock() receiver counts
+};

@@ -1,0 +1,11 @@
+// det-random-device: nondeterministic entropy inside an annotated closure.
+#include <random>
+
+class Seeder {
+ public:
+  // elsa-deterministic: seeds come from config, never from entropy.
+  unsigned seed() {
+    std::random_device rd;
+    return rd();
+  }
+};

@@ -1,0 +1,26 @@
+// det-unordered-escape: iteration over an unordered container (hash-seed
+// order) and over a pointer-keyed map (address order, ASLR) both escape
+// into annotated outputs.
+#include <map>
+#include <unordered_map>
+
+class Escape {
+ public:
+  // elsa-deterministic: serialisation must be order-stable.
+  long sum() {
+    long s = 0;
+    for (const auto& [k, v] : counts_) s += v;
+    return s;
+  }
+
+  // elsa-deterministic: pointer keys iterate in address order.
+  long psum() {
+    long s = 0;
+    for (const auto& [k, v] : by_ptr_) s += v;
+    return s;
+  }
+
+ private:
+  std::unordered_map<int, long> counts_;
+  std::map<const char*, long> by_ptr_;
+};

@@ -1,0 +1,18 @@
+// det-wall-clock: a steady_clock read and a gettimeofday inside annotated
+// closures.
+#include <chrono>
+
+class WallClock {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // elsa-deterministic: output must be replay-stable.
+  long stamp() { return Clock::now().time_since_epoch().count(); }
+
+  // elsa-deterministic: output must be replay-stable.
+  long stamp2() {
+    timeval tv;
+    gettimeofday(&tv, nullptr);
+    return tv.tv_sec;
+  }
+};

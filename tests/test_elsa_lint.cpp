@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -390,6 +391,208 @@ TEST(ElsaLintAtomics, RegistryCoversTheLiveTree) {
   // Every live field is declared — an empty protocol would mean an
   // atomic-undeclared finding in the gate.
   for (const auto& f : reg) EXPECT_FALSE(f.protocol.empty()) << f.id;
+}
+
+// ---------------------------------------------------------------------------
+// Effect-inference rules (fixtures under lint_fixtures/effects/)
+
+/// Run the whole-project effect pass over a single fixture, mounted at a
+/// src-module path (annotations live on src/ hot paths).
+std::vector<Finding> effects_fixture(const std::string& name) {
+  return elsa::lint::lint_effects(
+      {{"src/util/" + name, read_fixture("effects/" + name)}});
+}
+
+TEST(ElsaLintEffects, CleanFixtureIsQuiet) {
+  const auto fs = effects_fixture("clean.cpp");
+  EXPECT_TRUE(fs.empty()) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintEffects, AllocationFiresAndReasonedAllowSuppresses) {
+  const auto fs = effects_fixture("allocates.cpp");
+  // hot() fires; hot_allowed()'s identical growth call is reasoned away.
+  ASSERT_EQ(count_rule(fs, "realtime-allocates"), 1u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 1u) << elsa::lint::format(fs);
+  EXPECT_NE(fs[0].message.find("Allocates::hot"), std::string::npos)
+      << fs[0].message;
+  EXPECT_NE(fs[0].message.find("push_back"), std::string::npos)
+      << fs[0].message;
+}
+
+TEST(ElsaLintEffects, LockAcquisitionFires) {
+  const auto fs = effects_fixture("locks.cpp");
+  // The MutexLock in hot() and the bare .lock() in hot2().
+  EXPECT_EQ(count_rule(fs, "realtime-locks"), 2u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 2u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintEffects, BlockingAndIoFire) {
+  const auto fs = effects_fixture("blocks.cpp");
+  // The sleep in hot() and the stream write in hot2().
+  EXPECT_EQ(count_rule(fs, "realtime-blocks"), 2u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 2u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintEffects, WallClockFires) {
+  const auto fs = effects_fixture("wall_clock.cpp");
+  // Clock::now() in stamp() and gettimeofday() in stamp2().
+  EXPECT_EQ(count_rule(fs, "det-wall-clock"), 2u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 2u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintEffects, RandomDeviceFires) {
+  const auto fs = effects_fixture("random_device.cpp");
+  ASSERT_EQ(count_rule(fs, "det-random-device"), 1u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs.size(), 1u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintEffects, UnorderedAndPointerKeyedIterationFire) {
+  const auto fs = effects_fixture("unordered_escape.cpp");
+  ASSERT_EQ(count_rule(fs, "det-unordered-escape"), 2u)
+      << elsa::lint::format(fs);
+  const std::string all = elsa::lint::format(fs);
+  EXPECT_NE(all.find("unordered container `counts_`"), std::string::npos)
+      << all;
+  EXPECT_NE(all.find("pointer-keyed container `by_ptr_`"), std::string::npos)
+      << all;
+}
+
+TEST(ElsaLintEffects, PropagationCrossesFiles) {
+  // The helper allocates legally; the violation exists only through the
+  // elsa-realtime caller in the other file, and the finding is anchored at
+  // the effect site with the call path named.
+  const auto fs = elsa::lint::lint_effects(
+      {{"src/util/cross_helper.cpp", read_fixture("effects/cross_helper.cpp")},
+       {"src/util/cross_caller.cpp",
+        read_fixture("effects/cross_caller.cpp")}});
+  ASSERT_EQ(count_rule(fs, "realtime-allocates"), 1u) << elsa::lint::format(fs);
+  EXPECT_EQ(fs[0].file, "src/util/cross_helper.cpp");
+  EXPECT_NE(fs[0].message.find("hot_entry"), std::string::npos)
+      << fs[0].message;
+  EXPECT_NE(fs[0].message.find("via hot_entry -> remember"), std::string::npos)
+      << fs[0].message;
+
+  // Without the caller, the helper alone is clean: no annotated root
+  // reaches the allocation.
+  const auto alone = elsa::lint::lint_effects({{"src/util/cross_helper.cpp",
+                                               read_fixture(
+                                                   "effects/cross_helper.cpp")}});
+  EXPECT_TRUE(alone.empty()) << elsa::lint::format(alone);
+}
+
+TEST(ElsaLintEffects, AllowWithoutReasonDoesNotSuppress) {
+  // The negative control: allow(realtime-allocates) with no ": <reason>"
+  // trailer must not silence the finding.
+  const std::string code =
+      "#include <vector>\n"
+      "class NoReason {\n"
+      " public:\n"
+      "  // elsa-realtime: contract.\n"
+      "  void hot(int v) {\n"
+      "    // elsa-lint: allow(realtime-allocates)\n"
+      "    buf_.push_back(v);\n"
+      "  }\n"
+      " private:\n"
+      "  std::vector<int> buf_;\n"
+      "};\n";
+  const auto fs = elsa::lint::lint_effects({{"src/util/noreason.cpp", code}});
+  EXPECT_EQ(count_rule(fs, "realtime-allocates"), 1u) << elsa::lint::format(fs);
+}
+
+TEST(ElsaLintEffects, RegistryCoversTheLiveTree) {
+  // The pin test: the effect pass must not go vacuous on src/. The
+  // registry built from the real files names the annotated hot and
+  // deterministic paths with their contracts.
+  std::vector<std::pair<std::string, std::string>> files;
+  std::map<std::string, std::string> raw;
+  for (const char* rel :
+       {"/serve/spsc_ring.hpp", "/serve/router.hpp", "/serve/model_handle.hpp",
+        "/serve/metrics.hpp", "/advisor/spsc.hpp", "/advisor/service.cpp",
+        "/advisor/advisor.cpp", "/elsa/online.cpp", "/elsa/model_io.cpp",
+        "/mining/miner.cpp", "/mining/service.cpp"}) {
+    std::ifstream in(std::string(ELSA_SRC_DIR) + rel, std::ios::binary);
+    ASSERT_TRUE(in.good()) << rel;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    raw["src" + std::string(rel)] = ss.str();
+    files.emplace_back("src" + std::string(rel), raw["src" + std::string(rel)]);
+  }
+  const auto reg = elsa::lint::effect_registry(files);
+  ASSERT_GE(reg.size(), 8u);
+  const auto contract_of = [&reg](const std::string& id) -> std::string {
+    for (const auto& f : reg)
+      if (f.id == id) return f.contract;
+    return "<absent>";
+  };
+  EXPECT_EQ(contract_of("elsa::serve::SpscRing::push"), "realtime");
+  EXPECT_EQ(contract_of("elsa::serve::SpscRing::pop_n"), "realtime");
+  EXPECT_EQ(contract_of("elsa::serve::RcuHub::pin"), "realtime");
+  EXPECT_EQ(contract_of("elsa::serve::RcuHub::unpin"), "realtime");
+  EXPECT_EQ(contract_of("elsa::serve::ShardRouter::shard_of"),
+            "realtime+deterministic");
+  EXPECT_EQ(contract_of("elsa::serve::StripedCounter::add"), "realtime");
+  EXPECT_EQ(contract_of("elsa::advisor::AdvisorService::publish"), "realtime");
+  EXPECT_EQ(contract_of("elsa::core::OnlineEngine::feed"),
+            "realtime+deterministic");
+  EXPECT_EQ(contract_of("elsa::core::model_digest"), "deterministic");
+  EXPECT_EQ(contract_of("elsa::advisor::CheckpointAdvisor::on_prediction"),
+            "deterministic");
+  EXPECT_EQ(contract_of("elsa::mining::OnlineMiner::build_model"),
+            "deterministic");
+  EXPECT_EQ(contract_of("elsa::mining::MinerService::fold_below"),
+            "deterministic");
+
+  // Spot check the pin really pins: stripping the elsa-realtime markers
+  // from the ring header removes its entries — i.e. deleting a live
+  // annotation makes the expectations above fail.
+  std::string stripped = raw["src/serve/spsc_ring.hpp"];
+  for (std::size_t p = stripped.find("elsa-realtime");
+       p != std::string::npos; p = stripped.find("elsa-realtime", p))
+    stripped.replace(p, 13, "elsa-disabled");
+  std::vector<std::pair<std::string, std::string>> mutated;
+  for (const auto& [path, contents] : raw)
+    mutated.emplace_back(path,
+                         path == "src/serve/spsc_ring.hpp" ? stripped
+                                                           : contents);
+  const auto reg2 = elsa::lint::effect_registry(mutated);
+  for (const auto& f : reg2)
+    EXPECT_NE(f.id, "elsa::serve::SpscRing::push") << "annotation survived";
+}
+
+// ---------------------------------------------------------------------------
+// The rule table (--list-rules) is pinned: every rule id the passes can
+// emit appears exactly once, sorted, with a fixture that exists on disk.
+
+TEST(ElsaLintRules, RuleTableIsPinnedAndFixturesExist) {
+  const auto& rules = elsa::lint::rule_table();
+  ASSERT_EQ(rules.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(rules.begin(), rules.end(),
+                             [](const elsa::lint::RuleInfo& a,
+                                const elsa::lint::RuleInfo& b) {
+                               return a.id < b.id;
+                             }));
+  for (const auto& r : rules) {
+    EXPECT_FALSE(r.description.empty()) << r.id;
+    ASSERT_EQ(r.fixture.rfind("tests/lint_fixtures/", 0), 0u) << r.fixture;
+    // ELSA_TESTS_DIR is .../tests — substitute it for the leading "tests".
+    std::ifstream in(std::string(ELSA_TESTS_DIR) + r.fixture.substr(5),
+                     std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << r.fixture;
+  }
+  const auto has = [&rules](const std::string& id) {
+    for (const auto& r : rules)
+      if (r.id == id) return true;
+    return false;
+  };
+  for (const char* id :
+       {"realtime-allocates", "realtime-locks", "realtime-blocks",
+        "det-wall-clock", "det-random-device", "det-unordered-escape",
+        "banned-call", "lock-cycle", "atomic-undeclared"})
+    EXPECT_TRUE(has(id)) << id;
+  // The rendered table (what --list-rules prints) carries every id.
+  const std::string table = elsa::lint::format_rule_table();
+  for (const auto& r : rules)
+    EXPECT_NE(table.find(r.id), std::string::npos) << r.id;
 }
 
 TEST(ElsaLint, LintRootsReportsInternalErrors) {

@@ -10,10 +10,14 @@
 //   2  internal error — a root is not a directory or a file could not be
 //      read; the scan was incomplete, so "no findings" would be vacuous
 //
-// Usage: elsa_lint [--github] [dir ...]
-//   --github   additionally emit GitHub Actions workflow annotations
-//              (::error file=…,line=…::…) on stdout, so findings surface
-//              inline on the PR diff.
+// Usage: elsa_lint [--github] [--list-rules] [dir ...]
+//   --github     additionally emit GitHub Actions workflow annotations
+//                (::error file=…,line=…::…) on stdout, so findings surface
+//                inline on the PR diff.
+//   --list-rules print every rule id, one-line description, and self-test
+//                fixture path, then exit 0 without scanning. The table is
+//                generated from the same rule_table() a self-test pins, so
+//                the CI log, README, and binary cannot drift apart.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -25,10 +29,14 @@ int main(int argc, char** argv) {
   bool github = false;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--github") == 0)
+    if (std::strcmp(argv[i], "--github") == 0) {
       github = true;
-    else
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      std::fputs(elsa::lint::format_rule_table().c_str(), stdout);
+      return 0;
+    } else {
       roots.emplace_back(argv[i]);
+    }
   }
   if (roots.empty()) roots.emplace_back("src");
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -25,7 +26,7 @@ bool is_word(char c) {
 /// documentation or test strings. Handles //, /*...*/, "...", '...' and
 /// R"delim(...)delim"; digit separators (1'000'000) stay untouched.
 std::string strip_code(const std::string& in) {
-  enum class St { Normal, Line, Block, Str, Chr, Raw };
+  enum class St : std::uint8_t { Normal, Line, Block, Str, Chr, Raw };
   St st = St::Normal;
   std::string out;
   out.reserve(in.size());
@@ -462,10 +463,13 @@ bool is_annotation_macro(const std::string& t) {
 }
 
 struct Scope {
-  enum Kind { kClass, kNamespace, kFunction, kLambda, kBlock };
+  enum Kind : std::uint8_t { kClass, kNamespace, kFunction, kLambda, kBlock };
   Kind kind = kBlock;
   std::string name;  ///< class name, or "Class::fn" / "fn" for functions
   std::string cls;   ///< enclosing class of a kFunction ("" for free fns)
+  std::size_t sig_line = 0;   ///< line of the declaration's first token
+  std::size_t open_line = 0;  ///< line of the opening brace
+  std::size_t ann_floor = 0;  ///< line of the token before the declaration
   std::vector<std::string> requires_locks;  ///< raw ELSA_REQUIRES arg names
   // Pass-B payload:
   std::size_t held_floor = 0;
@@ -593,6 +597,12 @@ class ScopeWalker {
     }
     const std::size_t lo = stmt_;
     if (lo >= open) return s;  // bare block
+    // Annotation window bookkeeping for the effect pass: where the
+    // declaration's tokens start/end, and a floor (the previous token's
+    // line) so a marker above one function can never bleed into the next.
+    s.sig_line = t_[lo].line;
+    s.open_line = t_[open].line;
+    s.ann_floor = lo > 0 ? t_[lo - 1].line : 0;
     // Control-flow statements own plain blocks.
     if (t_[lo].ident && is_control_kw(t_[lo].text)) return s;
     std::size_t first_paren = open;
@@ -723,7 +733,7 @@ std::string lock_id_for(const LockSymbols& syms, const std::string& ctx_cls,
 }
 
 struct RawAnnotation {
-  enum Kind { kAcquires, kRequires } kind = kAcquires;
+  enum Kind : std::uint8_t { kAcquires, kRequires } kind = kAcquires;
   std::string cls;
   std::string fn;
   std::string file;
@@ -1170,7 +1180,7 @@ struct AtomicDecl {
 };
 
 struct AtomicAccess {
-  enum Kind { kLoad, kStore, kRmw, kCas } kind = kLoad;
+  enum Kind : std::uint8_t { kLoad, kStore, kRmw, kCas } kind = kLoad;
   std::string decl_id;  ///< resolved AtomicDecl::id
   std::string file;
   std::size_t line = 0;
@@ -1403,6 +1413,613 @@ AtomicsScan scan_atomics(
     collect_atomic_accesses(path, t, by_id, by_field, scan.accesses,
                             &fence_lines);
     for (std::size_t line : fence_lines) scan.fences.emplace_back(path, line);
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Effect-inference analysis (realtime-allocates / realtime-locks /
+// realtime-blocks / det-wall-clock / det-random-device /
+// det-unordered-escape)
+//
+// A fourth whole-project pass and the first that reasons about *transitive
+// function effects* rather than declarations: tokenize every src/-module
+// file, collect class names, type aliases, typed variables and
+// unordered-container variables (pass E1/E2, fused project-wide the way the
+// lock pass fuses lock ids), then walk every function body (pass E3)
+// recording direct effect sites and call sites. Calls are resolved
+// conservatively — qualified id, then receiver-class match with
+// same-module preference, then unique-definition fallback; anything
+// ambiguous resolves to nothing — and effects propagate over the resolved
+// edges to a fixpoint. A function marked `// elsa-realtime` (above or on
+// its signature) must have an allocation-, lock-, block- and I/O-free
+// closure; `// elsa-deterministic` bans wall-clock reads, random_device
+// and unordered-container iteration in the closure. Findings anchor at
+// the effect *site* (where the allow() belongs) and name the annotated
+// root plus the call path, so a cross-file violation reads as a proof.
+//
+// Deliberate blind spots (under-approximation, DESIGN.md §17): effects in
+// member-initializer lists, allocations hidden behind copy assignment,
+// and calls through unresolvable receivers contribute nothing. The pass
+// can therefore miss, but never fabricates: every finding is a lexical
+// fact about the closure it names.
+
+enum EffBit : std::uint8_t {
+  kEffAlloc = 1u << 0,      ///< new/make_unique/make_shared/container growth
+  kEffLock = 1u << 1,       ///< MutexLock / .lock()
+  kEffBlock = 1u << 2,      ///< sleep/wait/join + file & console I/O
+  kEffWallClock = 1u << 3,  ///< Clock::now() & friends
+  kEffRandom = 1u << 4,     ///< std::random_device
+  kEffUnordered = 1u << 5,  ///< unordered/pointer-keyed iteration
+};
+
+/// One direct effect occurrence, anchored where the allow() belongs.
+struct EffSite {
+  unsigned bit = 0;
+  std::string what;  ///< human description, e.g. "`push_back` (growth)"
+  std::string file;
+  std::size_t line = 0;
+};
+
+struct EffCallSite {
+  std::string recv;  ///< receiver variable ("" for free/qualified calls)
+  std::string qual;  ///< explicit `Q::` qualifier ("" if none)
+  std::string name;  ///< called method/function name
+  std::string file;
+  std::size_t line = 0;
+};
+
+struct EffFnDef {
+  std::string id;        ///< "ns::Class::fn" (or "file::fn" at file scope)
+  std::string short_id;  ///< "Class::fn" or "fn"
+  std::string bare;      ///< "fn"
+  std::string cls;       ///< "Class" ("" for free functions)
+  std::string file;
+  std::size_t line = 0;  ///< open-brace line of the (first) definition
+  bool realtime = false;
+  bool deterministic = false;
+  std::vector<EffSite> sites;
+  std::vector<EffCallSite> calls;
+};
+
+/// Project-wide symbol tables feeding the body pass.
+struct EffSymbols {
+  std::set<std::string> classes;
+  std::map<std::string, std::string> aliases;  ///< alias → class name
+  std::map<std::string, std::string> var_cls;  ///< var → class name
+  /// unordered/pointer-keyed container var → flavor ("unordered" /
+  /// "pointer-keyed"). Keyed "Cls::name" for class members (the innermost
+  /// class at the declaration) and "::name" otherwise, so two classes
+  /// declaring same-named fields of different container kinds never
+  /// cross-contaminate (use uvar_kind() to look up).
+  std::map<std::string, std::string> unordered_vars;
+};
+
+/// Flavor of an unordered/pointer-keyed container var as seen from a
+/// function of class `cls` ("" for free functions): the class's own member
+/// first, then a namespace-scope/local declaration. Null when neither
+/// declares it.
+const std::string* uvar_kind(const EffSymbols& syms, const std::string& cls,
+                             const std::string& name) {
+  if (!cls.empty()) {
+    const auto it = syms.unordered_vars.find(cls + "::" + name);
+    if (it != syms.unordered_vars.end()) return &it->second;
+  }
+  const auto it = syms.unordered_vars.find("::" + name);
+  return it == syms.unordered_vars.end() ? nullptr : &it->second;
+}
+
+const std::set<std::string>& growth_methods() {
+  static const std::set<std::string> m = {
+      "push_back", "emplace_back", "push_front", "emplace_front",
+      "emplace",   "emplace_hint", "insert",     "insert_or_assign",
+      "try_emplace", "resize",     "reserve",    "append",
+      "assign"};
+  return m;
+}
+
+const std::set<std::string>& blocking_methods() {
+  static const std::set<std::string> m = {"wait", "wait_for", "wait_until",
+                                          "join"};
+  return m;
+}
+
+const std::set<std::string>& io_calls() {
+  static const std::set<std::string> m = {"fopen", "fclose", "fprintf",
+                                          "fscanf", "printf", "puts",
+                                          "fputs",  "fgets",  "perror",
+                                          "system"};
+  return m;
+}
+
+const std::set<std::string>& io_idents() {
+  static const std::set<std::string> m = {"cout", "cerr", "clog", "ifstream",
+                                          "ofstream", "fstream"};
+  return m;
+}
+
+const std::set<std::string>& wallclock_calls() {
+  static const std::set<std::string> m = {"clock_gettime", "gettimeofday",
+                                          "mktime"};
+  return m;
+}
+
+/// Names never resolved through the unique-free-function fallback: too
+/// common as local helpers / std entry points to trust a name-only match.
+const std::set<std::string>& bare_call_stoplist() {
+  static const std::set<std::string> m = {
+      "swap", "min",   "max", "abs",  "get",     "size", "empty",
+      "begin", "end",  "clear", "move", "forward", "main", "to_string"};
+  return m;
+}
+
+/// Files whose bodies the effect pass never scans: the annotated-primitive
+/// wrapper defines the lock types themselves, and the interleaving harness
+/// (util/interleave.hpp) blocks *by design* in ELSA_INTERLEAVE test builds
+/// while compiling to a no-op in production — scanning it would poison
+/// every sched_point() caller with a phantom blocking effect.
+bool effect_exempt_file(const std::string& path) {
+  return ends_with(path, "util/thread_annotations.hpp") ||
+         ends_with(path, "util/interleave.hpp");
+}
+
+/// `// elsa-realtime` / `// elsa-deterministic` marker on a raw line, with
+/// word-ish boundaries so prose like "non-elsa-realtime-safe" never binds.
+bool has_effect_marker(const std::string& raw_line, const std::string& mark) {
+  std::size_t pos = 0;
+  while ((pos = raw_line.find(mark, pos)) != std::string::npos) {
+    const std::size_t end = pos + mark.size();
+    const bool pre_ok =
+        pos == 0 || (!is_word(raw_line[pos - 1]) && raw_line[pos - 1] != '-');
+    const bool post_ok = end >= raw_line.size() ||
+                         (!is_word(raw_line[end]) && raw_line[end] != '-');
+    if (pre_ok && post_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// Pass E1: class names, `using A = B<...>` aliases, and unordered /
+/// pointer-keyed container variable declarations.
+void collect_effect_decls(const std::vector<Tok>& t, EffSymbols& syms) {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  static const std::set<std::string> kOrderedAssoc = {"map", "set", "multimap",
+                                                      "multiset"};
+  ScopeWalker w(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ScopeWalker::Event ev = w.step(i);
+    if (ev.opened && w.scopes().back().kind == Scope::kClass)
+      syms.classes.insert(w.scopes().back().name);
+    const Tok& tk = t[i];
+    if (!tk.ident) continue;
+    // Type alias: `using A = Head<...>;` → A resolves like Head.
+    if (tk.text == "using" && i + 3 < t.size() && t[i + 1].ident &&
+        !t[i + 2].ident && t[i + 2].text == "=") {
+      std::string head;
+      for (std::size_t j = i + 3; j < t.size(); ++j) {
+        if (t[j].ident) head = t[j].text;
+        else if (t[j].text != "::") break;
+      }
+      if (!head.empty() && head != t[i + 1].text)
+        syms.aliases[t[i + 1].text] = head;
+      continue;
+    }
+    // Unordered container declaration → remember the declarator name.
+    const bool unordered = kUnordered.count(tk.text) > 0;
+    // std::map/set keyed by a pointer iterate in address order — equally
+    // nondeterministic across runs (ASLR), so they join the same set.
+    bool ptr_keyed = false;
+    if (!unordered && kOrderedAssoc.count(tk.text) && i >= 2 && !t[i - 1].ident &&
+        t[i - 1].text == "::" && t[i - 2].ident && t[i - 2].text == "std" &&
+        i + 1 < t.size() && !t[i + 1].ident && t[i + 1].text == "<") {
+      int depth = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].ident) continue;
+        if (t[j].text == "<") ++depth;
+        else if (t[j].text == ">" && --depth == 0) break;
+        else if (t[j].text == "*" && depth == 1) { ptr_keyed = true; }
+        else if (t[j].text == "," && depth == 1) break;  // first arg only
+      }
+    }
+    if (!unordered && !ptr_keyed) continue;
+    if (i + 1 >= t.size() || t[i + 1].ident || t[i + 1].text != "<") continue;
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < t.size(); ++j) {
+      if (t[j].ident) continue;
+      if (t[j].text == "<") ++depth;
+      else if (t[j].text == ">" && --depth == 0) { ++j; break; }
+    }
+    while (j < t.size() && !t[j].ident &&
+           (t[j].text == ">" || t[j].text == "*" || t[j].text == "&"))
+      ++j;
+    if (j >= t.size() || !t[j].ident) continue;
+    if (j + 1 < t.size() && !t[j + 1].ident &&
+        (t[j + 1].text == ";" || t[j + 1].text == "{" ||
+         t[j + 1].text == "=" || t[j + 1].text == "," ||
+         t[j + 1].text == ")")) {
+      std::string cls;
+      for (auto it = w.scopes().rbegin(); it != w.scopes().rend(); ++it)
+        if (it->kind == Scope::kClass) {
+          cls = it->name;
+          break;
+        }
+      syms.unordered_vars.emplace(cls + "::" + t[j].text,
+                                  unordered ? "unordered" : "pointer-keyed");
+    }
+  }
+}
+
+/// Pass E2: variables typed as project classes (plain, pointer, reference,
+/// template-argumented, unique_ptr/shared_ptr-wrapped), so method call
+/// sites can be resolved to classes — collect_vars generalized beyond
+/// lock-owning classes.
+void collect_effect_vars(const std::vector<Tok>& t, EffSymbols& syms) {
+  const auto resolve_cls = [&syms](const std::string& name) -> std::string {
+    if (syms.classes.count(name)) return name;
+    const auto it = syms.aliases.find(name);
+    if (it != syms.aliases.end() && syms.classes.count(it->second))
+      return it->second;
+    return "";
+  };
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const Tok& tk = t[i];
+    if (!tk.ident) continue;
+    // unique_ptr<ns::Class<...>> name / shared_ptr<...> name — the class
+    // is the last identifier of the first template argument's head.
+    if ((tk.text == "unique_ptr" || tk.text == "shared_ptr") &&
+        !t[i + 1].ident && t[i + 1].text == "<") {
+      std::string head;
+      bool frozen = false;
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < t.size(); ++j) {
+        if (t[j].ident) {
+          if (depth == 1 && !frozen) head = t[j].text;
+          continue;
+        }
+        if (t[j].text == "<") { if (++depth > 1) frozen = true; }
+        else if (t[j].text == ">") { if (--depth == 0) { ++j; break; } }
+        else if (t[j].text == "," && depth == 1) frozen = true;
+        else if (t[j].text == "::" ) continue;
+      }
+      while (j < t.size() && !t[j].ident &&
+             (t[j].text == ">" || t[j].text == "*" || t[j].text == "&" ||
+              t[j].text == "[" || t[j].text == "]"))
+        ++j;
+      const std::string cls = resolve_cls(head);
+      if (!cls.empty() && j < t.size() && t[j].ident)
+        syms.var_cls[t[j].text] = cls;
+      continue;
+    }
+    const std::string cls = resolve_cls(tk.text);
+    if (cls.empty()) continue;
+    if (i > 0 && t[i - 1].ident &&
+        (t[i - 1].text == "class" || t[i - 1].text == "struct" ||
+         t[i - 1].text == "using"))
+      continue;  // definition / forward declaration / alias, not a variable
+    std::size_t j = i + 1;
+    // Optional template arguments on the class itself: SpscRing<Item> q;
+    if (j < t.size() && !t[j].ident && t[j].text == "<") {
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].ident) continue;
+        if (t[j].text == "<") ++depth;
+        else if (t[j].text == ">" && --depth == 0) { ++j; break; }
+      }
+    }
+    while (j < t.size() && !t[j].ident &&
+           (t[j].text == "*" || t[j].text == "&"))
+      ++j;
+    if (j >= t.size() || !t[j].ident) continue;
+    if (j + 1 < t.size() && !t[j + 1].ident &&
+        (t[j + 1].text == ";" || t[j + 1].text == "=" ||
+         t[j + 1].text == "," || t[j + 1].text == ")" ||
+         t[j + 1].text == "{")) {
+      syms.var_cls[t[j].text] = cls;
+    }
+  }
+}
+
+/// Pass E3: walk one file's function bodies, creating EffFnDef entries
+/// (with their contract markers) and recording direct effect sites and
+/// call sites. Lambda bodies are attributed to the enclosing function —
+/// the effect happens iff the lambda runs, and on the hot paths lambdas
+/// are invoked in place.
+void collect_effect_bodies(const std::string& path, const std::vector<Tok>& t,
+                           const std::vector<std::string>& raw,
+                           const EffSymbols& syms,
+                           std::vector<EffFnDef>& fns,
+                           std::map<std::string, std::size_t>& by_id) {
+  ScopeWalker w(t);
+  std::vector<std::size_t> fn_stack;  ///< indices into fns
+
+  const auto add_site = [&](unsigned bit, const std::string& what,
+                            std::size_t line) {
+    if (fn_stack.empty()) return;
+    fns[fn_stack.back()].sites.push_back({bit, what, path, line});
+  };
+  const auto add_call = [&](const std::string& recv, const std::string& qual,
+                            const std::string& name, std::size_t line) {
+    if (fn_stack.empty()) return;
+    fns[fn_stack.back()].calls.push_back({recv, qual, name, path, line});
+  };
+  // Receiver identifier before the `.`/`->` at token index r, walking back
+  // through a subscript (rings_[shard]->push → rings_), as the atomics
+  // pass does.
+  const auto receiver_at = [&t](std::size_t r) -> std::string {
+    if (!t[r].ident && t[r].text == "]") {
+      int bdepth = 0;
+      for (;;) {
+        if (!t[r].ident) {
+          if (t[r].text == "]") ++bdepth;
+          else if (t[r].text == "[" && --bdepth == 0) break;
+        }
+        if (r == 0) return "";
+        --r;
+      }
+      if (r == 0) return "";
+      --r;
+    }
+    return t[r].ident ? t[r].text : "";
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ScopeWalker::Event ev = w.step(i);
+    if (ev.opened && w.scopes().back().kind == Scope::kFunction) {
+      const Scope& s = w.scopes().back();
+      EffFnDef f;
+      f.short_id = s.name;
+      f.cls = s.cls;
+      f.bare = s.cls.empty() ? s.name : s.name.substr(s.cls.size() + 2);
+      const std::string ctx = w.ctx_qualified();
+      f.id = (ctx.empty() ? path : ctx) + "::" + f.bare;
+      f.file = path;
+      f.line = s.open_line;
+      // Contract markers on the signature lines, or up to three lines
+      // above them — but never above the previous token (ann_floor), so a
+      // marker binds to exactly one definition.
+      std::size_t lo = s.sig_line >= 3 ? s.sig_line - 3 : 1;
+      if (s.ann_floor + 1 > lo) lo = s.ann_floor + 1;
+      if (lo < 1) lo = 1;
+      for (std::size_t ln = lo; ln <= s.open_line && ln <= raw.size(); ++ln) {
+        f.realtime = f.realtime || has_effect_marker(raw[ln - 1], "elsa-realtime");
+        f.deterministic =
+            f.deterministic || has_effect_marker(raw[ln - 1], "elsa-deterministic");
+      }
+      const auto it = by_id.find(f.id);
+      if (it == by_id.end()) {
+        by_id.emplace(f.id, fns.size());
+        fn_stack.push_back(fns.size());
+        fns.push_back(std::move(f));
+      } else {
+        // Overload set / re-definition: merge — the contract and effects
+        // of the id are the union over its definitions.
+        EffFnDef& g = fns[it->second];
+        g.realtime = g.realtime || f.realtime;
+        g.deterministic = g.deterministic || f.deterministic;
+        fn_stack.push_back(it->second);
+      }
+    }
+    if (ev.closed && ev.closed_scope.kind == Scope::kFunction &&
+        !fn_stack.empty())
+      fn_stack.pop_back();
+
+    const Tok& tk = t[i];
+    if (!tk.ident || fn_stack.empty() || !w.in_code()) continue;
+
+    // ---- direct effect sites ----
+    if (tk.text == "new") {
+      add_site(kEffAlloc, "a `new` expression", tk.line);
+      continue;
+    }
+    if ((tk.text == "make_unique" || tk.text == "make_shared") &&
+        i + 1 < t.size() && !t[i + 1].ident &&
+        (t[i + 1].text == "<" || t[i + 1].text == "(")) {
+      add_site(kEffAlloc, "`std::" + tk.text + "` (heap allocation)", tk.line);
+      continue;
+    }
+    if (tk.text == "random_device") {
+      add_site(kEffRandom, "`std::random_device` (nondeterministic entropy)",
+               tk.line);
+      continue;
+    }
+    if (io_idents().count(tk.text)) {
+      add_site(kEffBlock, "`" + tk.text + "` (I/O)", tk.line);
+      continue;
+    }
+    if (tk.text == "MutexLock" && i + 2 < t.size() && t[i + 1].ident &&
+        !t[i + 2].ident && t[i + 2].text == "(") {
+      add_site(kEffLock, "a `MutexLock` acquisition", tk.line);
+      continue;
+    }
+    // Range-for over an unordered container: `for (... : var)`.
+    if (i > 0 && !t[i - 1].ident && t[i - 1].text == ":" && w.paren() > 0) {
+      const std::string* kind =
+          uvar_kind(syms, fns[fn_stack.back()].cls, tk.text);
+      if (kind != nullptr) {
+        add_site(kEffUnordered,
+                 "iteration over " + *kind + " container `" + tk.text + "`",
+                 tk.line);
+        continue;
+      }
+    }
+
+    // ---- calls (direct-effect names become sites, the rest edges) ----
+    if (i + 1 >= t.size() || t[i + 1].ident || t[i + 1].text != "(") continue;
+    if (is_control_kw(tk.text) || is_annotation_macro(tk.text)) continue;
+    const bool is_method = i > 0 && !t[i - 1].ident &&
+                           (t[i - 1].text == "." || t[i - 1].text == "->");
+    if (is_method) {
+      const std::string recv = i >= 2 ? receiver_at(i - 2) : "";
+      if (growth_methods().count(tk.text)) {
+        add_site(kEffAlloc, "`" + tk.text + "` (container growth)", tk.line);
+      } else if (tk.text == "lock") {
+        add_site(kEffLock, "a `.lock()` acquisition", tk.line);
+      } else if (blocking_methods().count(tk.text)) {
+        add_site(kEffBlock, "blocking `." + tk.text + "()`", tk.line);
+      } else if (tk.text == "now") {
+        add_site(kEffWallClock, "a `now()` clock read", tk.line);
+      } else if ((tk.text == "begin" || tk.text == "cbegin") &&
+                 // `.end()` alone is the find()-comparison idiom — a keyed
+                 // lookup, deterministic whatever the hash order. Only
+                 // begin()/cbegin() (or a range-for, handled above) can
+                 // actually traverse in bucket order.
+                 !recv.empty() &&
+                 uvar_kind(syms, fns[fn_stack.back()].cls, recv) != nullptr) {
+        add_site(kEffUnordered,
+                 "iteration over " +
+                     *uvar_kind(syms, fns[fn_stack.back()].cls, recv) +
+                     " container `" + recv + "`",
+                 tk.line);
+      } else {
+        add_call(recv, "", tk.text, tk.line);
+      }
+      continue;
+    }
+    if (i >= 2 && !t[i - 1].ident && t[i - 1].text == "::" && t[i - 2].ident) {
+      const std::string& qual = t[i - 2].text;
+      if (tk.text == "now") {
+        add_site(kEffWallClock, "a `" + qual + "::now()` clock read", tk.line);
+      } else if (blocking_free_calls().count(tk.text)) {
+        add_site(kEffBlock, "blocking `" + tk.text + "()`", tk.line);
+      } else if (io_calls().count(tk.text)) {
+        add_site(kEffBlock, "`" + tk.text + "` (I/O)", tk.line);
+      } else if (wallclock_calls().count(tk.text)) {
+        add_site(kEffWallClock, "`" + tk.text + "` (wall clock)", tk.line);
+      } else if (qual != "std") {
+        add_call("", qual, tk.text, tk.line);
+      }
+      continue;
+    }
+    // Free/unqualified call.
+    if (i > 0 && t[i - 1].ident && t[i - 1].text == "new") continue;
+    if (blocking_free_calls().count(tk.text)) {
+      add_site(kEffBlock, "blocking `" + tk.text + "()`", tk.line);
+    } else if (io_calls().count(tk.text)) {
+      add_site(kEffBlock, "`" + tk.text + "` (I/O)", tk.line);
+    } else if (wallclock_calls().count(tk.text)) {
+      add_site(kEffWallClock, "`" + tk.text + "` (wall clock)", tk.line);
+    } else {
+      add_call("", "", tk.text, tk.line);
+    }
+  }
+}
+
+struct EffScan {
+  std::vector<EffFnDef> fns;
+  std::map<std::string, std::size_t> by_id;
+  EffSymbols syms;
+  std::map<std::string, std::vector<std::string>> raw_by_file;
+  /// Resolved call-graph adjacency (deduplicated), plus one representative
+  /// call site per edge for path rendering.
+  std::vector<std::vector<std::size_t>> adj;
+  std::map<std::pair<std::size_t, std::size_t>, std::pair<std::string, std::size_t>>
+      edge_site;
+};
+
+constexpr std::size_t kEffNone = static_cast<std::size_t>(-1);
+
+/// Resolve one call site to a definition index, or kEffNone. Order:
+/// receiver class (or caller's own class, or explicit qualifier) matched
+/// against "Class::fn" with same-module preference on ambiguity, then a
+/// unique project-wide free function for bare names. Anything else drops —
+/// a dropped edge can hide an effect but never invent one.
+std::size_t resolve_effect_call(
+    const EffScan& scan, const EffCallSite& c, const EffFnDef& caller,
+    const std::multimap<std::string, std::size_t>& by_short,
+    const std::multimap<std::string, std::size_t>& by_bare) {
+  const auto pick = [&scan, &c](std::vector<std::size_t> cand) -> std::size_t {
+    if (cand.empty()) return kEffNone;
+    if (cand.size() == 1) return cand.front();
+    std::vector<std::size_t> same_mod;
+    const std::string mod = module_of(c.file);
+    for (std::size_t idx : cand)
+      if (module_of(scan.fns[idx].file) == mod) same_mod.push_back(idx);
+    return same_mod.size() == 1 ? same_mod.front() : kEffNone;
+  };
+  const auto short_candidates = [&](const std::string& cls) {
+    std::vector<std::size_t> cand;
+    const auto [b, e] = by_short.equal_range(cls + "::" + c.name);
+    for (auto it = b; it != e; ++it) cand.push_back(it->second);
+    return cand;
+  };
+  if (!c.recv.empty()) {
+    const auto vc = scan.syms.var_cls.find(c.recv);
+    if (vc == scan.syms.var_cls.end()) return kEffNone;
+    return pick(short_candidates(vc->second));
+  }
+  if (!c.qual.empty()) {
+    // Class-qualified static call, or a namespace-qualified free call:
+    // accept definitions whose id ends in "…qual::name".
+    std::vector<std::size_t> cand = short_candidates(c.qual);
+    if (cand.empty()) {
+      const std::string suffix = c.qual + "::" + c.name;
+      const auto [b, e] = by_bare.equal_range(c.name);
+      for (auto it = b; it != e; ++it) {
+        const std::string& id = scan.fns[it->second].id;
+        if (id == suffix || ends_with(id, "::" + suffix))
+          cand.push_back(it->second);
+      }
+    }
+    return pick(cand);
+  }
+  // Bare call: the caller's own class first, then a unique free function.
+  if (!caller.cls.empty()) {
+    const std::size_t hit = pick(short_candidates(caller.cls));
+    if (hit != kEffNone) return hit;
+  }
+  if (bare_call_stoplist().count(c.name)) return kEffNone;
+  std::vector<std::size_t> cand;
+  const auto [b, e] = by_bare.equal_range(c.name);
+  for (auto it = b; it != e; ++it)
+    if (scan.fns[it->second].cls.empty()) cand.push_back(it->second);
+  return cand.size() == 1 ? cand.front() : kEffNone;
+}
+
+/// Shared front half of lint_effects/effect_registry: scan, resolve the
+/// call graph. Only src/-module files participate; the two test-harness
+/// headers are exempt (see effect_exempt_file).
+EffScan scan_effects(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  EffScan scan;
+  std::vector<std::pair<std::string, std::vector<Tok>>> toks;
+  for (const auto& [path, contents] : files) {
+    if (module_of(path).empty()) continue;
+    if (in_fixture_dir(path) || effect_exempt_file(path)) continue;
+    toks.emplace_back(path, tokenize(strip_code(contents)));
+    scan.raw_by_file[path] = split_lines(contents);
+  }
+  for (const auto& [path, t] : toks) {
+    (void)path;
+    collect_effect_decls(t, scan.syms);
+  }
+  for (const auto& [path, t] : toks) {
+    (void)path;
+    collect_effect_vars(t, scan.syms);
+  }
+  for (const auto& [path, t] : toks)
+    collect_effect_bodies(path, t, scan.raw_by_file.at(path), scan.syms,
+                          scan.fns, scan.by_id);
+
+  std::multimap<std::string, std::size_t> by_short, by_bare;
+  for (std::size_t i = 0; i < scan.fns.size(); ++i) {
+    by_short.emplace(scan.fns[i].short_id, i);
+    by_bare.emplace(scan.fns[i].bare, i);
+  }
+  scan.adj.resize(scan.fns.size());
+  for (std::size_t i = 0; i < scan.fns.size(); ++i) {
+    for (const EffCallSite& c : scan.fns[i].calls) {
+      const std::size_t j =
+          resolve_effect_call(scan, c, scan.fns[i], by_short, by_bare);
+      if (j == kEffNone || j == i) continue;
+      if (std::find(scan.adj[i].begin(), scan.adj[i].end(), j) ==
+          scan.adj[i].end())
+        scan.adj[i].push_back(j);
+      scan.edge_site.try_emplace({i, j}, std::make_pair(c.file, c.line));
+    }
   }
   return scan;
 }
@@ -1793,6 +2410,206 @@ std::vector<AtomicField> atomic_registry(
   return out;
 }
 
+std::vector<Finding> lint_effects(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  const EffScan scan = scan_effects(files);
+
+  struct ContractRule {
+    unsigned bit;
+    const char* rule;
+  };
+  static const ContractRule kRealtimeRules[] = {
+      {kEffAlloc, "realtime-allocates"},
+      {kEffLock, "realtime-locks"},
+      {kEffBlock, "realtime-blocks"}};
+  static const ContractRule kDetRules[] = {
+      {kEffWallClock, "det-wall-clock"},
+      {kEffRandom, "det-random-device"},
+      {kEffUnordered, "det-unordered-escape"}};
+
+  // Annotated roots, sorted by id so the first reporter of a shared site
+  // is deterministic.
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < scan.fns.size(); ++i)
+    if (scan.fns[i].realtime || scan.fns[i].deterministic) roots.push_back(i);
+  std::sort(roots.begin(), roots.end(), [&scan](std::size_t a, std::size_t b) {
+    return scan.fns[a].id < scan.fns[b].id;
+  });
+
+  std::vector<Finding> findings;
+  std::set<std::tuple<std::string, std::string, std::size_t>> reported;
+
+  for (std::size_t r : roots) {
+    // BFS from the root over resolved call edges; parents give the
+    // shortest call path for the message.
+    std::vector<std::size_t> parent(scan.fns.size(), kEffNone);
+    std::vector<char> seen(scan.fns.size(), 0);
+    std::vector<std::size_t> order;
+    seen[r] = 1;
+    order.push_back(r);
+    for (std::size_t qi = 0; qi < order.size(); ++qi) {
+      const std::size_t u = order[qi];
+      for (std::size_t v : scan.adj[u]) {
+        if (seen[v]) continue;
+        seen[v] = 1;
+        parent[v] = u;
+        order.push_back(v);
+      }
+    }
+    const auto path_to = [&](std::size_t f) {
+      std::vector<std::size_t> hops;
+      for (std::size_t x = f; x != kEffNone; x = parent[x]) {
+        hops.push_back(x);
+        if (x == r) break;
+      }
+      std::string p;
+      for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+        if (!p.empty()) p += " -> ";
+        p += scan.fns[*it].short_id;
+      }
+      return p;
+    };
+
+    const EffFnDef& root = scan.fns[r];
+    const auto emit = [&](const ContractRule& cr, const char* marker,
+                          std::size_t u) {
+      for (const EffSite& s : scan.fns[u].sites) {
+        if (s.bit != cr.bit) continue;
+        const auto key = std::make_tuple(std::string(cr.rule), s.file, s.line);
+        if (reported.count(key)) continue;
+        const auto rit = scan.raw_by_file.find(s.file);
+        if (rit != scan.raw_by_file.end() && s.line > 0 &&
+            is_suppressed(rit->second, s.line - 1, cr.rule)) {
+          reported.insert(key);  // an allow() covers every reaching root
+          continue;
+        }
+        std::string msg = "`" + root.id + "` is marked " + marker +
+                          " but reaches " + s.what;
+        if (u != r) msg += " via " + path_to(u);
+        reported.insert(key);
+        findings.push_back({s.file, s.line, cr.rule, std::move(msg)});
+      }
+    };
+    for (std::size_t u : order) {
+      if (root.realtime)
+        for (const ContractRule& cr : kRealtimeRules)
+          emit(cr, "elsa-realtime", u);
+      if (root.deterministic)
+        for (const ContractRule& cr : kDetRules)
+          emit(cr, "elsa-deterministic", u);
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+std::vector<EffectFn> effect_registry(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  const EffScan scan = scan_effects(files);
+  std::vector<EffectFn> out;
+  for (const EffFnDef& f : scan.fns) {
+    if (!f.realtime && !f.deterministic) continue;
+    EffectFn e;
+    e.id = f.id;
+    e.contract = f.realtime && f.deterministic ? "realtime+deterministic"
+                 : f.realtime                  ? "realtime"
+                                               : "deterministic";
+    e.file = f.file;
+    e.line = f.line;
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(), [](const EffectFn& a, const EffectFn& b) {
+    return std::tie(a.id, a.file, a.line) < std::tie(b.id, b.file, b.line);
+  });
+  return out;
+}
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> table = {
+      {"acquire-release-unpaired",
+       "release store (or acquire load) no other side ever pairs with",
+       "tests/lint_fixtures/atomics/unpaired.cpp"},
+      {"atomic-undeclared",
+       "std::atomic field without an `// elsa-atomic: <protocol>` declaration",
+       "tests/lint_fixtures/atomics/undeclared.hpp"},
+      {"banned-call",
+       "non-reentrant libc call (lgamma, rand, strtok, localtime, gmtime)",
+       "tests/lint_fixtures/banned_call.cpp"},
+      {"blocking-under-lock",
+       "blocking call (ring push/pop, join, sleep, I/O) under a held Mutex",
+       "tests/lint_fixtures/lockgraph/blocking_under_lock.cpp"},
+      {"cv-wait-extra-lock",
+       "CondVar wait while a second mutex is held",
+       "tests/lint_fixtures/lockgraph/cv_second_lock.cpp"},
+      {"det-random-device",
+       "std::random_device reachable from an elsa-deterministic function",
+       "tests/lint_fixtures/effects/random_device.cpp"},
+      {"det-unordered-escape",
+       "unordered/pointer-keyed iteration reachable from elsa-deterministic",
+       "tests/lint_fixtures/effects/unordered_escape.cpp"},
+      {"det-wall-clock",
+       "wall-clock read reachable from an elsa-deterministic function",
+       "tests/lint_fixtures/effects/wall_clock.cpp"},
+      {"fence-undocumented",
+       "bare std::atomic_thread_fence defeats per-field protocol reasoning",
+       "tests/lint_fixtures/atomics/fence.cpp"},
+      {"header-pragma",
+       "header's first directive must be #pragma once",
+       "tests/lint_fixtures/bad_header.hpp"},
+      {"header-using",
+       "`using namespace` in a header leaks into every includer",
+       "tests/lint_fixtures/bad_header.hpp"},
+      {"layering",
+       "include that violates the module dependency DAG",
+       "tests/lint_fixtures/layering_break.cpp"},
+      {"lock-cycle",
+       "cycle in the whole-project lock-acquisition graph",
+       "tests/lint_fixtures/lockgraph/cycle2.cpp"},
+      {"raw-mutex",
+       "std sync primitive outside the annotated util wrapper",
+       "tests/lint_fixtures/raw_mutex.cpp"},
+      {"realtime-allocates",
+       "heap allocation reachable from an elsa-realtime function",
+       "tests/lint_fixtures/effects/allocates.cpp"},
+      {"realtime-blocks",
+       "blocking call or I/O reachable from an elsa-realtime function",
+       "tests/lint_fixtures/effects/blocks.cpp"},
+      {"realtime-locks",
+       "lock acquisition reachable from an elsa-realtime function",
+       "tests/lint_fixtures/effects/locks.cpp"},
+      {"relaxed-comment",
+       "memory_order_relaxed without a justifying `// relaxed:` comment",
+       "tests/lint_fixtures/relaxed_no_comment.cpp"},
+      {"rmw-order-too-weak",
+       "fully relaxed RMW on a hand-off protocol field",
+       "tests/lint_fixtures/atomics/weak_rmw.cpp"},
+      {"static-mutable",
+       "mutable `static` std:: container is unsynchronized shared state",
+       "tests/lint_fixtures/static_cache.cpp"},
+  };
+  return table;
+}
+
+std::string format_rule_table() {
+  std::size_t id_w = 0, desc_w = 0;
+  for (const RuleInfo& r : rule_table()) {
+    id_w = std::max(id_w, r.id.size());
+    desc_w = std::max(desc_w, r.description.size());
+  }
+  std::ostringstream out;
+  for (const RuleInfo& r : rule_table()) {
+    out << r.id << std::string(id_w - r.id.size() + 2, ' ') << r.description
+        << std::string(desc_w - r.description.size() + 2, ' ') << r.fixture
+        << "\n";
+  }
+  return out.str();
+}
+
 std::vector<Finding> lint_roots(const std::vector<std::string>& roots) {
   return lint_roots(roots, nullptr);
 }
@@ -1819,6 +2636,9 @@ std::vector<Finding> lint_roots(const std::vector<std::string>& roots,
   auto atomic_findings = lint_atomics(all_files);
   findings.insert(findings.end(), atomic_findings.begin(),
                   atomic_findings.end());
+  auto effect_findings = lint_effects(all_files);
+  findings.insert(findings.end(), effect_findings.begin(),
+                  effect_findings.end());
   return findings;
 }
 

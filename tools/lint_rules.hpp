@@ -53,6 +53,37 @@
 //                              order *all* surrounding accesses and
 //                              defeat per-field protocol reasoning.
 //
+// Whole-project effect-inference rules (lint_effects / lint_roots): a
+// fourth pass builds the project call graph with the same tokenizer /
+// scope-walker / call-site fusion as the lock-graph pass, infers a
+// per-function *effect set* (heap allocation, locking, blocking + I/O,
+// wall-clock reads, std::random_device, unordered-container iteration),
+// propagates it transitively through resolvable call edges, and checks
+// two annotation contracts placed on function definitions:
+//   // elsa-realtime      — the transitive closure must be allocation-,
+//                           lock-, block- and I/O-free:
+//     realtime-allocates  — new/make_unique/make_shared or a container
+//                           growth call (push_back, insert, resize, …)
+//                           reachable from an elsa-realtime function.
+//     realtime-locks      — a MutexLock / .lock() acquisition reachable
+//                           from an elsa-realtime function.
+//     realtime-blocks     — a blocking call (sleep, condvar wait, join)
+//                           or I/O (streams, FILE*) reachable from an
+//                           elsa-realtime function.
+//   // elsa-deterministic — the closure's outputs must be reproducible:
+//     det-wall-clock      — a clock read (Clock::now, gettimeofday)
+//                           reachable from an elsa-deterministic function.
+//     det-random-device   — std::random_device (nondeterministic seed)
+//                           reachable from an elsa-deterministic function.
+//     det-unordered-escape— iteration over an unordered container or a
+//                           pointer-keyed map/set (hash-seed / ASLR order)
+//                           reachable from an elsa-deterministic function.
+// Every finding is anchored at the *effect site* and names the annotated
+// root plus the call path that reaches it. The pass is deliberately
+// lexical and under-approximate (DESIGN.md §17 lists the blind spots);
+// unresolvable calls contribute nothing, so a finding is always a real
+// lexical fact about the closure it names.
+//
 // A finding is suppressed by a comment on the same line or within the
 // three lines above:  // elsa-lint: allow(<rule>): <reason>
 // The reason is mandatory; an allow() without one does not suppress. For
@@ -121,9 +152,50 @@ std::vector<Finding> lint_atomics(
 std::vector<AtomicField> atomic_registry(
     const std::vector<std::pair<std::string, std::string>>& files);
 
-/// Full gate: per-file rules on every tree plus one lock-graph pass and
-/// one atomics pass over the union of all files (cross-root lock orders
-/// and cross-file atomic pairings are real).
+/// Whole-project effect-inference pass over (path, contents) pairs:
+/// realtime-allocates / realtime-locks / realtime-blocks /
+/// det-wall-clock / det-random-device / det-unordered-escape. Only
+/// src/-module files participate (annotations live on the hot paths);
+/// the test-harness headers util/thread_annotations.hpp and
+/// util/interleave.hpp are exempt (their production builds are no-ops).
+std::vector<Finding> lint_effects(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// One contract-annotated function found by the effect pass, fused across
+/// files by qualified id. The pin test asserts this registry against the
+/// live tree so the pass cannot go vacuous.
+struct EffectFn {
+  std::string id;        ///< "ns::Class::fn" (or "file::fn" at file scope)
+  std::string contract;  ///< "realtime", "deterministic" or
+                         ///< "realtime+deterministic"
+  std::string file;
+  std::size_t line = 0;  ///< 1-based line of the definition's open brace
+};
+
+/// The annotated-function registry the effect pass builds, for tooling
+/// and tests. Sorted by id.
+std::vector<EffectFn> effect_registry(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// One row of the `elsa_lint --list-rules` table.
+struct RuleInfo {
+  std::string id;           ///< stable rule id, e.g. "realtime-allocates"
+  std::string description;  ///< one line
+  std::string fixture;      ///< repo-relative self-test fixture path
+};
+
+/// Every rule the linter can emit, sorted by id. The driver prints this
+/// for --list-rules and a self-test pins it, so the README table, the CI
+/// log and the binary cannot drift apart.
+const std::vector<RuleInfo>& rule_table();
+
+/// Render rule_table() as aligned "id  description  fixture" lines.
+std::string format_rule_table();
+
+/// Full gate: per-file rules on every tree plus one lock-graph pass, one
+/// atomics pass and one effect pass over the union of all files
+/// (cross-root lock orders, cross-file atomic pairings and cross-file
+/// call chains are real).
 std::vector<Finding> lint_roots(const std::vector<std::string>& roots);
 
 /// As above, but internal problems (a lint root that is not a directory,
